@@ -1,0 +1,60 @@
+"""E7 — Fig. 1: maximum achievable MD timescale, WSE vs exascale GPU.
+
+The figure's stars: simulated time reachable in 30 wall-clock days for
+the 800,000-atom Ta benchmark at each platform's measured rate, placed
+against the method boxes (QM / MD / CM).  The WSE star sits ~179x higher
+than the GPU star — "the nearly 180-fold increase in maximum achievable
+timescale".
+"""
+
+import pytest
+
+from common import N_PAPER_ATOMS
+from repro.baselines import FRONTIER_MODELS, QUARTZ_MODELS
+from repro.core.cycle_model import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.timescale import METHOD_BOXES, TimescalePoint
+from repro.potentials.elements import ELEMENTS
+
+
+def build_fig1():
+    el = ELEMENTS["Ta"]
+    wse_rate = CycleCostModel().steps_per_second(
+        el.candidates, el.interactions, el.neighborhood_b
+    )
+    return [
+        TimescalePoint("WSE", wse_rate),
+        TimescalePoint("GPU (Frontier)",
+                       FRONTIER_MODELS["Ta"].best_rate(N_PAPER_ATOMS)[0]),
+        TimescalePoint("CPU (Quartz)",
+                       QUARTZ_MODELS["Ta"].best_rate(N_PAPER_ATOMS)[0]),
+    ]
+
+
+def test_fig1_stars(benchmark):
+    points = benchmark(build_fig1)
+    table = Table(
+        "Fig. 1 - achievable timescale for 800k Ta atoms (30 days, 2 fs)",
+        ["machine", "steps/s", "simulated time", "vs GPU"],
+    )
+    gpu = points[1]
+    for p in points:
+        us = p.simulated_us
+        stamp = f"{us / 1000:.2f} ms" if us > 1000 else f"{us:.1f} us"
+        table.add_row(p.machine, round(p.rate_steps_per_s), stamp,
+                      f"{p.speedup_over(gpu):.0f}x")
+    table.print()
+    assert points[0].speedup_over(gpu) == pytest.approx(179, rel=0.05)
+    # the WSE star reaches beyond 1 ms — past the conventional MD box
+    assert points[0].simulated_us > 1000.0
+    assert points[1].simulated_us < 20.0
+
+
+def test_fig1_boxes(benchmark):
+    """The WSE star lands above the classical MD time range."""
+    points = benchmark(build_fig1)
+    md_lo, md_hi = METHOD_BOXES["MD"][2], METHOD_BOXES["MD"][3]
+    wse_seconds = points[0].simulated_us * 1e-6
+    gpu_seconds = points[1].simulated_us * 1e-6
+    assert gpu_seconds <= md_hi  # the GPU stays inside the MD box
+    assert wse_seconds > md_hi  # the wafer breaks out of it

@@ -1,0 +1,125 @@
+"""E8 — Fig. 7: performance and energy efficiency, WSE vs GPU vs CPU.
+
+(a) timesteps/s across node counts for Ta/Cu/W at 801,792 atoms;
+(b) timesteps/joule for the same sweeps;
+(c) relative performance and efficiency normalized to the WSE,
+    with the WSE Pareto-dominant on both axes.
+"""
+
+import pytest
+
+from common import N_PAPER_ATOMS
+from repro.baselines import (
+    FRONTIER,
+    FRONTIER_MODELS,
+    QUARTZ,
+    QUARTZ_MODELS,
+    sweep_cpu,
+    sweep_gpu,
+)
+from repro.core.cycle_model import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.energy import EfficiencyPoint, pareto_front
+from repro.potentials.elements import ELEMENTS
+from repro.wse.machine import WSE2
+
+
+def wse_point(sym: str) -> EfficiencyPoint:
+    el = ELEMENTS[sym]
+    rate = CycleCostModel().steps_per_second(
+        el.candidates, el.interactions, el.neighborhood_b
+    )
+    return EfficiencyPoint(
+        machine="WSE-2", element=sym, units=1,
+        rate_steps_per_s=rate, power_watts=WSE2.power_watts,
+    )
+
+
+def build_sweeps(sym: str):
+    gpu = sweep_gpu(FRONTIER_MODELS[sym], FRONTIER, N_PAPER_ATOMS,
+                    unit_counts=[1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+    cpu = sweep_cpu(QUARTZ_MODELS[sym], QUARTZ, N_PAPER_ATOMS,
+                    node_counts=[1, 4, 16, 64, 100, 200, 400, 800, 1600])
+    return gpu, cpu
+
+
+def test_fig7a_strong_scaling(benchmark):
+    sym = "Ta"
+    gpu, cpu = benchmark(build_sweeps, sym)
+    wse = wse_point(sym)
+    table = Table(
+        "Fig. 7a - strong scaling, Ta 801,792 atoms (timesteps/s)",
+        ["machine", "units", "steps/s"],
+    )
+    table.add_row("WSE-2", "1 wafer", round(wse.rate_steps_per_s))
+    for p in gpu:
+        table.add_row("Frontier", f"{p.units} GCD", round(p.rate_steps_per_s))
+    for p in cpu:
+        table.add_row("Quartz", f"{p.units // 2} nodes",
+                      round(p.rate_steps_per_s))
+    table.print()
+    best_gpu = max(p.rate_steps_per_s for p in gpu)
+    best_cpu = max(p.rate_steps_per_s for p in cpu)
+    assert wse.rate_steps_per_s / best_gpu == pytest.approx(179, rel=0.06)
+    assert wse.rate_steps_per_s / best_cpu == pytest.approx(55, rel=0.08)
+    assert best_cpu > best_gpu  # CPUs beat GPUs at this size (Sec. V-A)
+
+
+@pytest.mark.parametrize("sym", ["Cu", "W", "Ta"])
+def test_fig7b_energy_efficiency(benchmark, sym):
+    gpu, cpu = benchmark(build_sweeps, sym)
+    wse = wse_point(sym)
+    table = Table(
+        f"Fig. 7b - energy efficiency, {sym} (timesteps/joule)",
+        ["machine", "units", "steps/s", "steps/J"],
+    )
+    table.add_row("WSE-2", "1 wafer", round(wse.rate_steps_per_s),
+                  f"{wse.steps_per_joule:.2f}")
+    for p in gpu[::3]:
+        table.add_row("Frontier", f"{p.units} GCD",
+                      round(p.rate_steps_per_s), f"{p.steps_per_joule:.4f}")
+    for p in cpu[::3]:
+        table.add_row("Quartz", f"{p.units // 2} nodes",
+                      round(p.rate_steps_per_s), f"{p.steps_per_joule:.4f}")
+    table.print()
+    # one to two orders of magnitude better than the best baseline point
+    best_baseline = max(p.steps_per_joule for p in gpu + cpu)
+    ratio = wse.steps_per_joule / best_baseline
+    assert 10 < ratio < 500
+
+    # past the knee, rate and efficiency fall together (Sec. V-A)
+    knee = max(range(len(cpu)), key=lambda k: cpu[k].rate_steps_per_s)
+    if knee + 1 < len(cpu):
+        assert cpu[knee + 1].steps_per_joule < cpu[knee].steps_per_joule
+
+
+def test_fig7c_pareto_dominance(benchmark):
+    def all_points():
+        pts = []
+        for sym in ("Cu", "W", "Ta"):
+            gpu, cpu = build_sweeps(sym)
+            pts.extend(gpu)
+            pts.extend(cpu)
+            pts.append(wse_point(sym))
+        return pts
+
+    pts = benchmark(all_points)
+    eff_points = [
+        EfficiencyPoint(
+            machine=p.machine, element=p.element, units=p.units,
+            rate_steps_per_s=p.rate_steps_per_s, power_watts=p.power_watts,
+        )
+        if not isinstance(p, EfficiencyPoint) else p
+        for p in pts
+    ]
+    front = pareto_front(eff_points)
+    table = Table(
+        "Fig. 7c - Pareto front over (performance, efficiency)",
+        ["machine", "element", "units", "steps/s", "steps/J"],
+    )
+    for p in front:
+        table.add_row(p.machine, p.element, p.units,
+                      round(p.rate_steps_per_s), f"{p.steps_per_joule:.3f}")
+    table.print()
+    # Every front member is a WSE point: Pareto dominance on both metrics.
+    assert all(p.machine == "WSE-2" for p in front)

@@ -1,0 +1,77 @@
+"""E9 — Fig. 8: perfect weak scaling across three orders of magnitude.
+
+Grows the controlled-grid workload (one atom per core) from ~10^2 to
+~10^5 cores on the lockstep machine and measures the timestep rate at
+each size.  Because tiles run in lockstep and their per-tile work is
+size-independent, the rate stays flat — the paper reports within 1%
+over three orders of magnitude of core recruitment.
+"""
+
+import numpy as np
+import pytest
+
+from common import controlled_grid_sim
+from repro.io.table_io import Table
+from repro.potentials.elements import make_element_potential
+
+
+def run_weak_scaling():
+    pot = make_element_potential("Ta")
+    # avoid lattice distances that land exactly on the cutoff
+    spacing = pot.cutoff / 2.05
+    results = []
+    for side in (12, 24, 48, 96, 192, 320):
+        sim = controlled_grid_sim(side, 4, spacing, pot)
+        sim.step(1)
+        occ = sim.occ
+        interior = np.zeros_like(occ)
+        interior[4:-4, 4:-4] = True
+        cand = float(sim.last_candidates[occ & interior].mean())
+        inter = float(sim.last_interactions[occ & interior].mean())
+        cycles = sim.cost_model.step_cycles(cand, inter, sim.b)
+        rate = 1.0 / sim.cost_model.machine.cycles_to_seconds(cycles)
+        results.append((side * side, rate))
+    return results
+
+
+def test_fig8_weak_scaling(benchmark):
+    # single round: the sweep's largest grid runs 102,400 lockstep tiles
+    results = benchmark.pedantic(run_weak_scaling, rounds=1, iterations=1)
+    table = Table(
+        "Fig. 8 - weak scaling on the wafer (one atom per core)",
+        ["cores", "steps/s", "vs smallest"],
+    )
+    base = results[0][1]
+    for cores, rate in results:
+        table.add_row(cores, round(rate), f"{100 * rate / base:.2f}%")
+    table.print()
+    rates = np.array([r for _, r in results])
+    # perfect weak scaling to within 1% across 3 orders of magnitude
+    assert results[-1][0] / results[0][0] > 500
+    assert np.ptp(rates) / rates.mean() < 0.01
+
+
+def test_fig8_full_machine_invariance(benchmark, capsys):
+    """Every interior tile does identical work regardless of grid size."""
+    pot = make_element_potential("Ta")
+
+    def interior_count_spread():
+        sims = [
+            controlled_grid_sim(side, 4, pot.cutoff / 2.05, pot)
+            for side in (16, 64)
+        ]
+        spreads = []
+        for sim in sims:
+            sim.step(1)
+            interior = np.zeros_like(sim.occ)
+            interior[4:-4, 4:-4] = True
+            counts = sim.last_interactions[interior]
+            spreads.append((counts.min(), counts.max()))
+        return spreads
+
+    spreads = benchmark(interior_count_spread)
+    with capsys.disabled():
+        print(f"\n[weak scaling] interior interaction count ranges: {spreads}")
+    for lo, hi in spreads:
+        assert lo == hi  # uniform grid: identical work everywhere
+    assert spreads[0] == spreads[1]

@@ -1,0 +1,101 @@
+"""E12 — Sec. V-F: fabric load with periodic boundaries.
+
+The paper verifies that the position exchange takes the *same time* with
+and without periodic boundaries (the routers carry the doubled traffic
+on the reverse direction of the full-duplex links), while periodicity
+still costs some extra compute for the modular arithmetic in the
+distance calculation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cycle_model import CycleCostModel
+from repro.core.wse_md import WseMd
+from repro.io.table_io import Table
+from repro.lattice.cells import BCC
+from repro.lattice.crystals import replicate
+from repro.md.boundary import Box
+from repro.md.state import AtomsState
+from repro.md.thermostat import maxwell_boltzmann_velocities
+from repro.potentials.elements import ELEMENTS, make_element_potential
+
+
+def test_pbc_exchange_time_unchanged(benchmark):
+    from repro.wse.multicast import exchange_data_words
+
+    model = CycleCostModel()
+
+    def exchange_costs():
+        return [
+            (b,
+             model.exchange_cycles(b, pbc=False),
+             model.exchange_cycles(b, pbc=True),
+             exchange_data_words(3, b, pbc=False),
+             exchange_data_words(3, b, pbc=True))
+            for b in (2, 4, 7)
+        ]
+
+    rows = benchmark(exchange_costs)
+    table = Table(
+        "Sec. V-F - position exchange, open vs periodic boundaries",
+        ["b", "cycles open", "cycles PBC", "equal time",
+         "words open", "words PBC"],
+    )
+    for b, open_c, pbc_c, w_open, w_pbc in rows:
+        table.add_row(b, round(open_c), round(pbc_c), open_c == pbc_c,
+                      w_open, w_pbc)
+        assert open_c == pbc_c       # same time...
+        assert w_pbc == 2 * w_open   # ...despite double the traffic
+    table.print()
+
+
+def test_pbc_costs_modular_arithmetic_only(benchmark, capsys):
+    """Periodicity adds per-candidate compute, not exchange time."""
+    model = CycleCostModel()
+    el = ELEMENTS["Ta"]
+
+    def rates():
+        open_rate = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b, pbc=False
+        )
+        pbc_rate = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b, pbc=True
+        )
+        return open_rate, pbc_rate
+
+    open_rate, pbc_rate = benchmark(rates)
+    with capsys.disabled():
+        print(f"\n[PBC] open: {open_rate:,.0f} steps/s; "
+              f"periodic: {pbc_rate:,.0f} steps/s "
+              f"({100 * (1 - pbc_rate / open_rate):.1f}% modular-arithmetic "
+              f"overhead)")
+    assert pbc_rate < open_rate
+    assert pbc_rate > 0.95 * open_rate  # small compute-only penalty
+
+
+def test_pbc_functional_equivalence(benchmark):
+    """The folded mapping computes identical physics to minimum image."""
+    a = ELEMENTS["Ta"].lattice_constant
+    crystal = replicate(BCC, a, (8, 5, 2))
+    box = Box(
+        np.array([8 * a, 5 * a + 30.0, 2 * a + 30.0]),
+        periodic=[True, False, False],
+        origin=np.array([0.0, -15.0, -15.0]),
+    )
+    state = AtomsState.from_positions(crystal.positions, box, mass=180.95)
+    maxwell_boltzmann_velocities(state, 200.0, np.random.default_rng(3))
+    pot = make_element_potential("Ta")
+
+    from repro.md.simulation import Simulation
+    wse = WseMd(state.copy(), pot, dt_fs=2.0)
+    ref = Simulation(state.copy(), pot, dt_fs=2.0, skin=0.6)
+
+    def advance():
+        wse.step(2)
+        ref.run(2)
+        out = wse.gather_state()
+        return float(np.abs(out.positions - ref.state.positions).max())
+
+    err = benchmark.pedantic(advance, rounds=3, iterations=1)
+    assert err < 1e-9

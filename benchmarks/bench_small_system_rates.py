@@ -1,0 +1,66 @@
+"""E14 — Sec. II-B: the small-system rates that motivate the paper.
+
+The conventional strong-scaling limit the paper opens with: a 1,000-atom
+Lennard-Jones system tops out below 10k steps/s on a V100 (kernel-launch
+bound) and around 25k steps/s on a dual-socket Skylake (MPI bound) —
+while a million-step-per-second rate is what O(100 us) of simulated time
+per day requires.  The wafer closes that gap: the same 1k-atom workload
+mapped one-atom-per-core is fixed-cost dominated and lands deep into the
+hundreds of thousands of steps per second.
+"""
+
+import pytest
+
+from repro.baselines.cpu_model import SKYLAKE_LJ_MODEL
+from repro.baselines.gpu_model import V100_LJ_MODEL
+from repro.core.cycle_model import CycleCostModel
+from repro.io.table_io import Table
+
+N_SMALL = 1_000
+
+
+def build_rates():
+    model = CycleCostModel()
+    # 1k atoms in 3-D at LJ-like density: ~55 neighbors within 2.5 sigma,
+    # a Ta-like thin-slab candidate footprint
+    wse_rate = model.steps_per_second(80, 55, 4)
+    return {
+        "V100 GPU (LAMMPS LJ)": V100_LJ_MODEL.rate(N_SMALL, 1),
+        "2x Skylake, 36 ranks (LAMMPS LJ)": SKYLAKE_LJ_MODEL.rate(N_SMALL, 36),
+        "WSE (one atom per core)": wse_rate,
+    }
+
+
+def test_small_system_rates(benchmark):
+    rates = benchmark(build_rates)
+    table = Table(
+        "Sec. II-B - 1,000-atom strong-scaling limit (timesteps/s)",
+        ["platform", "steps/s", "paper says"],
+    )
+    table.add_row("V100 GPU (LAMMPS LJ)",
+                  round(rates["V100 GPU (LAMMPS LJ)"]), "< 10k")
+    table.add_row("2x Skylake, 36 ranks (LAMMPS LJ)",
+                  round(rates["2x Skylake, 36 ranks (LAMMPS LJ)"]), "~25k")
+    table.add_row("WSE (one atom per core)",
+                  round(rates["WSE (one atom per core)"]),
+                  "fixed-cost bound")
+    table.print()
+    assert rates["V100 GPU (LAMMPS LJ)"] < 10_000
+    assert rates["2x Skylake, 36 ranks (LAMMPS LJ)"] == pytest.approx(
+        25_000, rel=0.2
+    )
+    assert rates["WSE (one atom per core)"] > 100_000
+
+
+def test_required_rate_for_timescale_goal(benchmark):
+    """O(1e11) steps in ~1e5 s needs ~1e6 steps/s (Sec. II-B's argument)."""
+    def needed():
+        simulated_seconds = 1.0e-4   # the 100 us goal
+        dt = 2.0e-15
+        wall_seconds = 86_400.0      # one day
+        return simulated_seconds / dt / wall_seconds
+
+    rate = benchmark(needed)
+    assert rate == pytest.approx(5.8e5, rel=0.01)
+    # no conventional platform in the table gets within 20x of this
+    assert rate > 20 * SKYLAKE_LJ_MODEL.rate(N_SMALL, 36)

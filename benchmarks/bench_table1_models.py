@@ -1,0 +1,79 @@
+"""E1 — Table I: predicted and measured performance for 800k-atom models.
+
+Regenerates every column of Table I: the linear-model prediction, the
+"measured" WSE rate (here: the lockstep machine's cycle accounting on a
+scaled-down slab with the paper's per-atom work counts priced at full
+scale), the Frontier and Quartz baselines, and the speedup ratios.
+"""
+
+import pytest
+
+from common import N_PAPER_ATOMS, PAPER_TABLE1, element_wse_sim
+from repro.baselines import FRONTIER_MODELS, QUARTZ_MODELS
+from repro.core.cycle_model import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.linear import PAPER_TABLE2
+from repro.potentials.elements import ELEMENTS
+
+
+def build_table1() -> Table:
+    model = CycleCostModel()
+    table = Table(
+        "Table I - 801,792-atom models: timesteps per second",
+        ["element", "inter/cand", "predicted", "measured(sim)",
+         "error %", "Frontier", "Quartz", "vs GPU", "vs CPU",
+         "paper meas."],
+    )
+    for sym in ("Cu", "W", "Ta"):
+        el = ELEMENTS[sym]
+        predicted = PAPER_TABLE2.steps_per_second(
+            el.candidates, el.interactions
+        )
+        measured = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        gpu, _ = FRONTIER_MODELS[sym].best_rate(N_PAPER_ATOMS)
+        cpu, _ = QUARTZ_MODELS[sym].best_rate(N_PAPER_ATOMS)
+        table.add_row(
+            sym,
+            f"{el.interactions}/{el.candidates}",
+            round(predicted),
+            round(measured),
+            f"{100 * abs(predicted - measured) / measured:.1f}",
+            round(gpu),
+            round(cpu),
+            f"{measured / gpu:.0f}x",
+            f"{measured / cpu:.0f}x",
+            PAPER_TABLE1[sym]["measured"],
+        )
+    return table
+
+
+def test_table1_rows_print_and_match(benchmark):
+    table = benchmark(build_table1)
+    table.print()
+    for row in table.rows:
+        sym = row[0]
+        assert row[3] == pytest.approx(
+            PAPER_TABLE1[sym]["measured"], rel=0.05
+        )
+
+
+def test_table1_lockstep_functional_run(benchmark, capsys):
+    """Drive the actual lockstep machine on a scaled-down Ta slab."""
+    sim = element_wse_sim("Ta", scale=0.04)
+
+    def one_step():
+        sim.step(1)
+        return sim.measured_rate()
+
+    rate = benchmark(one_step)
+    cand, inter = sim.mean_counts()
+    with capsys.disabled():
+        print(
+            f"\n[lockstep Ta, N={sim.n_atoms}, our mapping b={sim.b}] "
+            f"mean cand/int = {cand:.0f}/{inter:.1f}, "
+            f"modeled machine rate = {rate:,.0f} steps/s "
+            f"(paper-counts prediction: 271,585)"
+        )
+    assert rate > 100_000

@@ -1,0 +1,87 @@
+"""E2/E13 — Table II: linear regression of time per timestep.
+
+Runs the paper's controlled parameter sweep (Sec. IV-B type 2): atoms on
+a regular 2-D grid, one per core, zero timestep constant, varying the
+neighborhood size (candidate count) and effective cutoff (interaction
+count).  Fits ``t = A n_candidate + B n_interaction + C`` and reports
+the constants, plus the timestep-time stability statistics of Sec. V-B.
+"""
+
+import numpy as np
+import pytest
+
+from common import controlled_grid_sim
+from repro.io.table_io import Table
+from repro.perfmodel.linear import PAPER_TABLE2, fit_linear_model
+from repro.potentials.elements import make_element_potential
+
+
+def run_sweep():
+    pot = make_element_potential("Ta")
+    cutoff = pot.cutoff
+    n_cand, n_int, t_ns = [], [], []
+    for b in (2, 3, 4, 5, 6, 7):
+        # spacing controls how many grid neighbors fall inside the cutoff
+        for spacing in (cutoff / 3.2, cutoff / 2.2, cutoff / 1.6,
+                        cutoff / 1.1):
+            side = max(2 * b + 3, 14)
+            sim = controlled_grid_sim(side, b, spacing, pot)
+            sim.step(1)
+            occ = sim.occ
+            # interior tiles only: full neighborhoods, as on the wafer
+            interior = np.zeros_like(occ)
+            interior[b:-b, b:-b] = True
+            cand = float(sim.last_candidates[occ & interior].mean())
+            inter = float(sim.last_interactions[occ & interior].mean())
+            cycles = sim.cost_model.step_cycles(cand, inter, b)
+            n_cand.append(cand)
+            n_int.append(inter)
+            t_ns.append(cycles * sim.cost_model.machine.cycle_ns)
+    return np.array(n_cand), np.array(n_int), np.array(t_ns)
+
+
+def test_table2_regression(benchmark):
+    n_cand, n_int, t_ns = run_sweep()
+    fit = benchmark(fit_linear_model, n_cand, n_int, t_ns)
+
+    table = Table(
+        "Table II - linear regression of time per timestep",
+        ["constant", "fitted (this repo)", "paper"],
+    )
+    table.add_row("A per candidate (ns)", f"{fit.a_candidate:.1f}", 26.6)
+    table.add_row("B per interaction (ns)", f"{fit.b_interaction:.1f}", 71.4)
+    table.add_row("C fixed (ns)", f"{fit.c_fixed:.1f}", 574.0)
+    table.add_row("r^2", f"{fit.r_squared:.5f}", 0.9998)
+    table.print()
+
+    assert fit.a_candidate == pytest.approx(PAPER_TABLE2.a_candidate, rel=0.10)
+    assert fit.b_interaction == pytest.approx(
+        PAPER_TABLE2.b_interaction, rel=0.05
+    )
+    assert fit.c_fixed == pytest.approx(PAPER_TABLE2.c_fixed, rel=0.20)
+    assert fit.r_squared > 0.999
+
+
+def test_timestep_stability(benchmark, capsys):
+    """Sec. V-B: per-tile 0.11% std; array-averaged 91 ppm."""
+    pot = make_element_potential("Ta")
+
+    def run():
+        sim = controlled_grid_sim(
+            16, 4, pot.cutoff / 2.0, pot, jitter_rel=0.0011, seed=7
+        )
+        sim.step(40)
+        return sim.trace
+
+    trace = benchmark(run)
+    data = trace.as_array()
+    per_tile_rel = float(data.std(axis=0).mean() / data.mean())
+    array_rel = float(data.mean(axis=1).std() / data.mean())
+    with capsys.disabled():
+        print(
+            f"\n[stability] per-tile std: {100 * per_tile_rel:.3f}% "
+            f"(paper 0.11%);  array-averaged: {1e6 * array_rel:.0f} ppm "
+            f"(paper 91 ppm)"
+        )
+    assert per_tile_rel == pytest.approx(0.0011, rel=0.5)
+    assert array_rel < per_tile_rel

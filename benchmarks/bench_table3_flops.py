@@ -1,0 +1,52 @@
+"""E3 — Table III: FLOP accounting per model term.
+
+Prints the full add/multiply/other accounting and the at-peak versus
+measured time of each component (the right-hand column of Table III:
+candidate 5.3/26.6 ns = 20%, interaction 21.2/71.4 ns = 30%,
+fixed 7.1/574 ns = 1%).
+"""
+
+import pytest
+
+from repro.io.table_io import Table
+from repro.perfmodel.flops import TABLE3_ROWS, at_peak_time_ns, flop_table
+from repro.perfmodel.linear import PAPER_TABLE2
+from repro.wse.machine import WSE2
+
+
+def build_table3() -> Table:
+    table = Table(
+        "Table III - FLOP count for all adds, muls, and other steps",
+        ["term", "group", "+", "x", "~", "note"],
+    )
+    for row in TABLE3_ROWS:
+        table.add_row(
+            row.term, row.group, row.counts.adds, row.counts.muls,
+            row.counts.other, row.note,
+        )
+    groups = flop_table()
+    measured = {
+        "candidate": PAPER_TABLE2.a_candidate,
+        "interaction": PAPER_TABLE2.b_interaction,
+        "fixed": PAPER_TABLE2.c_fixed,
+    }
+    for g, counts in groups.items():
+        peak = at_peak_time_ns(counts, WSE2.fp32_per_cycle, WSE2.clock_hz)
+        table.add_row(
+            f"{g} subtotal", g, counts.adds, counts.muls, counts.other,
+            f"{peak:.1f} ns / {measured[g]:.1f} ns = "
+            f"{100 * peak / measured[g]:.0f}%",
+        )
+    return table
+
+
+def test_table3_accounting(benchmark):
+    table = benchmark(build_table3)
+    table.print()
+    groups = flop_table()
+    assert groups["candidate"].total == 9
+    assert groups["interaction"].total == 36
+    assert groups["fixed"].total == 12
+    # the published utilization fractions per component
+    peak_cand = at_peak_time_ns(groups["candidate"], 2.0, WSE2.clock_hz)
+    assert peak_cand / 26.6 == pytest.approx(0.20, abs=0.02)

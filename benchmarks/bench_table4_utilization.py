@@ -1,0 +1,81 @@
+"""E4 — Table IV: utilization (fraction of peak) on three architectures.
+
+Credits every platform with the same Table III FLOP model (the paper
+notes this is slightly generous to LAMMPS) and divides by each
+machine's theoretical peak: CS-2 at 1.45 PFLOP/s, Frontier at 32 GCDs
+(0.77 PFLOP/s), Quartz at 800 CPUs (0.50 PFLOP/s).
+"""
+
+import pytest
+
+from common import N_PAPER_ATOMS
+from repro.baselines import FRONTIER, FRONTIER_MODELS, QUARTZ, QUARTZ_MODELS
+from repro.core.cycle_model import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.utilization import utilization
+from repro.potentials.elements import ELEMENTS
+
+PAPER_TABLE4 = {
+    ("CS-2", "Cu"): 22.0, ("CS-2", "W"): 23.0, ("CS-2", "Ta"): 20.0,
+    ("Frontier", "Cu"): 0.4, ("Frontier", "W"): 0.4, ("Frontier", "Ta"): 0.2,
+    ("Quartz", "Cu"): 1.9, ("Quartz", "W"): 2.5, ("Quartz", "Ta"): 1.0,
+}
+
+
+def build_table4():
+    model = CycleCostModel()
+    rows = []
+    for sym in ("Cu", "W", "Ta"):
+        el = ELEMENTS[sym]
+        wse_rate = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        rows.append(utilization(
+            "CS-2", sym, wse_rate, N_PAPER_ATOMS, el.candidates,
+            el.interactions, 1.45e15,
+        ))
+        gpu_rate = FRONTIER_MODELS[sym].rate(N_PAPER_ATOMS, 32)
+        rows.append(utilization(
+            "Frontier", sym, gpu_rate, N_PAPER_ATOMS, el.candidates,
+            el.interactions, FRONTIER.peak_flops(32),
+        ))
+        cpu_rate = QUARTZ_MODELS[sym].rate(N_PAPER_ATOMS, 400 * 36)
+        rows.append(utilization(
+            "Quartz", sym, cpu_rate, N_PAPER_ATOMS, el.candidates,
+            el.interactions, QUARTZ.peak_flops(800),
+        ))
+    return rows
+
+
+def test_table4_utilization(benchmark):
+    rows = benchmark(build_table4)
+    table = Table(
+        "Table IV - utilization (fraction of peak)",
+        ["machine", "element", "steps/s", "peak PFLOP/s",
+         "utilization %", "paper %"],
+    )
+    for r in rows:
+        paper = PAPER_TABLE4[(r.machine, r.element)]
+        table.add_row(
+            r.machine, r.element, round(r.rate_steps_per_s),
+            f"{r.peak_pflops:.2f}", f"{r.percent:.2f}", paper,
+        )
+        # CS-2 rows match closely; baseline rows to the paper's rounding
+        if r.machine == "CS-2":
+            assert r.percent == pytest.approx(paper, abs=2.0)
+        else:
+            assert r.percent == pytest.approx(paper, abs=max(0.3, paper * 0.5))
+    table.print()
+
+
+def test_wse_dominates_utilization(benchmark):
+    def ordering():
+        rows = build_table4()
+        by_machine = {}
+        for r in rows:
+            by_machine.setdefault(r.machine, []).append(r.utilization)
+        return by_machine
+
+    by_machine = benchmark(ordering)
+    assert min(by_machine["CS-2"]) > 7 * max(by_machine["Quartz"])
+    assert min(by_machine["Quartz"]) > max(by_machine["Frontier"])

@@ -1,0 +1,77 @@
+"""E5 — Table V: projected gains from future optimizations.
+
+Stacks the paper's four conservative optimizations (fixed-cost halving,
+neighbor-list reuse, force symmetry, multi-core workers) on the baseline
+cost basis and reports the projected rate for each element — ending with
+tantalum above one million timesteps per second.
+
+Also runs the same levels through this repo's cycle model
+(:data:`repro.core.cycle_model.TABLE5_LEVELS`) as an ablation: the two
+roads agree on every stage.
+"""
+
+import pytest
+
+from repro.core.cycle_model import TABLE5_LEVELS, CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.projections import project_optimizations
+from repro.potentials.elements import ELEMENTS
+
+PAPER_TABLE5_TA = {"Baseline": 270, "Fixed cost": 290, "Neighbor list": 460,
+                   "Symmetry": 650, "Parallel": 1100}
+
+WORKLOADS = {
+    sym: (ELEMENTS[sym].candidates, ELEMENTS[sym].interactions)
+    for sym in ("Ta", "W", "Cu")
+}
+
+
+def test_table5_projections(benchmark):
+    rows = benchmark(project_optimizations, WORKLOADS)
+    table = Table(
+        "Table V - projected performance (1,000 timesteps/s)",
+        ["description", "multicast ns", "miss ns", "interaction ns",
+         "fixed ns", "Ta", "W", "Cu", "paper Ta"],
+    )
+    for row in rows:
+        table.add_row(
+            row.description,
+            f"{row.basis.multicast:.1f}",
+            f"{row.basis.miss:.1f}",
+            f"{row.basis.interaction:.1f}",
+            f"{row.basis.fixed:.0f}",
+            f"{row.rates['Ta'] / 1000:.0f}",
+            f"{row.rates['W'] / 1000:.0f}",
+            f"{row.rates['Cu'] / 1000:.0f}",
+            PAPER_TABLE5_TA[row.description],
+        )
+        assert row.rates["Ta"] / 1000 == pytest.approx(
+            PAPER_TABLE5_TA[row.description], rel=0.10
+        )
+    table.print()
+    assert rows[-1].rates["Ta"] > 1.0e6
+
+
+def test_table5_via_cycle_model_ablation(benchmark):
+    """The cycle model's optimization levels tell the same story."""
+    model = CycleCostModel()
+    el = ELEMENTS["Ta"]
+
+    def rates():
+        return [
+            model.with_opt(opt).steps_per_second(
+                el.candidates, el.interactions, el.neighborhood_b
+            )
+            for opt in TABLE5_LEVELS
+        ]
+
+    out = benchmark(rates)
+    table = Table(
+        "Table V ablation - same levels through the cycle model (Ta)",
+        ["level", "steps/s"],
+    )
+    for opt, rate in zip(TABLE5_LEVELS, out):
+        table.add_row(opt.name, round(rate))
+    table.print()
+    assert all(b > a for a, b in zip(out, out[1:]))
+    assert out[-1] > 0.9e6

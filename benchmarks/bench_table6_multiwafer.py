@@ -1,0 +1,89 @@
+"""E6 — Table VI: modeled multi-wafer performance vs ghost-region size.
+
+Evaluates the Sec. VI-C ghost-shell model at the paper's subdomain
+geometries and lambda values, reproducing the 92-99% single-wafer
+performance retention, and the 64-node cluster estimates.
+"""
+
+import pytest
+
+from repro.core.cycle_model import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.multiwafer import MultiWaferModel
+from repro.potentials.elements import ELEMENTS
+
+# (element, X, Z, lambda_low, lambda_high, paper perf low/high, frac low/high)
+PAPER_TABLE6 = [
+    ("Cu", 283, 10, 78, 15, 105_152, 99_239, 0.99, 0.93),
+    ("W", 317, 8, 88, 17, 95_281, 91_743, 0.99, 0.95),
+    ("Ta", 317, 8, 88, 17, 269_214, 251_046, 0.98, 0.92),
+]
+
+
+def build_table6():
+    cost = CycleCostModel()
+    mw = MultiWaferModel()
+    out = []
+    for sym, x, z, lam_lo, lam_hi, p_lo, p_hi, f_lo, f_hi in PAPER_TABLE6:
+        el = ELEMENTS[sym]
+        single = cost.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        t_wall = 1.0 / single
+        lo = mw.evaluate(sym, x, z, lam_lo, el.cutoff_nn, t_wall, single)
+        hi = mw.evaluate(sym, x, z, lam_hi, el.cutoff_nn, t_wall, single)
+        out.append((sym, single, lo, hi, p_lo, p_hi, f_lo, f_hi))
+    return out
+
+
+def test_table6_multiwafer(benchmark):
+    results = benchmark(build_table6)
+    table = Table(
+        "Table VI - modeled multi-wafer performance",
+        ["element", "X", "Z", "t_wall us", "lambda", "k",
+         "steps/s", "% of 1 wafer", "paper steps/s"],
+    )
+    for sym, single, lo, hi, p_lo, p_hi, f_lo, f_hi in results:
+        for point, paper_perf, paper_frac in ((lo, p_lo, f_lo),
+                                              (hi, p_hi, f_hi)):
+            table.add_row(
+                sym, point.x_sites, point.z_sites,
+                f"{1e6 / single:.2f}", point.lam, point.k_steps,
+                round(point.rate_steps_per_s),
+                f"{100 * point.fraction_of_single_wafer:.0f}",
+                paper_perf,
+            )
+            assert point.fraction_of_single_wafer == pytest.approx(
+                paper_frac, abs=0.02
+            )
+            assert point.rate_steps_per_s == pytest.approx(
+                paper_perf, rel=0.05
+            )
+    table.print()
+
+
+def test_cluster_estimates(benchmark, capsys):
+    """Sec. VI-C: 64-node clusters simulate 10-40M+ atoms at ~these rates."""
+    mw = MultiWaferModel()
+    cost = CycleCostModel()
+    el = ELEMENTS["Ta"]
+    single = cost.steps_per_second(
+        el.candidates, el.interactions, el.neighborhood_b
+    )
+
+    def cluster():
+        lo = mw.evaluate("Ta", 317, 8, 88, el.cutoff_nn, 1.0 / single, single)
+        hi = mw.evaluate("Ta", 317, 8, 17, el.cutoff_nn, 1.0 / single, single)
+        return (mw.cluster_atoms(lo, 64), lo.rate_steps_per_s,
+                mw.cluster_atoms(hi, 64), hi.rate_steps_per_s)
+
+    n_lo, r_lo, n_hi, r_hi = benchmark(cluster)
+    with capsys.disabled():
+        print(
+            f"\n[64-wafer cluster, Ta] lambda=88: {n_lo / 1e6:.0f}M atoms at "
+            f"{r_lo:,.0f} steps/s; lambda=17: {n_hi / 1e6:.0f}M atoms at "
+            f"{r_hi:,.0f} steps/s"
+        )
+    assert n_lo > 40_000_000
+    assert r_lo > 260_000
+    assert r_hi > 240_000

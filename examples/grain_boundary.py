@@ -1,0 +1,97 @@
+"""Grain-boundary MD with online atom-swap remapping (paper Sec. V-E).
+
+Builds a tungsten bicrystal slab (two grains meeting at y = 0, Fig. 2's
+geometry), equilibrates it, then runs wafer-scale MD while atoms diffuse
+in the boundary — demonstrating that the greedy mutual atom swap keeps
+the atom-to-core assignment cost bounded as the structure evolves.
+
+Run:  python examples/grain_boundary.py
+"""
+
+import numpy as np
+
+from repro.analysis.displacement import DisplacementTracker
+from repro.core import WseMd
+from repro.lattice.grain_boundary import make_grain_boundary_slab
+from repro.md.boundary import Box
+from repro.md.state import AtomsState
+from repro.md.thermostat import maxwell_boltzmann_velocities
+from repro.potentials.elements import ELEMENTS, make_element_potential
+
+
+def main() -> None:
+    el = ELEMENTS["W"]
+    pot = make_element_potential("W")
+
+    print("Building W bicrystal (22.6 degree symmetric tilt boundary)...")
+    gb = make_grain_boundary_slab(
+        el.cell, el.lattice_constant, extent_xy=(38.0, 38.0),
+        thickness_z=9.0, misorientation_deg=22.6,
+    )
+    box = Box.open(gb.box + 4.0 * el.cutoff)
+    state = AtomsState.from_positions(gb.positions, box, mass=el.mass)
+    maxwell_boltzmann_velocities(state, 290.0, np.random.default_rng(0))
+    print(f"  atoms: {state.n_atoms}")
+
+    for swap_interval, label in ((0, "no swaps"), (25, "swap every 25 steps")):
+        sim = WseMd(
+            state.copy(), pot, dt_fs=2.0, swap_interval=swap_interval,
+            b_margin=2.5,
+        )
+        tracker = DisplacementTracker(state.positions.copy())
+        print(f"\n[{label}]  grid {sim.grid.nx}x{sim.grid.ny}, b={sim.b}, "
+              f"initial C(g) = {sim.assignment_cost():.2f} A")
+        print(f"  {'step':>6} {'time/ps':>8} {'max XY disp/A':>14} "
+              f"{'C(g)/A':>8} {'swaps':>6}")
+        for chunk in range(4):
+            sim.step(50)
+            out = sim.gather_state()
+            disp = tracker.record(sim.step_count * 0.002, out.positions)
+            print(f"  {sim.step_count:>6} {sim.step_count * 0.002:>8.2f} "
+                  f"{disp:>14.2f} {sim.assignment_cost():>8.2f} "
+                  f"{sim.swap_count:>6}")
+
+    print(
+        "\nWith swapping enabled the assignment cost tracks the EAM cutoff"
+        "\nplus a few angstroms (paper Fig. 9: within 3 A + cutoff for swap"
+        "\nintervals of 100 steps or less), while without it the cost grows"
+        "\nwith atomic motion."
+    )
+
+    # Fig. 2's view: classify atoms by common-neighbor analysis and
+    # render a coarse top-down map of the boundary plane.
+    from repro.analysis.cna import StructureType, common_neighbor_analysis
+
+    print("\nStructure map (common-neighbor analysis, mid-plane slice):")
+    print("  '.' = BCC grain interior, 'o' = boundary/defect (Fig. 2's white)")
+    kinds = common_neighbor_analysis(
+        gb.positions, box, cutoff=el.lattice_constant * 1.2
+    )
+    slab_atoms = np.abs(gb.positions[:, 2]) < el.lattice_constant
+    pos2d = gb.positions[slab_atoms][:, :2]
+    k2d = kinds[slab_atoms]
+    n_bins = 26
+    lo = pos2d.min(axis=0)
+    hi = pos2d.max(axis=0) + 1e-9
+    rows = []
+    for by in range(n_bins - 1, -1, -1):
+        line = []
+        for bx in range(n_bins):
+            cell_lo = lo + np.array([bx, by]) / n_bins * (hi - lo)
+            cell_hi = lo + np.array([bx + 1, by + 1]) / n_bins * (hi - lo)
+            mask = np.all((pos2d >= cell_lo) & (pos2d < cell_hi), axis=1)
+            if not np.any(mask):
+                line.append(" ")
+            elif (k2d[mask] == StructureType.BCC).mean() >= 0.5:
+                line.append(".")
+            else:
+                line.append("o")
+        rows.append("  " + "".join(line))
+    print("\n".join(rows))
+    frac_gb = float((k2d != StructureType.BCC).mean())
+    print(f"  defective fraction in the slice: {frac_gb:.0%} "
+          f"(concentrated in the y = 0 boundary band)")
+
+
+if __name__ == "__main__":
+    main()

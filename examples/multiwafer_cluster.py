@@ -1,0 +1,65 @@
+"""Weak scaling to a multi-wafer cluster (paper Sec. VI-C, Table VI).
+
+Explores the ghost-region model: how the ghost-shell width lambda trades
+wafer utilization against per-period amortization of the inter-node
+latency, and what a 64-wafer cluster could simulate.
+
+Run:  python examples/multiwafer_cluster.py
+"""
+
+from repro.core import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.multiwafer import MultiWaferModel
+from repro.potentials.elements import ELEMENTS
+
+# Table VI geometries: (X, Z) lattice sites per subdomain
+GEOMETRY = {"Cu": (283, 10), "W": (317, 8), "Ta": (317, 8)}
+
+
+def main() -> None:
+    cost = CycleCostModel()
+    mw = MultiWaferModel()
+
+    table = Table(
+        "Multi-wafer ghost-region model (omega = 1.2 Tb/s, tau = 2 us)",
+        ["element", "lambda", "k steps/period", "ghosts", "steps/s",
+         "% of 1 wafer", "interior frac"],
+    )
+    for sym in ("Cu", "W", "Ta"):
+        el = ELEMENTS[sym]
+        x, z = GEOMETRY[sym]
+        single = cost.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        t_wall = 1.0 / single
+        for lam in (8, 17, 40, 88, 160):
+            try:
+                p = mw.evaluate(sym, x, z, lam, el.cutoff_nn, t_wall, single)
+            except ValueError:
+                continue
+            table.add_row(
+                sym, lam, p.k_steps, p.n_ghost,
+                round(p.rate_steps_per_s),
+                f"{100 * p.fraction_of_single_wafer:.1f}",
+                f"{p.interior_fraction:.2f}",
+            )
+    table.print()
+
+    el = ELEMENTS["Ta"]
+    x, z = GEOMETRY["Ta"]
+    single = cost.steps_per_second(
+        el.candidates, el.interactions, el.neighborhood_b
+    )
+    p = mw.evaluate("Ta", x, z, 88, el.cutoff_nn, 1.0 / single, single)
+    atoms = mw.cluster_atoms(p, 64)
+    print(
+        f"A deployed 64-wafer cluster at lambda = 88 simulates "
+        f"{atoms / 1e6:.0f} M tantalum atoms at "
+        f"{p.rate_steps_per_s:,.0f} steps/s "
+        f"({100 * p.fraction_of_single_wafer:.0f}% of single-wafer speed) — "
+        f"the paper's Sec. VI-C estimate."
+    )
+
+
+if __name__ == "__main__":
+    main()

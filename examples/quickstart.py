@@ -1,0 +1,64 @@
+"""Quickstart: run wafer-scale MD on a tantalum slab and check physics.
+
+Builds a thin tantalum slab (the paper's benchmark geometry, scaled
+down), maps it one-atom-per-core onto a simulated WSE, runs 100
+timesteps, and compares against the reference MD engine — then reports
+the modeled full-wafer timestep rate.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core import CycleCostModel
+from repro.potentials.elements import ELEMENTS
+from repro.units import simulated_time_per_day_us
+
+
+def main() -> None:
+    element = "Ta"
+    reps = (10, 10, 3)
+
+    print(f"Building {element} thin slab {reps} and mapping it to the wafer...")
+    wse = repro.quick_wse_simulation(element, reps=reps, temperature=290.0)
+    ref = repro.quick_reference_simulation(element, reps=reps,
+                                           temperature=290.0)
+    print(f"  atoms: {wse.n_atoms}")
+    print(f"  core grid: {wse.grid.nx} x {wse.grid.ny} "
+          f"({wse.n_atoms / wse.grid.n_tiles:.0%} occupied)")
+    print(f"  assignment cost C(g): {wse.assignment_cost():.2f} A")
+    print(f"  neighborhood half-width b: {wse.b} "
+          f"({(2 * wse.b + 1) ** 2 - 1} candidates)")
+
+    n_steps = 100
+    print(f"\nRunning {n_steps} timesteps on both engines (dt = 2 fs)...")
+    wse.step(n_steps)
+    ref.run(n_steps)
+
+    out = wse.gather_state()
+    err = np.abs(out.positions - ref.state.positions).max()
+    print(f"  max |WSE - reference| position deviation: {err:.2e} A")
+    print(f"  temperature: {out.temperature():.0f} K")
+
+    mean_cand, mean_int = wse.mean_counts()
+    print(f"\nPer-atom work: {mean_cand:.0f} candidates, "
+          f"{mean_int:.1f} interactions")
+    print(f"Modeled WSE-2 rate for this workload: "
+          f"{wse.measured_rate():,.0f} timesteps/s")
+
+    # the paper's full 801,792-atom benchmark, through the same model
+    el = ELEMENTS[element]
+    model = CycleCostModel()
+    rate = model.steps_per_second(el.candidates, el.interactions,
+                                  el.neighborhood_b)
+    per_day = simulated_time_per_day_us(rate, 2.0)
+    print(f"\nFull Table-I workload ({el.n_atoms_table1:,} atoms, "
+          f"{el.candidates}/{el.interactions} cand/int):")
+    print(f"  predicted rate: {rate:,.0f} timesteps/s "
+          f"(paper measured: 274,016)")
+    print(f"  simulated time per wall-clock day: {per_day:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The timescale barrier (paper Fig. 1): WSE vs Frontier vs Quartz.
+
+For each benchmark metal, compares the modeled wafer-scale timestep rate
+against the LAMMPS strong-scaling baselines and converts to the
+achievable simulated timescale in 30 days of wall-clock time — the
+paper's headline comparison.
+
+Run:  python examples/timescale_barrier.py
+"""
+
+from repro.baselines import FRONTIER_MODELS, QUARTZ_MODELS
+from repro.core import CycleCostModel
+from repro.io.table_io import Table
+from repro.perfmodel.timescale import TimescalePoint
+from repro.potentials.elements import ELEMENTS
+
+
+def main() -> None:
+    model = CycleCostModel()
+    n_atoms = 801_792
+
+    table = Table(
+        "Breaking the timescale barrier: 801,792-atom EAM benchmarks",
+        ["element", "machine", "steps/s", "best config",
+         "sim time in 30 days", "speedup"],
+    )
+    for sym in ("Cu", "W", "Ta"):
+        el = ELEMENTS[sym]
+        wse_rate = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        gpu_rate, gpu_n = FRONTIER_MODELS[sym].best_rate(n_atoms)
+        cpu_rate, cpu_n = QUARTZ_MODELS[sym].best_rate(n_atoms)
+        rows = [
+            ("WSE-2", wse_rate, "1 wafer", 1.0),
+            ("Frontier", gpu_rate, f"{gpu_n} GCDs", wse_rate / gpu_rate),
+            ("Quartz", cpu_rate, f"{cpu_n} nodes", wse_rate / cpu_rate),
+        ]
+        for machine, rate, config, speedup in rows:
+            ts = TimescalePoint(machine, rate)
+            table.add_row(
+                sym, machine, round(rate), config,
+                f"{ts.simulated_us:,.0f} us",
+                "--" if speedup == 1.0 else f"{speedup:.0f}x",
+            )
+    table.print()
+
+    ta = ELEMENTS["Ta"]
+    wse = TimescalePoint(
+        "WSE", model.steps_per_second(ta.candidates, ta.interactions,
+                                      ta.neighborhood_b)
+    )
+    gpu = TimescalePoint("GPU", FRONTIER_MODELS["Ta"].best_rate(n_atoms)[0])
+    print(
+        f"A year-long Frontier run covers what the wafer covers in "
+        f"{365 / wse.speedup_over(gpu):.1f} days — the paper's "
+        f'"reducing every year of runtime to two days".'
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Trajectory analysis: displacement tracking, RDF, MSD."""
+
+from repro.analysis.displacement import DisplacementTracker
+from repro.analysis.rdf import radial_distribution
+from repro.analysis.msd import MsdTracker
+from repro.analysis.centrosymmetry import centrosymmetry, classify_boundary_atoms
+from repro.analysis.cna import common_neighbor_analysis, StructureType
+
+__all__ = [
+    "DisplacementTracker",
+    "radial_distribution",
+    "MsdTracker",
+    "centrosymmetry",
+    "classify_boundary_atoms",
+    "common_neighbor_analysis",
+    "StructureType",
+]

@@ -1,0 +1,46 @@
+"""Displacement tracking for the atom-swap study (paper Fig. 9).
+
+Fig. 9's black line is the largest max-norm displacement of any atom in
+the x-y plane as a function of time — the quantity that determines how
+far the atom-to-core assignment degrades without remapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DisplacementTracker"]
+
+
+class DisplacementTracker:
+    """Tracks per-atom displacement from a reference configuration."""
+
+    def __init__(self, reference_positions: np.ndarray) -> None:
+        ref = np.asarray(reference_positions, dtype=np.float64)
+        if ref.ndim != 2 or ref.shape[1] != 3:
+            raise ValueError(f"reference must be (N, 3), got {ref.shape}")
+        self.reference = ref.copy()
+        self.history: list[tuple[float, float]] = []  # (time_ps, max xy)
+
+    def max_xy_norm(self, positions: np.ndarray) -> float:
+        """Largest max-norm x-y displacement of any atom (A)."""
+        delta = np.asarray(positions) - self.reference
+        if delta.shape != self.reference.shape:
+            raise ValueError(
+                f"positions shape {delta.shape} != reference "
+                f"{self.reference.shape}"
+            )
+        return float(np.max(np.abs(delta[:, :2])))
+
+    def record(self, time_ps: float, positions: np.ndarray) -> float:
+        """Record and return the current max x-y displacement."""
+        d = self.max_xy_norm(positions)
+        self.history.append((float(time_ps), d))
+        return d
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times_ps, displacements) as arrays."""
+        if not self.history:
+            return np.empty(0), np.empty(0)
+        arr = np.asarray(self.history)
+        return arr[:, 0], arr[:, 1]

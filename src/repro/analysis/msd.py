@@ -1,0 +1,41 @@
+"""Mean-squared displacement over a trajectory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MsdTracker"]
+
+
+class MsdTracker:
+    """Accumulates MSD(t) samples relative to the starting configuration."""
+
+    def __init__(self, reference_positions: np.ndarray) -> None:
+        ref = np.asarray(reference_positions, dtype=np.float64)
+        if ref.ndim != 2 or ref.shape[1] != 3:
+            raise ValueError(f"reference must be (N, 3), got {ref.shape}")
+        self.reference = ref.copy()
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time_ps: float, positions: np.ndarray) -> float:
+        """Record MSD at ``time_ps`` and return it (A^2)."""
+        delta = np.asarray(positions) - self.reference
+        msd = float(np.mean(np.einsum("ij,ij->i", delta, delta)))
+        self.times.append(float(time_ps))
+        self.values.append(msd)
+        return msd
+
+    def diffusion_coefficient(self) -> float:
+        """Einstein-relation estimate D = MSD / (6 t) from a linear fit.
+
+        Returns A^2/ps; requires at least two samples at distinct times.
+        """
+        if len(self.times) < 2:
+            raise RuntimeError("need at least two MSD samples")
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        if np.ptp(t) <= 0:
+            raise RuntimeError("MSD samples must span distinct times")
+        slope = np.polyfit(t, v, 1)[0]
+        return float(slope / 6.0)

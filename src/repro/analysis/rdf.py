@@ -1,0 +1,45 @@
+"""Radial distribution function g(r).
+
+Used to verify that equilibrated crystals retain their lattice order
+(RDF peaks at the ideal shell distances) — the structural sanity check
+behind the benchmark configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.boundary import Box
+from repro.md.neighbor_list import NeighborList
+
+__all__ = ["radial_distribution"]
+
+
+def radial_distribution(
+    positions: np.ndarray,
+    box: Box,
+    r_max: float,
+    n_bins: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute g(r) up to ``r_max``.
+
+    Returns (bin centers, g values).  Normalization uses the mean number
+    density inside the box volume; for open boundaries this is
+    approximate near the surface, which is fine for its diagnostic use.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    if n < 2:
+        raise ValueError(f"need at least 2 atoms, got {n}")
+    if r_max <= 0 or n_bins < 1:
+        raise ValueError(f"bad r_max/n_bins: {r_max}, {n_bins}")
+    pairs = NeighborList(box, r_max, skin=0.0).pairs(positions)
+    counts, edges = np.histogram(pairs.r, bins=n_bins, range=(0.0, r_max))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    density = n / box.volume
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    # pairs are directed: counts already include both (i,j) and (j,i)
+    ideal = density * shell_vol * n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(ideal > 0, counts / ideal, 0.0)
+    return centers, g

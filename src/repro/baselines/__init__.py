@@ -1,0 +1,27 @@
+"""Baseline platform models: LAMMPS on Frontier (GPU) and Quartz (CPU).
+
+The paper's Fig. 7 compares the WSE against LAMMPS strong-scaling sweeps
+on the two fastest conventional platforms available.  We model those
+sweeps with the mechanisms the paper identifies — kernel-launch floors
+and coarse parallel granularity on GPUs, MPI latency on CPUs — with
+per-element constants calibrated to the published best rates (Table I
+anchors).  See DESIGN.md, "Substitutions".
+"""
+
+from repro.baselines.platform import PlatformSpec, FRONTIER, QUARTZ
+from repro.baselines.gpu_model import GpuStrongScalingModel, FRONTIER_MODELS
+from repro.baselines.cpu_model import CpuStrongScalingModel, QUARTZ_MODELS
+from repro.baselines.sweep import ScalingPoint, sweep_gpu, sweep_cpu
+
+__all__ = [
+    "PlatformSpec",
+    "FRONTIER",
+    "QUARTZ",
+    "GpuStrongScalingModel",
+    "FRONTIER_MODELS",
+    "CpuStrongScalingModel",
+    "QUARTZ_MODELS",
+    "ScalingPoint",
+    "sweep_gpu",
+    "sweep_cpu",
+]

@@ -1,0 +1,70 @@
+"""Static platform descriptions for the baseline machines (Sec. IV-B).
+
+Frontier: 9,408 nodes, each with 8 MI250X graphics compute dies (GCDs)
+and one 64-core EPYC, Slingshot-11 network — the first exascale system.
+Quartz: 2.1 GHz dual-socket Intel Xeon E5-2695 v4 (Broadwell, 18 cores
+per socket) on Omni-Path.
+
+Peak FLOP rates follow the paper's Table IV accounting (0.77 PFLOP/s
+for 32 GCDs; 0.50 PFLOP/s for 800 CPUs), i.e. ~24 TFLOP/s FP64 per GCD
+and ~0.6 TFLOP/s per Broadwell socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlatformSpec", "FRONTIER", "QUARTZ"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One cluster platform.
+
+    ``unit`` is the granularity of the strong-scaling sweep (GCD for
+    Frontier, CPU socket for Quartz); power numbers are per engaged
+    unit, including its share of node infrastructure.
+    """
+
+    name: str
+    unit: str
+    units_per_node: int
+    peak_flops_per_unit: float
+    power_per_unit_watts: float
+    max_units: int
+
+    def peak_flops(self, units: int) -> float:
+        """Aggregate peak over ``units`` engaged units."""
+        self._check(units)
+        return self.peak_flops_per_unit * units
+
+    def power(self, units: int) -> float:
+        """System power (W) with ``units`` engaged."""
+        self._check(units)
+        return self.power_per_unit_watts * units
+
+    def _check(self, units: int) -> None:
+        if units < 1 or units > self.max_units:
+            raise ValueError(
+                f"{self.name}: units must be in [1, {self.max_units}], "
+                f"got {units}"
+            )
+
+
+FRONTIER = PlatformSpec(
+    name="Frontier",
+    unit="GCD",
+    units_per_node=8,
+    peak_flops_per_unit=0.77e15 / 32,  # Table IV: 32 GCDs = 0.77 PFLOP/s
+    power_per_unit_watts=430.0,  # GCD + share of node infrastructure
+    max_units=9408 * 8,
+)
+
+QUARTZ = PlatformSpec(
+    name="Quartz",
+    unit="CPU socket",
+    units_per_node=2,
+    peak_flops_per_unit=0.50e15 / 800,  # Table IV: 800 CPUs = 0.50 PFLOP/s
+    power_per_unit_watts=175.0,  # half of a ~350 W dual-socket node
+    max_units=6000,
+)

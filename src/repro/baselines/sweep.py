@@ -1,0 +1,80 @@
+"""Strong-scaling sweeps over unit counts (Fig. 7 data generator)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu_model import CpuStrongScalingModel
+from repro.baselines.gpu_model import GpuStrongScalingModel
+from repro.baselines.platform import PlatformSpec
+
+__all__ = ["ScalingPoint", "sweep_gpu", "sweep_cpu", "powers_of_two"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One configuration of a strong-scaling sweep."""
+
+    machine: str
+    element: str
+    units: int
+    rate_steps_per_s: float
+    power_watts: float
+
+    @property
+    def steps_per_joule(self) -> float:
+        """Energy efficiency at this configuration."""
+        return self.rate_steps_per_s / self.power_watts
+
+
+def powers_of_two(lo: int, hi: int) -> list[int]:
+    """Powers of two in [lo, hi]."""
+    if lo < 1 or hi < lo:
+        raise ValueError(f"bad range [{lo}, {hi}]")
+    out = []
+    n = 1
+    while n <= hi:
+        if n >= lo:
+            out.append(n)
+        n *= 2
+    return out
+
+
+def sweep_gpu(
+    model: GpuStrongScalingModel,
+    platform: PlatformSpec,
+    n_atoms: int,
+    unit_counts: list[int] | None = None,
+) -> list[ScalingPoint]:
+    """Rate and power across GCD counts."""
+    unit_counts = unit_counts or powers_of_two(1, 2048)
+    return [
+        ScalingPoint(
+            machine=platform.name,
+            element=model.element,
+            units=n,
+            rate_steps_per_s=model.rate(n_atoms, n),
+            power_watts=platform.power(n),
+        )
+        for n in unit_counts
+    ]
+
+
+def sweep_cpu(
+    model: CpuStrongScalingModel,
+    platform: PlatformSpec,
+    n_atoms: int,
+    node_counts: list[int] | None = None,
+) -> list[ScalingPoint]:
+    """Rate and power across node counts (all sockets engaged)."""
+    node_counts = node_counts or powers_of_two(1, 2048)
+    return [
+        ScalingPoint(
+            machine=platform.name,
+            element=model.element,
+            units=n * 2,  # sockets engaged (power accounting unit)
+            rate_steps_per_s=model.rate_for_nodes(n_atoms, n),
+            power_watts=platform.power(n * 2),
+        )
+        for n in node_counts
+    ]

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Machine configuration and benchmark-element summary.
+``run``
+    Run a thin-slab simulation on the lockstep WSE machine (or the
+    reference engine) and report physics + modeled performance.
+``table1`` / ``table5`` / ``table6`` / ``fig1``
+    Print quick reproductions of the corresponding paper artifacts
+    (the full harness lives in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    from repro.potentials.elements import ELEMENTS
+    from repro.wse.machine import WSE2
+    from repro.io.table_io import Table
+
+    print(f"{WSE2.name}: {WSE2.usable_cores:,} cores on a "
+          f"{WSE2.grid_x}x{WSE2.grid_y} mesh, "
+          f"{WSE2.sram_per_tile // 1024} kB SRAM/tile, "
+          f"{WSE2.peak_flops_fp32 / 1e15:.2f} PFLOP/s FP32 "
+          f"({WSE2.clock_hz / 1e6:.0f} MHz), {WSE2.power_watts / 1000:.0f} kW")
+    table = Table(
+        "benchmark elements (paper Table I workloads)",
+        ["element", "structure", "a0 (A)", "cutoff (A)", "b",
+         "candidates", "interactions", "atoms"],
+    )
+    for el in ELEMENTS.values():
+        table.add_row(
+            el.symbol, el.cell.name, el.lattice_constant,
+            f"{el.cutoff:.2f}", el.neighborhood_b, el.candidates,
+            el.interactions, el.n_atoms_table1,
+        )
+    table.print()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import repro
+
+    reps = tuple(args.reps)
+    common = dict(reps=reps, temperature=args.temperature, seed=args.seed)
+    if args.engine == "wse":
+        sim = repro.quick_wse_simulation(
+            args.element, swap_interval=args.swap_interval,
+            force_symmetry=args.force_symmetry, **common,
+        )
+        print(f"{sim.n_atoms} {args.element} atoms on "
+              f"{sim.grid.nx}x{sim.grid.ny} cores, b={sim.b}, "
+              f"C(g)={sim.assignment_cost():.2f} A")
+        sim.step(args.steps)
+        out = sim.gather_state()
+        cand, inter = sim.mean_counts()
+        print(f"after {args.steps} steps: T={out.temperature():.0f} K, "
+              f"mean work {cand:.0f} cand / {inter:.1f} int per atom")
+        print(f"modeled WSE-2 rate: {sim.measured_rate():,.0f} timesteps/s")
+        if args.swap_interval:
+            print(f"swaps performed: {sim.swap_count}")
+    else:
+        sim = repro.quick_reference_simulation(args.element, **common)
+        e0 = sim.potential_energy() + sim.state.kinetic_energy()
+        sim.run(args.steps)
+        e1 = sim.potential_energy() + sim.state.kinetic_energy()
+        print(f"{sim.state.n_atoms} {args.element} atoms, reference engine")
+        print(f"after {args.steps} steps: T={sim.state.temperature():.0f} K, "
+              f"energy drift {abs(e1 - e0) / sim.state.n_atoms:.2e} eV/atom")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.baselines import FRONTIER_MODELS, QUARTZ_MODELS
+    from repro.core.cycle_model import CycleCostModel
+    from repro.io.table_io import Table
+    from repro.potentials.elements import ELEMENTS
+
+    model = CycleCostModel()
+    table = Table(
+        "Table I - 801,792-atom models (timesteps/s)",
+        ["element", "WSE (model)", "Frontier", "Quartz", "vs GPU", "vs CPU"],
+    )
+    for sym in ("Cu", "W", "Ta"):
+        el = ELEMENTS[sym]
+        wse = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        gpu, _ = FRONTIER_MODELS[sym].best_rate(801_792)
+        cpu, _ = QUARTZ_MODELS[sym].best_rate(801_792)
+        table.add_row(sym, round(wse), round(gpu), round(cpu),
+                      f"{wse / gpu:.0f}x", f"{wse / cpu:.0f}x")
+    table.print()
+    return 0
+
+
+def _cmd_table5(args) -> int:
+    from repro.io.table_io import Table
+    from repro.perfmodel.projections import project_optimizations
+    from repro.potentials.elements import ELEMENTS
+
+    workloads = {
+        s: (ELEMENTS[s].candidates, ELEMENTS[s].interactions)
+        for s in ("Ta", "W", "Cu")
+    }
+    table = Table(
+        "Table V - projected optimizations (1,000 timesteps/s)",
+        ["stage", "Ta", "W", "Cu"],
+    )
+    for row in project_optimizations(workloads):
+        table.add_row(row.description, *[
+            f"{row.rates[s] / 1000:.0f}" for s in ("Ta", "W", "Cu")
+        ])
+    table.print()
+    return 0
+
+
+def _cmd_table6(args) -> int:
+    from repro.core.cycle_model import CycleCostModel
+    from repro.io.table_io import Table
+    from repro.perfmodel.multiwafer import MultiWaferModel
+    from repro.potentials.elements import ELEMENTS
+
+    geometry = {"Cu": (283, 10), "W": (317, 8), "Ta": (317, 8)}
+    lams = {"Cu": (78, 15), "W": (88, 17), "Ta": (88, 17)}
+    cost = CycleCostModel()
+    mw = MultiWaferModel()
+    table = Table(
+        "Table VI - multi-wafer ghost-region model",
+        ["element", "lambda", "k", "steps/s", "% of 1 wafer"],
+    )
+    for sym in ("Cu", "W", "Ta"):
+        el = ELEMENTS[sym]
+        x, z = geometry[sym]
+        single = cost.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        for lam in lams[sym]:
+            p = mw.evaluate(sym, x, z, lam, el.cutoff_nn, 1 / single, single)
+            table.add_row(sym, lam, p.k_steps, round(p.rate_steps_per_s),
+                          f"{100 * p.fraction_of_single_wafer:.0f}")
+    table.print()
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.baselines import FRONTIER_MODELS, QUARTZ_MODELS
+    from repro.core.cycle_model import CycleCostModel
+    from repro.io.table_io import Table
+    from repro.perfmodel.timescale import TimescalePoint
+    from repro.potentials.elements import ELEMENTS
+
+    el = ELEMENTS["Ta"]
+    wse = TimescalePoint("WSE-2", CycleCostModel().steps_per_second(
+        el.candidates, el.interactions, el.neighborhood_b))
+    gpu = TimescalePoint("Frontier",
+                         FRONTIER_MODELS["Ta"].best_rate(801_792)[0])
+    cpu = TimescalePoint("Quartz", QUARTZ_MODELS["Ta"].best_rate(801_792)[0])
+    table = Table(
+        "Fig. 1 - achievable Ta timescale (30 days, 2 fs steps)",
+        ["machine", "steps/s", "simulated us", "vs GPU"],
+    )
+    for p in (wse, gpu, cpu):
+        table.add_row(p.machine, round(p.rate_steps_per_s),
+                      f"{p.simulated_us:,.0f}", f"{p.speedup_over(gpu):.0f}x")
+    table.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wafer-scale MD reproduction (SC 2024) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="machine and element summary")
+
+    run = sub.add_parser("run", help="run a thin-slab simulation")
+    run.add_argument("--element", choices=["Cu", "W", "Ta"], default="Ta")
+    run.add_argument("--reps", type=int, nargs=3, default=[8, 8, 3],
+                     metavar=("NX", "NY", "NZ"))
+    run.add_argument("--steps", type=int, default=100)
+    run.add_argument("--temperature", type=float, default=290.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--engine", choices=["wse", "reference"], default="wse")
+    run.add_argument("--swap-interval", type=int, default=0)
+    run.add_argument("--force-symmetry", action="store_true")
+
+    for name in ("table1", "table5", "table6", "fig1"):
+        sub.add_parser(name, help=f"print the {name} reproduction")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "run": _cmd_run,
+        "table1": _cmd_table1,
+        "table5": _cmd_table5,
+        "table6": _cmd_table6,
+        "fig1": _cmd_fig1,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Physical constants and the "metal" unit system used throughout.
+
+The library works in LAMMPS-style *metal units*:
+
+===========  ==========================
+quantity     unit
+===========  ==========================
+length       angstrom (A)
+time         picosecond (ps)
+energy       electron-volt (eV)
+mass         gram/mole (g/mol)
+temperature  kelvin (K)
+force        eV / angstrom
+velocity     angstrom / picosecond
+===========  ==========================
+
+In this system Newton's second law needs a conversion factor because the
+unit of ``mass * velocity^2`` is not the unit of energy:
+
+    1 (g/mol) * (A/ps)^2 = MVV2E eV
+
+so ``a [A/ps^2] = F [eV/A] / m [g/mol] / MVV2E``.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants (CODATA 2018)
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant in eV/K.
+KB_EV = 8.617333262e-5
+
+#: Avogadro's number, 1/mol.
+AVOGADRO = 6.02214076e23
+
+#: Elementary charge in coulomb (1 eV in joule).
+EV_IN_JOULE = 1.602176634e-19
+
+#: One atomic mass unit (g/mol) in kilograms.
+AMU_IN_KG = 1.0e-3 / AVOGADRO
+
+# ---------------------------------------------------------------------------
+# Metal-unit conversion factors
+# ---------------------------------------------------------------------------
+
+#: Converts (g/mol)*(A/ps)^2 to eV.  LAMMPS calls this ``mvv2e``.
+MVV2E = AMU_IN_KG * (1.0e-10 / 1.0e-12) ** 2 / EV_IN_JOULE  # ~1.0364e-4
+
+#: Converts force/mass (eV/A per g/mol) to acceleration in A/ps^2.
+FORCE_TO_ACCEL = 1.0 / MVV2E  # ~9648.5
+
+#: Femtoseconds per picosecond.
+FS_PER_PS = 1000.0
+
+#: GPa expressed in eV/A^3 (for bulk-modulus input).
+GPA_TO_EV_PER_A3 = 1.0e9 * 1.0e-30 / EV_IN_JOULE  # ~6.2415e-3
+
+
+def kinetic_energy_to_temperature(ke_ev: float, n_dof: int) -> float:
+    """Instantaneous temperature (K) from total kinetic energy (eV).
+
+    Uses the equipartition theorem ``KE = n_dof * kB * T / 2``.
+    """
+    if n_dof <= 0:
+        return 0.0
+    return 2.0 * ke_ev / (n_dof * KB_EV)
+
+
+def temperature_to_kinetic_energy(temp_k: float, n_dof: int) -> float:
+    """Equipartition kinetic energy (eV) at temperature ``temp_k``."""
+    return 0.5 * n_dof * KB_EV * temp_k
+
+
+def thermal_velocity_scale(temp_k: float, mass_gmol: float) -> float:
+    """Standard deviation (A/ps) of one velocity component at ``temp_k``.
+
+    From ``m sigma^2 * MVV2E = kB T``.
+    """
+    if mass_gmol <= 0:
+        raise ValueError(f"mass must be positive, got {mass_gmol}")
+    return math.sqrt(KB_EV * temp_k / (mass_gmol * MVV2E))

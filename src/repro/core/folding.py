@@ -1,0 +1,107 @@
+"""Periodic-dimension folding (paper Sec. III-E, Fig. 5).
+
+A periodic coordinate lives on a circle; mapping the circle naively onto
+a line of cores would put the two ends — which interact — at opposite
+edges of the wafer.  The paper's solution: split the circle in two and
+collapse it onto a line so atoms from the two halves *interleave*.
+Interacting atoms then sit at most two fabric hops apart instead of one.
+
+Concretely, a coordinate ``u`` on a circle of circumference ``L`` maps to
+
+    w(u) = 2 * min(u, L - u) - [u > L/2]
+
+The factor 2 is the interleaving stride (each half of the circle uses
+every other position), and the ``-1`` offsets the far half between the
+near half's positions.  For two points at circle distance ``d``:
+``|w(u1) - w(u2)| <= 2 d + 1`` — the Lipschitz factor of 2 that doubles
+the neighborhood data volume while leaving exchange *time* unchanged
+(Sec. V-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.boundary import Box
+
+__all__ = ["fold_coordinate", "circle_distance", "FabricProjection"]
+
+
+def fold_coordinate(u: np.ndarray, length: float) -> np.ndarray:
+    """Fold a periodic coordinate onto the interleaved line.
+
+    ``u`` may lie anywhere; it is first wrapped into ``[0, L)``.
+    Output spans ``[-1, L]``.
+    """
+    if length <= 0:
+        raise ValueError(f"period must be positive, got {length}")
+    u = np.mod(np.asarray(u, dtype=np.float64), length)
+    near = np.minimum(u, length - u)
+    far_side = u > length / 2.0
+    return 2.0 * near - far_side.astype(np.float64)
+
+
+def circle_distance(u1: np.ndarray, u2: np.ndarray, length: float) -> np.ndarray:
+    """Distance on the circle of circumference ``length``."""
+    d = np.abs(np.mod(np.asarray(u1) - np.asarray(u2), length))
+    return np.minimum(d, length - d)
+
+
+@dataclass
+class FabricProjection:
+    """Projection ``P`` of the simulation domain onto the fabric plane.
+
+    Flattens atoms onto x-y (zeroing z, paper Sec. III-A) and folds any
+    periodic in-plane dimension.  ``lipschitz`` per dimension bounds how
+    much faster fabric-plane distance can grow than physical distance —
+    the quantity the neighborhood half-width ``b`` must absorb.
+    """
+
+    box: Box
+    fold_dims: tuple[bool, bool] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.fold_dims = (bool(self.box.periodic[0]), bool(self.box.periodic[1]))
+
+    @property
+    def lipschitz(self) -> np.ndarray:
+        """Per-dimension distance amplification of the projection (2,)."""
+        return np.where(np.array(self.fold_dims), 2.0, 1.0)
+
+    def project(self, positions: np.ndarray) -> np.ndarray:
+        """Fabric-plane coordinates (N, 2) of atom positions (N, 3)."""
+        positions = np.asarray(positions, dtype=np.float64)
+        out = np.empty((len(positions), 2))
+        for d in range(2):
+            if self.fold_dims[d]:
+                rel = positions[:, d] - self.box.origin[d]
+                out[:, d] = fold_coordinate(rel, self.box.lengths[d])
+            else:
+                out[:, d] = positions[:, d]
+        return out
+
+    def plane_extent(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(lo, hi) of the projected coordinates, (2,) each.
+
+        Folded dimensions have a fixed extent of ``[-1, L]``; open
+        dimensions take the configuration's bounding interval.
+        """
+        proj = self.project(positions)
+        lo = proj.min(axis=0)
+        hi = proj.max(axis=0)
+        for d in range(2):
+            if self.fold_dims[d]:
+                lo[d] = -1.0
+                hi[d] = self.box.lengths[d]
+        return lo, hi
+
+    def separation_bound(self, physical_distance: float) -> float:
+        """Max fabric-plane separation of atoms within ``physical_distance``.
+
+        Open dims: the distance itself.  Folded dims: ``2 d + 1``.
+        """
+        factor = float(self.lipschitz.max())
+        extra = 1.0 if any(self.fold_dims) else 0.0
+        return factor * physical_distance + extra

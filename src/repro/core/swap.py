@@ -1,0 +1,164 @@
+"""Greedy mutual atom-swap remapping (paper Sec. III-D, Fig. 9).
+
+As atoms diffuse, the assignment cost of the initial mapping grows; an
+occasional remapping step counteracts this.  The protocol uses two
+neighborhood exchanges:
+
+1. Cores exchange atom state and compute, for every adjacent core, the
+   change in (local) assignment cost a swap would produce.
+2. Cores exchange the identifier of their preferred partner; when two
+   cores *mutually* prefer each other, both overwrite their local atom
+   state — a swap.
+
+Empty tiles participate (their "atom at infinity" has no cost), which
+lets atoms migrate into free cores.  Mutual agreement guarantees each
+core joins at most one swap per round, so the whole round is applied
+with aligned array operations — no conflict resolution needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exchange import shift2d
+
+__all__ = ["SwapEngine", "SWAP_OFFSETS"]
+
+#: The 8 adjacent-core offsets, paired so that offset k's inverse is
+#: OPPOSITE[k].  Swaps are applied from the positive half to avoid
+#: double application.
+SWAP_OFFSETS: list[tuple[int, int]] = [
+    (1, 0), (-1, 0), (0, 1), (0, -1),
+    (1, 1), (-1, -1), (1, -1), (-1, 1),
+]
+_OPPOSITE = {0: 1, 1: 0, 2: 3, 3: 2, 4: 5, 5: 4, 6: 7, 7: 6}
+_POSITIVE = (0, 2, 4, 6)
+
+#: Sentinel local cost for an empty tile: below any real max-norm cost,
+#: so swapping an atom onto an empty tile counts only the atom's new cost.
+_EMPTY_COST = -1.0
+
+
+@dataclass
+class SwapEngine:
+    """Applies swap rounds to the lockstep machine's per-tile grids.
+
+    Parameters
+    ----------
+    min_benefit:
+        Minimum assignment-cost improvement (A) for a swap to be
+        proposed; a small positive threshold prevents oscillation
+        between equal-cost configurations.
+    """
+
+    min_benefit: float = 1e-9
+
+    def local_cost(
+        self,
+        proj: np.ndarray,
+        occupied: np.ndarray,
+        core_centers: np.ndarray,
+    ) -> np.ndarray:
+        """Per-tile max-norm cost of the currently held atom.
+
+        ``proj`` is the (nx, ny, 2) fabric-plane projection of each
+        tile's atom; empty tiles get the sentinel cost.
+        """
+        delta = np.abs(proj - core_centers)
+        cost = delta.max(axis=2)
+        return np.where(occupied, cost, _EMPTY_COST)
+
+    def propose(
+        self,
+        proj: np.ndarray,
+        occupied: np.ndarray,
+        core_centers: np.ndarray,
+        pitch: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One proposal round.
+
+        Returns
+        -------
+        (choice, benefit):
+            ``choice[x, y]`` is the preferred offset index (-1: none);
+            ``benefit`` the corresponding cost improvement.
+        """
+        nx, ny = occupied.shape
+        here_cost = self.local_cost(proj, occupied, core_centers)
+        best_benefit = np.full((nx, ny), -np.inf)
+        choice = np.full((nx, ny), -1, dtype=np.int64)
+        for k, (dx, dy) in enumerate(SWAP_OFFSETS):
+            n_proj = shift2d(proj, dx, dy, fill=0.0)
+            n_occ = shift2d(occupied, dx, dy, fill=False)
+            n_centers = shift2d(core_centers, dx, dy, fill=0.0)
+            in_fabric = shift2d(
+                np.ones((nx, ny), dtype=bool), dx, dy, fill=False
+            )
+            n_cost = np.where(
+                n_occ, np.abs(n_proj - n_centers).max(axis=2), _EMPTY_COST
+            )
+            # cost of my atom on the neighbor core / theirs on mine
+            mine_there = np.where(
+                occupied, np.abs(proj - n_centers).max(axis=2), _EMPTY_COST
+            )
+            theirs_here = np.where(
+                n_occ, np.abs(n_proj - core_centers).max(axis=2), _EMPTY_COST
+            )
+            old = np.maximum(here_cost, n_cost)
+            new = np.maximum(mine_there, theirs_here)
+            benefit = np.where(
+                in_fabric & (occupied | n_occ), old - new, -np.inf
+            )
+            better = benefit > best_benefit
+            best_benefit = np.where(better, benefit, best_benefit)
+            choice = np.where(better, k, choice)
+        viable = best_benefit > self.min_benefit
+        choice = np.where(viable, choice, -1)
+        benefit = np.where(viable, best_benefit, 0.0)
+        return choice, benefit
+
+    def mutual_pairs(self, choice: np.ndarray) -> list[tuple[np.ndarray, int]]:
+        """Masks of swap initiators per positive offset.
+
+        A tile at (x, y) choosing positive offset k swaps with
+        (x+dx, y+dy) iff that tile chose the opposite offset.  Returns
+        [(initiator_mask, offset_index), ...] covering every mutual pair
+        exactly once.
+        """
+        out = []
+        for k in _POSITIVE:
+            dx, dy = SWAP_OFFSETS[k]
+            partner_choice = shift2d(choice, dx, dy, fill=-1)
+            mask = (choice == k) & (partner_choice == _OPPOSITE[k])
+            if np.any(mask):
+                out.append((mask, k))
+        return out
+
+    def apply(
+        self,
+        grids: dict[str, np.ndarray],
+        proj: np.ndarray,
+        occupied: np.ndarray,
+        core_centers: np.ndarray,
+        pitch: np.ndarray,
+    ) -> int:
+        """Run one full swap round, mutating ``grids`` in place.
+
+        ``grids`` maps names to per-tile arrays (positions, velocities,
+        ids, types, occupancy...) that must travel with the atom.
+        Returns the number of swaps performed.
+        """
+        choice, _ = self.propose(proj, occupied, core_centers, pitch)
+        n_swaps = 0
+        for mask, k in self.mutual_pairs(choice):
+            dx, dy = SWAP_OFFSETS[k]
+            n_swaps += int(mask.sum())
+            src = np.nonzero(mask)
+            dst = (src[0] + dx, src[1] + dy)
+            for arr in grids.values():
+                tmp = arr[src].copy()
+                arr[src] = arr[dst]
+                arr[dst] = tmp
+        return n_swaps

@@ -1,0 +1,526 @@
+"""WseMd: the lockstep vectorized wafer-scale MD machine.
+
+Executes every tile's worker program simultaneously on per-tile grid
+arrays, following the five-step timestep of paper Sec. III-A:
+
+1. **Candidate exchange** — streamed over the (2b+1)^2 neighborhood
+   offsets (:mod:`repro.core.exchange`), the functional equivalent of
+   the marching multicast.
+2. **Neighbor list** — the within-cutoff mask per offset (candidates
+   arrive in deterministic order; the mask *is* the ordinal list).
+3. **Embedding calculation and exchange** — density accumulation, then
+   ``F`` and ``F'`` per tile; the second exchange ships ``F'``.
+4. **Force calculation and integration** — Eq. 4 radial terms and the
+   Verlet leap-frog update (Eq. 5).
+5. **Atom swap** — every ``swap_interval`` steps, the greedy mutual
+   remapping (:mod:`repro.core.swap`).
+
+Cycle accounting: each step records per-tile cycle counts from the
+calibrated :class:`~repro.core.cycle_model.CycleCostModel` using each
+tile's actual candidate and interaction counts, into a
+:class:`~repro.wse.trace.CycleTrace` — the machine's "hardware cycle
+counter in a scratch buffer" (Sec. IV-B).
+
+The physics is identical to the reference engine
+(:mod:`repro.md.simulation`); tests assert trajectory equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import MVV2E
+from repro.core.cycle_model import CycleCostModel
+from repro.core.exchange import iter_neighborhood, shift2d
+from repro.core.mapping import Mapping, build_mapping
+from repro.core.neighborhood import required_b
+from repro.core.swap import SwapEngine
+from repro.md.state import AtomsState
+from repro.potentials.eam import EAMPotential
+from repro.wse.geometry import TileGrid
+from repro.wse.trace import CycleTrace
+
+__all__ = ["WseMd"]
+
+#: Fabric-plane sentinel coordinate of an empty tile's "atom at infinity".
+_FAR = 1.0e15
+
+
+def _embed_with_border(mapping: Mapping, b: int) -> Mapping:
+    """Re-host a mapping on a grid at least (2b+2) wide, same pitch.
+
+    Atoms keep their relative core positions; an empty border of tiles
+    is added symmetrically so the (2b+1)-square neighborhood always fits
+    on the fabric.
+    """
+    side_x = max(mapping.grid.nx, 2 * b + 2)
+    side_y = max(mapping.grid.ny, 2 * b + 2)
+    border_x = (side_x - mapping.grid.nx) // 2
+    border_y = (side_y - mapping.grid.ny) // 2
+    large = TileGrid(side_x, side_y)
+    cx, cy = mapping.core_xy()
+    return Mapping(
+        grid=large,
+        projection=mapping.projection,
+        pitch=mapping.pitch,
+        origin=mapping.origin - np.array([border_x, border_y]) * mapping.pitch,
+        atom_core=large.flatten(cx + border_x, cy + border_y),
+    )
+
+
+class WseMd:
+    """One-atom-per-core EAM MD on a simulated wafer.
+
+    Parameters
+    ----------
+    state:
+        Initial atom state (consumed; use :meth:`gather_state` to read
+        results back in id order).
+    potential:
+        EAM potential (the per-tile spline tables).
+    grid:
+        Core grid; sized automatically from ``fill`` when omitted.
+    b:
+        Neighborhood half-width; chosen from the mapping cost and
+        cutoff when omitted.
+    b_margin:
+        Physical slack (A) added when auto-choosing ``b`` — headroom
+        for atom motion between swap rounds.
+    dt_fs:
+        Timestep (fs).
+    cost_model:
+        Cycle pricing; defaults to the calibrated baseline model.
+    swap_interval:
+        Apply a swap round every this many steps (0 disables).
+    dtype:
+        Storage/compute dtype for per-tile state; ``np.float32``
+        matches the WSE's single-precision implementation.
+    jitter_rel:
+        Relative per-tile timing noise (models hardware effects like
+        bank conflicts; the paper measures 0.11 %).  Deterministic via
+        ``seed``.
+    force_symmetry:
+        Enable the paper's "Force Symmetry" future optimization
+        (Sec. VI-A): pair terms are computed once per undirected pair
+        (half the neighborhood offsets) and the partner's share is
+        returned by the reverse-multicast reduction — functionally a
+        scatter through the opposite offset.  Physics is identical;
+        pair work halves (price it with an
+        :class:`~repro.core.cycle_model.OptimizationConfig` whose
+        ``interaction_factor`` is 0.5).
+    """
+
+    def __init__(
+        self,
+        state: AtomsState,
+        potential: EAMPotential,
+        *,
+        grid: TileGrid | None = None,
+        b: int | None = None,
+        b_margin: float = 1.0,
+        fill: float = 0.94,
+        dt_fs: float = 2.0,
+        cost_model: CycleCostModel | None = None,
+        swap_interval: int = 0,
+        swap_engine: SwapEngine | None = None,
+        mapping: Mapping | None = None,
+        dtype=np.float64,
+        jitter_rel: float = 0.0,
+        seed: int = 0,
+        force_symmetry: bool = False,
+    ) -> None:
+        self.potential = potential
+        self.box = state.box
+        self.masses = state.masses.copy()
+        self.dt = dt_fs / 1000.0
+        self.dt_fs = float(dt_fs)
+        self.cost_model = cost_model or CycleCostModel()
+        if swap_interval < 0:
+            raise ValueError(f"swap interval must be >= 0, got {swap_interval}")
+        self.swap_interval = swap_interval
+        self.swap_engine = swap_engine or SwapEngine()
+        self.dtype = np.dtype(dtype)
+        self.jitter_rel = float(jitter_rel)
+        self.force_symmetry = bool(force_symmetry)
+        self._rng = np.random.default_rng(seed)
+        self.pbc_inplane = bool(state.box.periodic[0] or state.box.periodic[1])
+
+        self.mapping = mapping or build_mapping(
+            state.positions, state.box, grid=grid, fill=fill
+        )
+        self.grid = self.mapping.grid
+        auto_sized = mapping is None and grid is None
+        if b is None:
+            b = required_b(
+                self.mapping,
+                state.positions,
+                state.box,
+                potential.cutoff,
+                margin=b_margin,
+            )
+            # Tiny workloads can need a neighborhood wider than the
+            # snug auto-sized grid.  Embed the mapping in a larger grid
+            # with an empty border at the *same pitch* (the wafer always
+            # has spare tiles around a small problem); b is unchanged
+            # because worker separations are unchanged.
+            if auto_sized and 2 * b + 1 > min(self.grid.nx, self.grid.ny):
+                self.mapping = _embed_with_border(self.mapping, b)
+                self.grid = self.mapping.grid
+        if b < 1:
+            raise ValueError(f"b must be >= 1, got {b}")
+        self.b = int(b)
+
+        nx, ny = self.grid.nx, self.grid.ny
+        self.occ = np.zeros((nx, ny), dtype=bool)
+        self.pos = np.full((nx, ny, 3), _FAR, dtype=self.dtype)
+        self.vel = np.zeros((nx, ny, 3), dtype=self.dtype)
+        self.aid = np.full((nx, ny), -1, dtype=np.int64)
+        self.typ = np.zeros((nx, ny), dtype=np.int64)
+        cx, cy = self.mapping.core_xy()
+        self.occ[cx, cy] = True
+        self.pos[cx, cy] = state.positions.astype(self.dtype)
+        self.vel[cx, cy] = state.velocities.astype(self.dtype)
+        self.aid[cx, cy] = state.ids
+        self.typ[cx, cy] = state.types
+
+        # precomputed per-tile nominal fabric coordinates
+        gx = np.arange(nx)[:, None] * self.mapping.pitch[0]
+        gy = np.arange(ny)[None, :] * self.mapping.pitch[1]
+        self.core_centers = np.empty((nx, ny, 2))
+        self.core_centers[:, :, 0] = self.mapping.origin[0] + gx
+        self.core_centers[:, :, 1] = self.mapping.origin[1] + gy
+
+        self.trace = CycleTrace(self.grid.n_tiles)
+        self.step_count = 0
+        self.swap_count = 0
+        self.last_candidates = np.zeros((nx, ny), dtype=np.int64)
+        self.last_interactions = np.zeros((nx, ny), dtype=np.int64)
+        self._check_b_coverage_possible()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_b_coverage_possible(self) -> None:
+        if 2 * self.b + 1 > max(self.grid.nx, self.grid.ny):
+            raise ValueError(
+                f"neighborhood 2b+1={2 * self.b + 1} exceeds grid "
+                f"{self.grid.nx}x{self.grid.ny}"
+            )
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms on the machine."""
+        return int(self.occ.sum())
+
+    def _minimum_image(self, d: np.ndarray) -> np.ndarray:
+        for dim in range(3):
+            if self.box.periodic[dim]:
+                ld = self.box.lengths[dim]
+                d[..., dim] -= ld * np.round(d[..., dim] / ld)
+        return d
+
+    def _pair_quantities(self, dx: int, dy: int):
+        """Shifted neighbor state and pair distances for one offset."""
+        opos = shift2d(self.pos, dx, dy, fill=_FAR)
+        oocc = shift2d(self.occ, dx, dy, fill=False)
+        d = opos - self.pos
+        both = self.occ & oocc
+        d = np.where(both[:, :, None], d, 0.0)
+        d = self._minimum_image(d)
+        r2 = np.einsum("xyk,xyk->xy", d, d)
+        rc2 = self.potential.cutoff**2
+        within = both & (r2 < rc2) & (r2 > 0.0)
+        return opos, oocc, d, r2, within
+
+    def _collect_pairs(self):
+        """One candidate-exchange sweep, cached for both compute passes.
+
+        The density and force passes consume the same received
+        candidates (positions do not move between them), so the
+        exchange is swept once per step: per offset, the within-cutoff
+        tile mask, pair distances, and unit displacement vectors.
+        """
+        records = []
+        for dx, dy, fabric in self._pass_offsets():
+            _, _, d, r2, within = self._pair_quantities(dx, dy)
+            if np.any(within):
+                r = np.sqrt(r2[within])
+                unit = d[within] / r[:, None]
+            else:
+                r = np.empty(0)
+                unit = np.empty((0, 3))
+            records.append((dx, dy, fabric, within, r, unit))
+        return records
+
+    # -- the five-step timestep ------------------------------------------------
+
+    def _pass_offsets(self):
+        """Neighborhood offsets a worker processes locally.
+
+        With force symmetry only the "i < j" half-neighborhood is
+        processed (the multicast is cropped, Sec. VI-A); each pair's
+        result for the partner atom travels back via the reverse
+        reduction, which the lockstep machine realizes as a scatter
+        through the opposite offset.
+        """
+        for dx, dy, fabric in iter_neighborhood(self.grid, self.b):
+            if self.force_symmetry and not (dy > 0 or (dy == 0 and dx > 0)):
+                continue
+            yield dx, dy, fabric
+
+    def _rho_values(self, r: np.ndarray, src_types: np.ndarray) -> np.ndarray:
+        tables = self.potential.tables
+        if tables.n_types == 1:
+            return tables.rho[0](r)
+        vals = np.zeros(len(r))
+        for t in range(tables.n_types):
+            m = src_types == t
+            if np.any(m):
+                vals[m] = tables.rho[t](r[m])
+        return vals
+
+    def _density_pass(self, records=None):
+        """Steps 1-3a: candidate exchange, neighbor mask, density sums."""
+        nx, ny = self.grid.nx, self.grid.ny
+        rho_bar = np.zeros((nx, ny))
+        n_cand = np.zeros((nx, ny), dtype=np.int64)
+        n_int = np.zeros((nx, ny), dtype=np.int64)
+        tables = self.potential.tables
+        records = records if records is not None else self._collect_pairs()
+        for dx, dy, fabric, within, r, _unit in records:
+            n_cand += fabric & self.occ
+            n_int += within
+            if len(r) == 0:
+                continue
+            if tables.n_types == 1:
+                src_t = ctr_t = np.zeros(len(r), dtype=np.int64)
+            else:
+                otyp = shift2d(self.typ, dx, dy, fill=0)
+                src_t = otyp[within]
+                ctr_t = self.typ[within]
+            rho_bar[within] += self._rho_values(r, src_t)
+            if self.force_symmetry:
+                # reverse reduction: the partner's density share
+                contrib = np.zeros((nx, ny))
+                contrib[within] = self._rho_values(r, ctr_t)
+                rho_bar += shift2d(contrib, -dx, -dy, fill=0.0)
+        self.last_candidates = n_cand
+        self.last_interactions = n_int
+        return rho_bar, n_cand, n_int
+
+    def _embed(self, rho_bar: np.ndarray):
+        """Step 3b: embedding energy and derivative per tile."""
+        tables = self.potential.tables
+        nx, ny = self.grid.nx, self.grid.ny
+        f_val = np.zeros((nx, ny))
+        f_der = np.zeros((nx, ny))
+        if tables.n_types == 1:
+            v, dv = tables.embed[0].evaluate(rho_bar[self.occ])
+            f_val[self.occ] = v
+            f_der[self.occ] = dv
+        else:
+            for t in range(tables.n_types):
+                m = self.occ & (self.typ == t)
+                if np.any(m):
+                    v, dv = tables.embed[t].evaluate(rho_bar[m])
+                    f_val[m] = v
+                    f_der[m] = dv
+        return f_val, f_der
+
+    def _force_pass(self, f_der: np.ndarray, records=None):
+        """Steps 3c-4a: F' exchange and Eq. 4 force accumulation."""
+        nx, ny = self.grid.nx, self.grid.ny
+        force = np.zeros((nx, ny, 3))
+        e_pair = np.zeros((nx, ny))
+        tables = self.potential.tables
+        records = records if records is not None else self._collect_pairs()
+        for dx, dy, _fabric, within, r, unit in records:
+            if len(r) == 0:
+                continue
+            ofder = shift2d(f_der, dx, dy, fill=0.0)
+            if tables.n_types == 1:
+                rho_d = tables.rho[0].evaluate(r)[1]
+                rho_d_src = rho_d
+                rho_d_ctr = rho_d
+                phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
+            else:
+                otyp = shift2d(self.typ, dx, dy, fill=0)
+                t_src = otyp[within]
+                t_ctr = self.typ[within]
+                rho_d_src = np.zeros(len(r))
+                rho_d_ctr = np.zeros(len(r))
+                phi_v = np.zeros(len(r))
+                phi_d = np.zeros(len(r))
+                for t in range(tables.n_types):
+                    m = t_src == t
+                    if np.any(m):
+                        rho_d_src[m] = tables.rho[t].evaluate(r[m])[1]
+                    m = t_ctr == t
+                    if np.any(m):
+                        rho_d_ctr[m] = tables.rho[t].evaluate(r[m])[1]
+                for t1 in range(tables.n_types):
+                    for t2 in range(tables.n_types):
+                        m = (t_ctr == t1) & (t_src == t2)
+                        if np.any(m):
+                            v, dv = tables.phi_for(t1, t2).evaluate(r[m])
+                            phi_v[m] = v
+                            phi_d[m] = dv
+            s = f_der[within] * rho_d_src + ofder[within] * rho_d_ctr + phi_d
+            if self.force_symmetry:
+                # compute once, return the partner's (negated) share via
+                # the reverse reduction
+                fvec = np.zeros((nx, ny, 3))
+                fvec[within] = s[:, None] * unit
+                force += fvec
+                force -= shift2d(fvec, -dx, -dy, fill=0.0)
+                e_half = np.zeros((nx, ny))
+                e_half[within] = 0.5 * phi_v
+                e_pair += e_half + shift2d(e_half, -dx, -dy, fill=0.0)
+            else:
+                force[within] += s[:, None] * unit
+                e_pair[within] += 0.5 * phi_v
+        return force, e_pair
+
+    def _integrate(self, force: np.ndarray) -> None:
+        """Step 4b: leap-frog update on the occupied tiles."""
+        mass = self.masses[self.typ]
+        accel = force / (mass[:, :, None] * MVV2E)
+        accel[~self.occ] = 0.0
+        self.vel += (accel * self.dt).astype(self.dtype)
+        self.pos[self.occ] += (self.vel[self.occ] * self.dt).astype(self.dtype)
+
+    def _record_cycles(self, n_cand: np.ndarray, n_int: np.ndarray) -> None:
+        cycles = self.cost_model.step_cycles(
+            n_cand.astype(np.float64),
+            n_int.astype(np.float64),
+            self.b,
+            pbc=self.pbc_inplane,
+        )
+        # empty tiles still pay the exchange and fixed control costs
+        empty_cost = self.cost_model.exchange_cycles(
+            self.b, pbc=self.pbc_inplane
+        ) + self.cost_model.fixed_cycles()
+        cycles = np.where(self.occ, cycles, empty_cost)
+        if self.jitter_rel > 0.0:
+            noise = self._rng.standard_normal(cycles.shape)
+            cycles = cycles * (1.0 + self.jitter_rel * noise)
+        self.trace.record(cycles.ravel())
+
+    def _swap_round(self) -> int:
+        proj3 = self.pos.copy()
+        proj = self._project_grid(proj3)
+        grids = {
+            "pos": self.pos,
+            "vel": self.vel,
+            "aid": self.aid,
+            "typ": self.typ,
+            "occ": self.occ,
+        }
+        n = self.swap_engine.apply(
+            grids, proj, self.occ, self.core_centers, self.mapping.pitch
+        )
+        self.swap_count += n
+        return n
+
+    def _project_grid(self, pos3: np.ndarray) -> np.ndarray:
+        """Fabric-plane projection of every tile's atom (empty -> far)."""
+        nx, ny = self.grid.nx, self.grid.ny
+        flat = pos3.reshape(-1, 3)
+        proj = self.mapping.projection.project(flat).reshape(nx, ny, 2)
+        proj[~self.occ] = _FAR
+        return proj
+
+    # -- public API --------------------------------------------------------------
+
+    def step(self, n_steps: int = 1) -> None:
+        """Advance ``n_steps`` timesteps (with swaps at the set interval)."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        for _ in range(n_steps):
+            records = self._collect_pairs()
+            rho_bar, n_cand, n_int = self._density_pass(records)
+            _, f_der = self._embed(rho_bar)
+            force, _ = self._force_pass(f_der, records)
+            self._integrate(force)
+            self._record_cycles(n_cand, n_int)
+            self.step_count += 1
+            if self.swap_interval and self.step_count % self.swap_interval == 0:
+                self._swap_round()
+
+    def compute_energy(self) -> float:
+        """Total potential energy at the current positions (eV)."""
+        records = self._collect_pairs()
+        rho_bar, _, _ = self._density_pass(records)
+        f_val, f_der = self._embed(rho_bar)
+        _, e_pair = self._force_pass(f_der, records)
+        return float(f_val[self.occ].sum() + e_pair[self.occ].sum())
+
+    def compute_forces(self) -> np.ndarray:
+        """Forces on the occupied tiles' atoms, id order, (N, 3)."""
+        records = self._collect_pairs()
+        rho_bar, _, _ = self._density_pass(records)
+        _, f_der = self._embed(rho_bar)
+        force, _ = self._force_pass(f_der, records)
+        order = np.argsort(self.aid[self.occ])
+        return force[self.occ][order]
+
+    def verify_coverage(self) -> int:
+        """Check every interacting pair lies within the b-neighborhood.
+
+        Returns the number of *uncovered* pairs (0 means the current
+        ``b`` is safe).  The wafer algorithm's correctness rests on
+        this invariant (Sec. III-A: "every (2b+1)-wide square
+        neighborhood contains all interactions"); it can be violated if
+        atoms drift or the mapping is perturbed beyond the margin ``b``
+        was chosen for, in which case forces are silently wrong.
+        """
+        state = self.gather_state()
+        from repro.md.neighbor_list import NeighborList
+
+        pairs = NeighborList(self.box, self.potential.cutoff, skin=0.0).pairs(
+            state.positions
+        )
+        occ = self.occ
+        order = np.argsort(self.aid[occ])
+        fx, fy = np.nonzero(occ)
+        cx = fx[order]
+        cy = fy[order]
+        dist = np.maximum(
+            np.abs(cx[pairs.i] - cx[pairs.j]),
+            np.abs(cy[pairs.i] - cy[pairs.j]),
+        )
+        return int(np.count_nonzero(dist > self.b))
+
+    def assignment_cost(self) -> float:
+        """Current C(g) in fabric-plane angstroms (Fig. 9's metric)."""
+        proj = self._project_grid(self.pos)
+        delta = np.abs(proj - self.core_centers).max(axis=2)
+        return float(delta[self.occ].max())
+
+    def gather_state(self) -> AtomsState:
+        """Read atoms back into an :class:`AtomsState`, ordered by id."""
+        occ = self.occ
+        order = np.argsort(self.aid[occ])
+        return AtomsState(
+            positions=self.pos[occ][order].astype(np.float64),
+            velocities=self.vel[occ][order].astype(np.float64),
+            types=self.typ[occ][order],
+            masses=self.masses.copy(),
+            box=self.box,
+            ids=self.aid[occ][order],
+        )
+
+    def mean_counts(self) -> tuple[float, float]:
+        """Mean (candidates, interactions) per occupied tile, last step."""
+        occ = self.occ
+        return (
+            float(self.last_candidates[occ].mean()),
+            float(self.last_interactions[occ].mean()),
+        )
+
+    def measured_rate(self) -> float:
+        """Timesteps/second implied by the recorded cycle trace."""
+        if self.trace.n_steps == 0:
+            raise RuntimeError("no steps recorded yet")
+        total = self.trace.total_cycles()
+        seconds = self.cost_model.machine.cycles_to_seconds(total)
+        return self.trace.n_steps / seconds

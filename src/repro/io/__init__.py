@@ -1,0 +1,7 @@
+"""I/O: extended-XYZ trajectories, LAMMPS data files, benchmark tables."""
+
+from repro.io.xyz import write_xyz, read_xyz, read_xyz_frames
+from repro.io.lammps_data import write_lammps_data
+from repro.io.table_io import Table
+
+__all__ = ["write_xyz", "read_xyz", "read_xyz_frames", "write_lammps_data", "Table"]

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows of the paper table/figure it
+regenerates; this tiny formatter keeps them aligned and serializable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """Column-aligned text table with a title."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.title}: row has {len(values)} cells, "
+                f"table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Aligned text rendering."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[c]), *(len(r[c]) for r in cells))
+            if cells else len(self.columns[c])
+            for c in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(v) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000:
+                return f"{v:,.0f}"
+            if abs(v) >= 1:
+                return f"{v:.3g}"
+            return f"{v:.3g}"
+        return str(v)
+
+    def print(self) -> None:
+        """Print to stdout with surrounding blank lines."""
+        print("\n" + self.render() + "\n")
+
+    def to_json(self, path: str | Path) -> None:
+        """Serialize title/columns/rows as JSON."""
+        Path(path).write_text(
+            json.dumps(
+                {"title": self.title, "columns": self.columns, "rows": self.rows},
+                indent=2,
+                default=float,
+            )
+        )

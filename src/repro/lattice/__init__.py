@@ -1,0 +1,26 @@
+"""Crystal lattice generation: bulk crystals, thin slabs, grain boundaries.
+
+Provides the workloads of the paper's evaluation: thin-slab single
+crystals of Cu/W/Ta (Sec. IV-B type 1), controlled 2-D grids (type 2),
+and bicrystal grain-boundary slabs (type 3 / Fig. 2 / Fig. 9).
+"""
+
+from repro.lattice.cells import BravaisCell, FCC, BCC, cell_by_name
+from repro.lattice.crystals import replicate, Crystal
+from repro.lattice.slab import make_slab, slab_for_element
+from repro.lattice.grain_boundary import make_grain_boundary_slab
+from repro.lattice.neighbors_ideal import neighbor_shells, coordination_within
+
+__all__ = [
+    "BravaisCell",
+    "FCC",
+    "BCC",
+    "cell_by_name",
+    "replicate",
+    "Crystal",
+    "make_slab",
+    "slab_for_element",
+    "make_grain_boundary_slab",
+    "neighbor_shells",
+    "coordination_within",
+]

@@ -1,0 +1,92 @@
+"""Bravais cell definitions for the cubic crystals used in the paper.
+
+The paper's benchmark metals are copper (FCC) and tungsten/tantalum
+(BCC).  A :class:`BravaisCell` holds the conventional-cell fractional
+basis; everything else (replication, slabs, shells) derives from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BravaisCell", "FCC", "BCC", "SC", "cell_by_name"]
+
+
+@dataclass(frozen=True)
+class BravaisCell:
+    """Conventional cubic cell with a fractional basis.
+
+    Attributes
+    ----------
+    name:
+        Structure label ("fcc", "bcc", "sc").
+    basis:
+        Fractional coordinates of the basis atoms, shape (n_basis, 3).
+    nn_factor:
+        Nearest-neighbor distance divided by the lattice constant.
+    """
+
+    name: str
+    basis: np.ndarray = field(repr=False)
+    nn_factor: float
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.basis, dtype=np.float64)
+        if b.ndim != 2 or b.shape[1] != 3:
+            raise ValueError(f"basis must be (n, 3), got {b.shape}")
+        if np.any(b < 0.0) or np.any(b >= 1.0):
+            raise ValueError("basis fractions must lie in [0, 1)")
+        object.__setattr__(self, "basis", b)
+
+    @property
+    def atoms_per_cell(self) -> int:
+        """Basis atoms in one conventional cell."""
+        return len(self.basis)
+
+    def nn_distance(self, a: float) -> float:
+        """Nearest-neighbor distance for lattice constant ``a`` (A)."""
+        return self.nn_factor * a
+
+    def atomic_volume(self, a: float) -> float:
+        """Volume per atom (A^3) at lattice constant ``a``."""
+        return a**3 / self.atoms_per_cell
+
+    def number_density(self, a: float) -> float:
+        """Atoms per A^3 at lattice constant ``a``."""
+        return self.atoms_per_cell / a**3
+
+
+FCC = BravaisCell(
+    name="fcc",
+    basis=np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    ),
+    nn_factor=1.0 / math.sqrt(2.0),
+)
+
+BCC = BravaisCell(
+    name="bcc",
+    basis=np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]]),
+    nn_factor=math.sqrt(3.0) / 2.0,
+)
+
+SC = BravaisCell(
+    name="sc",
+    basis=np.array([[0.0, 0.0, 0.0]]),
+    nn_factor=1.0,
+)
+
+_CELLS = {"fcc": FCC, "bcc": BCC, "sc": SC}
+
+
+def cell_by_name(name: str) -> BravaisCell:
+    """Look up a cell definition by structure name."""
+    try:
+        return _CELLS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown structure {name!r}; known: {sorted(_CELLS)}"
+        ) from None

@@ -1,0 +1,75 @@
+"""Crystal generation by conventional-cell replication.
+
+``replicate(cell, a, (nx, ny, nz))`` produces the ``nx x ny x nz``
+supercell used throughout the paper's benchmarks, e.g. Cu 174x192x6
+(801,792 atoms) and W/Ta 256x261x6 (801,792 atoms) in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.cells import BravaisCell
+
+__all__ = ["Crystal", "replicate"]
+
+
+@dataclass
+class Crystal:
+    """A generated crystal: positions plus the bounding box.
+
+    Attributes
+    ----------
+    positions:
+        Atom coordinates (N, 3) in angstroms.
+    box:
+        Box edge lengths (3,) — the extent of the replicated cells.
+    cell:
+        The Bravais cell the crystal was built from.
+    a:
+        Lattice constant (A).
+    """
+
+    positions: np.ndarray
+    box: np.ndarray
+    cell: BravaisCell
+    a: float
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms."""
+        return len(self.positions)
+
+
+def replicate(
+    cell: BravaisCell,
+    a: float,
+    reps: tuple[int, int, int],
+    *,
+    origin: np.ndarray | None = None,
+) -> Crystal:
+    """Replicate a conventional cell into an ``nx x ny x nz`` supercell.
+
+    Atom ordering is cell-major (all basis atoms of cell (0,0,0), then
+    (1,0,0), ...), which keeps spatially adjacent atoms adjacent in
+    memory — the layout both the reference engine's cell list and the
+    WSE mapping exploit.
+    """
+    if a <= 0:
+        raise ValueError(f"lattice constant must be positive, got {a}")
+    nx, ny, nz = reps
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"replications must be >= 1, got {reps}")
+    ix, iy, iz = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    cells = np.stack([ix.ravel(), iy.ravel(), iz.ravel()], axis=1).astype(np.float64)
+    # (n_cells, 1, 3) + (1, n_basis, 3) -> (n_cells, n_basis, 3)
+    frac = cells[:, None, :] + cell.basis[None, :, :]
+    positions = (frac * a).reshape(-1, 3)
+    if origin is not None:
+        positions = positions + np.asarray(origin, dtype=np.float64)
+    box = np.array([nx, ny, nz], dtype=np.float64) * a
+    return Crystal(positions=positions, box=box, cell=cell, a=a)

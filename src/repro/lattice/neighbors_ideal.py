@@ -1,0 +1,100 @@
+"""Ideal-crystal neighbor shells and coordination counts.
+
+Used in two places:
+
+* the Rose-EOS potential builder needs lattice sums over shells
+  (:func:`neighbor_shells`), and
+* the paper's per-atom interaction counts (Table I: Cu 42, W ~58-59,
+  Ta 14) are coordination numbers within the cutoff
+  (:func:`coordination_within`), which tests validate directly.
+
+Distances are returned in units of the *nearest-neighbor distance*, the
+same convention the paper's Table VI uses for ``r_cut / r_lattice``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.cells import BravaisCell
+from repro.lattice.crystals import replicate
+
+__all__ = ["neighbor_shells", "coordination_within", "lattice_sum"]
+
+
+# Shell enumeration is called hundreds of times by the potential builder
+# (once per EOS sample point); cache per (structure, range) bucket.
+_SHELL_CACHE: dict[tuple[str, int], list[tuple[float, int]]] = {}
+
+
+def neighbor_shells(
+    cell: BravaisCell,
+    max_distance_nn: float,
+    *,
+    tol: float = 1e-6,
+) -> list[tuple[float, int]]:
+    """Shells ``(distance_in_nn_units, count)`` around a bulk atom.
+
+    ``max_distance_nn`` bounds the enumeration, in nearest-neighbor
+    units.  Shell distances are exact for the ideal crystal at 0 K.
+    """
+    if max_distance_nn <= 0:
+        raise ValueError(f"max distance must be positive, got {max_distance_nn}")
+    # Cache on a bucketed range so nearby requests share one enumeration.
+    bucket = int(np.ceil(max_distance_nn * 2.0))
+    key = (cell.name, bucket)
+    if key not in _SHELL_CACHE:
+        _SHELL_CACHE[key] = _enumerate_shells(cell, bucket / 2.0, tol)
+    return [s for s in _SHELL_CACHE[key] if s[0] <= max_distance_nn + tol]
+
+
+def _enumerate_shells(
+    cell: BravaisCell, max_distance_nn: float, tol: float
+) -> list[tuple[float, int]]:
+    a = 1.0
+    nn = cell.nn_distance(a)
+    r_max = max_distance_nn * nn
+    # enough replications that the central atom's sphere is covered
+    reps = int(np.ceil(r_max / a)) + 1
+    crystal = replicate(cell, a, (2 * reps + 1,) * 3)
+    center = np.array([reps, reps, reps], dtype=np.float64) * a
+    d = np.linalg.norm(crystal.positions - center, axis=1)
+    d = d[(d > tol) & (d <= r_max + tol)]
+    dist, counts = np.unique(np.round(d / nn, 6), return_counts=True)
+    return [(float(x), int(c)) for x, c in zip(dist, counts)]
+
+
+def coordination_within(cell: BravaisCell, cutoff_nn: float) -> int:
+    """Number of neighbors of a bulk atom within ``cutoff_nn`` NN units.
+
+    This reproduces the paper's ``n_interaction`` for bulk atoms:
+    Cu at 1.94 -> 42, Ta at 1.39 -> 14, W at 2.02 -> 58.
+    """
+    return sum(count for dist, count in neighbor_shells(cell, cutoff_nn))
+
+
+def lattice_sum(
+    cell: BravaisCell,
+    fn,
+    cutoff: float,
+    a: float,
+    *,
+    scale: float = 1.0,
+) -> float:
+    """Sum ``fn(r)`` over all neighbors of a bulk atom.
+
+    Distances are absolute (A): shells of the crystal at lattice
+    constant ``a`` uniformly scaled by ``scale``, truncated at
+    ``cutoff`` (absolute, not scaled).  Used by the potential builder to
+    evaluate densities and pair-energy sums under uniform expansion.
+    """
+    nn = cell.nn_distance(a)
+    # Enumerate shells generously: at the smallest scale the cutoff
+    # reaches further (in equilibrium-shell units).
+    max_nn_units = cutoff / (nn * min(scale, 1.0)) + 1.0
+    total = 0.0
+    for dist_nn, count in neighbor_shells(cell, max_nn_units):
+        r = dist_nn * nn * scale
+        if r < cutoff:
+            total += count * fn(r)
+    return total

@@ -1,0 +1,105 @@
+"""Simulation box with per-dimension open or periodic boundaries.
+
+The paper's benchmark slabs use *open* (non-periodic) boundaries —
+atoms may drift off the edges (Sec. I) — while the completeness study
+(Sec. V-F) exercises periodic boundaries.  The box therefore tracks a
+periodic flag per dimension and applies wrapping / minimum-image only
+where enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+@dataclass
+class Box:
+    """Axis-aligned simulation box.
+
+    Attributes
+    ----------
+    lengths:
+        Edge lengths (3,), in angstroms.
+    periodic:
+        Per-dimension periodicity flags (3,).
+    origin:
+        Lower corner (3,); defaults to the box centered on 0.
+    """
+
+    lengths: np.ndarray
+    periodic: np.ndarray = field(
+        default_factory=lambda: np.zeros(3, dtype=bool)
+    )
+    origin: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.lengths = np.asarray(self.lengths, dtype=np.float64).reshape(3)
+        self.periodic = np.asarray(self.periodic, dtype=bool).reshape(3)
+        if np.any(self.lengths <= 0):
+            raise ValueError(f"box lengths must be positive, got {self.lengths}")
+        if self.origin is None:
+            self.origin = -self.lengths / 2.0
+        else:
+            self.origin = np.asarray(self.origin, dtype=np.float64).reshape(3)
+
+    @classmethod
+    def open(cls, lengths) -> "Box":
+        """Fully open box (all boundaries non-periodic)."""
+        return cls(np.asarray(lengths, dtype=np.float64))
+
+    @classmethod
+    def cube_periodic(cls, length: float) -> "Box":
+        """Fully periodic cubic box."""
+        return cls(np.full(3, float(length)), np.ones(3, dtype=bool))
+
+    @property
+    def volume(self) -> float:
+        """Box volume (A^3)."""
+        return float(np.prod(self.lengths))
+
+    def check_minimum_image_valid(self, cutoff: float) -> None:
+        """Raise if any periodic dimension is too small for minimum image.
+
+        With a single stored pair per (i, j), every periodic length must
+        be at least twice the interaction cutoff.
+        """
+        too_small = self.periodic & (self.lengths < 2.0 * cutoff)
+        if np.any(too_small):
+            raise ValueError(
+                f"periodic box lengths {self.lengths[too_small]} are below "
+                f"2 x cutoff = {2.0 * cutoff}; minimum image is ambiguous"
+            )
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Map positions into the primary cell along periodic dimensions."""
+        positions = np.asarray(positions, dtype=np.float64)
+        out = positions.copy()
+        for d in range(3):
+            if self.periodic[d]:
+                rel = out[:, d] - self.origin[d]
+                out[:, d] = self.origin[d] + np.mod(rel, self.lengths[d])
+        return out
+
+    def minimum_image(self, displacements: np.ndarray) -> np.ndarray:
+        """Apply the minimum-image convention along periodic dimensions."""
+        out = np.asarray(displacements, dtype=np.float64).copy()
+        for d in range(3):
+            if self.periodic[d]:
+                ld = self.lengths[d]
+                out[..., d] -= ld * np.round(out[..., d] / ld)
+        return out
+
+    def contains(self, positions: np.ndarray, *, slack: float = 0.0) -> np.ndarray:
+        """Boolean mask of atoms inside the box (+/- ``slack``).
+
+        Open-boundary atoms may legitimately leave; this is a diagnostic,
+        not an invariant.
+        """
+        positions = np.asarray(positions)
+        lo = self.origin - slack
+        hi = self.origin + self.lengths + slack
+        return np.all((positions >= lo) & (positions <= hi), axis=1)

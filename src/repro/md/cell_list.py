@@ -1,0 +1,177 @@
+"""Linked-cell spatial binning and candidate pair generation.
+
+The reference engine's neighbor search: atoms are binned into cells of
+edge >= cutoff, and candidate pairs are drawn from each atom's 27-cell
+stencil.  All stages are vectorized; the only Python-level loop is over
+the 27 stencil offsets.
+
+For periodic dimensions the box must span at least three cells
+(= 3 x cutoff) for the stencil to be alias-free; smaller periodic
+systems automatically fall back to the brute-force ``all_pairs`` path,
+which handles any box permitted by minimum image.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.md.boundary import Box
+
+__all__ = ["CellList", "all_pairs", "concatenated_ranges"]
+
+
+def concatenated_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each (s, c) pair."""
+    counts = np.asarray(counts, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.repeat(starts, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return base + offsets
+
+
+def all_pairs(
+    positions: np.ndarray, cutoff: float, box: Box
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Brute-force directed pairs within ``cutoff``.
+
+    Returns ``(i, j, rij, r)`` with minimum image applied.  O(N^2); for
+    tests and small periodic boxes.
+    """
+    box.check_minimum_image_valid(cutoff)
+    n = len(positions)
+    delta = positions[None, :, :] - positions[:, None, :]
+    delta = box.minimum_image(delta)
+    dist2 = np.einsum("ijk,ijk->ij", delta, delta)
+    np.fill_diagonal(dist2, np.inf)
+    ii, jj = np.nonzero(dist2 < cutoff * cutoff)
+    rij = delta[ii, jj]
+    return ii, jj, rij, np.sqrt(dist2[ii, jj])
+
+
+class CellList:
+    """Spatial binning for one configuration.
+
+    Build once per neighbor-list rebuild; ``candidate_pairs`` then
+    produces every directed pair within the bin cutoff.
+    """
+
+    def __init__(self, box: Box, cutoff: float) -> None:
+        if cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        box.check_minimum_image_valid(cutoff)
+        self.box = box
+        self.cutoff = float(cutoff)
+        # Decided at build time (open dims depend on the configuration).
+        self._lo = np.zeros(3)
+        self._ncell = np.ones(3, dtype=np.int64)
+        self._cell_size = np.ones(3)
+        self._cid: np.ndarray | None = None
+        self._order: np.ndarray | None = None
+        self._starts: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._use_brute = False
+
+    def build(self, positions: np.ndarray) -> None:
+        """Bin atoms; decides grid geometry from the current positions."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if not np.all(np.isfinite(positions)):
+            raise FloatingPointError("non-finite positions in cell-list build")
+        eps = 1e-9
+        for d in range(3):
+            if self.box.periodic[d]:
+                length = self.box.lengths[d]
+                self._lo[d] = self.box.origin[d]
+                self._ncell[d] = max(1, int(np.floor(length / self.cutoff)))
+            else:
+                lo = float(positions[:, d].min()) - eps
+                hi = float(positions[:, d].max()) + eps
+                length = max(hi - lo, self.cutoff)
+                self._lo[d] = lo
+                self._ncell[d] = max(1, int(np.floor(length / self.cutoff)))
+            self._cell_size[d] = length / self._ncell[d]
+        # Alias-free stencil needs >= 3 cells along periodic dims.
+        self._use_brute = bool(
+            np.any(self.box.periodic & (self._ncell < 3))
+        )
+        if self._use_brute:
+            self._positions = positions
+            return
+
+        coords = self._cell_coords(positions)
+        cid = self._flatten(coords)
+        ntot = int(np.prod(self._ncell))
+        self._counts = np.bincount(cid, minlength=ntot)
+        self._starts = np.concatenate([[0], np.cumsum(self._counts)[:-1]])
+        self._order = np.argsort(cid, kind="stable")
+        self._cid = cid
+        self._coords = coords
+        self._positions = positions
+
+    def _cell_coords(self, positions: np.ndarray) -> np.ndarray:
+        rel = positions - self._lo
+        coords = np.floor(rel / self._cell_size).astype(np.int64)
+        for d in range(3):
+            if self.box.periodic[d]:
+                coords[:, d] = np.mod(coords[:, d], self._ncell[d])
+            else:
+                coords[:, d] = np.clip(coords[:, d], 0, self._ncell[d] - 1)
+        return coords
+
+    def _flatten(self, coords: np.ndarray) -> np.ndarray:
+        nx, ny, nz = self._ncell
+        return (coords[:, 0] * ny + coords[:, 1]) * nz + coords[:, 2]
+
+    def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All directed pairs (i, j) whose cells are stencil-adjacent.
+
+        Pairs are a superset of interacting pairs: distance filtering is
+        the caller's job (it belongs with the positions used for forces,
+        which may have moved since the build when a skin is in use).
+        """
+        if self._use_brute:
+            n = len(self._positions)
+            ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+            mask = ii != jj
+            return ii[mask].ravel(), jj[mask].ravel()
+        if self._cid is None:
+            raise RuntimeError("candidate_pairs before build()")
+        n = len(self._positions)
+        atom_idx = np.arange(n, dtype=np.int64)
+        out_i: list[np.ndarray] = []
+        out_j: list[np.ndarray] = []
+        nx, ny, nz = self._ncell
+        for dx, dy, dz in itertools.product((-1, 0, 1), repeat=3):
+            nb = self._coords + np.array([dx, dy, dz])
+            valid = np.ones(n, dtype=bool)
+            for d, delta in enumerate((dx, dy, dz)):
+                if self.box.periodic[d]:
+                    nb[:, d] = np.mod(nb[:, d], self._ncell[d])
+                else:
+                    valid &= (nb[:, d] >= 0) & (nb[:, d] < self._ncell[d])
+            if not np.any(valid):
+                continue
+            src = atom_idx[valid]
+            ncid = self._flatten(nb[valid])
+            counts = self._counts[ncid]
+            nonempty = counts > 0
+            src = src[nonempty]
+            ncid = ncid[nonempty]
+            counts = counts[nonempty]
+            j = self._order[
+                concatenated_ranges(self._starts[ncid], counts)
+            ]
+            i = np.repeat(src, counts)
+            keep = i != j
+            out_i.append(i[keep])
+            out_j.append(j[keep])
+        if not out_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(out_i), np.concatenate(out_j)

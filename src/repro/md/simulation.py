@@ -1,0 +1,124 @@
+"""Reference MD simulation driver.
+
+Composes neighbor search, potential evaluation and leap-frog
+integration into the Verlet loop the paper times ("Loop time" in the
+LAMMPS log, Sec. IV-B).  Observers may be attached to sample state at
+an interval without cluttering the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.md.integrators import LeapfrogVerlet
+from repro.md.neighbor_list import NeighborList
+from repro.md.observables import EnergyReport, energy_report
+from repro.md.state import AtomsState
+from repro.md.thermostat import BerendsenThermostat
+from repro.potentials.base import Potential
+
+__all__ = ["Simulation", "StepRecord"]
+
+
+@dataclass
+class StepRecord:
+    """Per-sample record emitted to observers."""
+
+    step: int
+    energies: EnergyReport
+    max_force: float
+
+
+class Simulation:
+    """Reference MD loop: neighbor search -> forces -> leap-frog.
+
+    Parameters
+    ----------
+    state:
+        Atom state (mutated in place by :meth:`run`).
+    potential:
+        Interatomic potential.
+    dt_fs:
+        Timestep in femtoseconds (the paper uses 2 fs).
+    skin:
+        Neighbor-list skin distance (A).
+    thermostat:
+        Optional Berendsen thermostat applied after each step.
+    """
+
+    def __init__(
+        self,
+        state: AtomsState,
+        potential: Potential,
+        *,
+        dt_fs: float = 2.0,
+        skin: float = 0.5,
+        thermostat: BerendsenThermostat | None = None,
+    ) -> None:
+        self.state = state
+        self.potential = potential
+        self.dt_fs = float(dt_fs)
+        self.integrator = LeapfrogVerlet(dt_fs)
+        self.neighbors = NeighborList(state.box, potential.cutoff, skin=skin)
+        self.thermostat = thermostat
+        self.step_count = 0
+        self._observers: list[tuple[int, Callable[[StepRecord], None]]] = []
+
+    def add_observer(
+        self, interval: int, fn: Callable[[StepRecord], None]
+    ) -> None:
+        """Call ``fn(record)`` every ``interval`` steps."""
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self._observers.append((interval, fn))
+
+    def compute_forces(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-atom energies and forces at the current positions."""
+        pairs = self.neighbors.pairs(self.state.positions)
+        return self.potential.compute(
+            self.state.n_atoms, pairs, self.state.types
+        )
+
+    def potential_energy(self) -> float:
+        """Total potential energy at the current positions (eV)."""
+        e, _ = self.compute_forces()
+        return float(np.sum(e))
+
+    def run(self, n_steps: int) -> None:
+        """Advance ``n_steps`` timesteps."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        for _ in range(n_steps):
+            energies, forces = self.compute_forces()
+            self.integrator.step(self.state, forces)
+            if self.thermostat is not None:
+                self.thermostat.apply(self.state, self.dt_fs)
+            self.step_count += 1
+            if self._observers:
+                self._notify(energies, forces)
+
+    def _notify(self, energies: np.ndarray, forces: np.ndarray) -> None:
+        due = [fn for iv, fn in self._observers if self.step_count % iv == 0]
+        if not due:
+            return
+        record = StepRecord(
+            step=self.step_count,
+            energies=energy_report(self.state, float(np.sum(energies))),
+            max_force=float(np.max(np.abs(forces))) if len(forces) else 0.0,
+        )
+        for fn in due:
+            fn(record)
+
+    def equilibrate(
+        self, n_steps: int, temperature: float, tau_fs: float = 100.0
+    ) -> None:
+        """Run with a temporary Berendsen thermostat (paper Sec. IV-B prep)."""
+        saved = self.thermostat
+        self.thermostat = BerendsenThermostat(temperature, tau_fs)
+        try:
+            self.run(n_steps)
+        finally:
+            self.thermostat = saved

@@ -1,0 +1,94 @@
+"""Velocity initialization and temperature control.
+
+The paper's benchmark configurations are equilibrated at 290 K before
+timing (Sec. IV-B); these utilities reproduce that preparation:
+Maxwell-Boltzmann velocity draws with momentum zeroing, hard rescaling,
+and a Berendsen weak-coupling thermostat for gentle equilibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import thermal_velocity_scale
+from repro.md.state import AtomsState
+
+__all__ = [
+    "maxwell_boltzmann_velocities",
+    "zero_net_momentum",
+    "rescale_to_temperature",
+    "BerendsenThermostat",
+]
+
+
+def maxwell_boltzmann_velocities(
+    state: AtomsState,
+    temperature: float,
+    rng: np.random.Generator | None = None,
+    *,
+    zero_momentum: bool = True,
+    exact: bool = True,
+) -> None:
+    """Draw velocities from the Maxwell-Boltzmann distribution in place.
+
+    With ``zero_momentum`` the center-of-mass drift is removed; with
+    ``exact`` the result is rescaled so the instantaneous temperature is
+    exactly the requested one (LAMMPS ``velocity ... create`` behaviour).
+    """
+    if temperature < 0:
+        raise ValueError(f"temperature must be non-negative, got {temperature}")
+    rng = rng or np.random.default_rng()
+    if temperature == 0.0:
+        state.velocities[:] = 0.0
+        return
+    sigma = np.array(
+        [thermal_velocity_scale(temperature, m) for m in state.masses]
+    )
+    state.velocities[:] = rng.normal(size=(state.n_atoms, 3)) * sigma[
+        state.types, None
+    ]
+    if zero_momentum:
+        zero_net_momentum(state)
+    if exact:
+        rescale_to_temperature(state, temperature)
+
+
+def zero_net_momentum(state: AtomsState) -> None:
+    """Remove center-of-mass velocity in place."""
+    m = state.atom_masses
+    v_com = (m[:, None] * state.velocities).sum(axis=0) / m.sum()
+    state.velocities -= v_com
+
+
+def rescale_to_temperature(state: AtomsState, temperature: float) -> None:
+    """Hard-rescale velocities to the exact target temperature in place."""
+    current = state.temperature()
+    if current <= 0:
+        if temperature > 0:
+            raise ValueError(
+                "cannot rescale zero velocities to a finite temperature; "
+                "draw velocities first"
+            )
+        return
+    state.velocities *= np.sqrt(temperature / current)
+
+
+class BerendsenThermostat:
+    """Weak-coupling thermostat: lambda = sqrt(1 + dt/tau (T0/T - 1))."""
+
+    def __init__(self, temperature: float, tau_fs: float = 100.0) -> None:
+        if temperature < 0:
+            raise ValueError(f"temperature must be non-negative, got {temperature}")
+        if tau_fs <= 0:
+            raise ValueError(f"coupling time must be positive, got {tau_fs}")
+        self.temperature = float(temperature)
+        self.tau_ps = tau_fs / 1000.0
+
+    def apply(self, state: AtomsState, dt_fs: float) -> None:
+        """Scale velocities toward the target temperature in place."""
+        current = state.temperature()
+        if current <= 0:
+            return
+        dt_ps = dt_fs / 1000.0
+        lam2 = 1.0 + (dt_ps / self.tau_ps) * (self.temperature / current - 1.0)
+        state.velocities *= np.sqrt(max(lam2, 0.0))

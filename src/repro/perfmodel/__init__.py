@@ -1,0 +1,39 @@
+"""Performance models reproducing the paper's analysis artifacts.
+
+* :mod:`repro.perfmodel.linear` — the Table II regression
+  ``t = A n_candidate + B n_interaction + C``.
+* :mod:`repro.perfmodel.flops` — Table III FLOP accounting.
+* :mod:`repro.perfmodel.utilization` — Table IV fraction-of-peak.
+* :mod:`repro.perfmodel.projections` — Table V future optimizations.
+* :mod:`repro.perfmodel.multiwafer` — Table VI ghost-region scaling.
+* :mod:`repro.perfmodel.energy` — Fig. 7b/c timesteps-per-joule.
+* :mod:`repro.perfmodel.timescale` — Fig. 1 achievable-timescale map.
+"""
+
+from repro.perfmodel.linear import LinearStepModel, fit_linear_model
+from repro.perfmodel.flops import flop_table, flops_per_atom_step
+from repro.perfmodel.utilization import utilization, UtilizationRow
+from repro.perfmodel.projections import project_optimizations, ProjectionRow
+from repro.perfmodel.multiwafer import MultiWaferModel, MultiWaferPoint
+from repro.perfmodel.energy import EnergyModel, EfficiencyPoint
+from repro.perfmodel.timescale import achievable_timescale_um, TimescalePoint
+from repro.perfmodel.packing import packing_sweep, PackedConfig
+
+__all__ = [
+    "LinearStepModel",
+    "fit_linear_model",
+    "flop_table",
+    "flops_per_atom_step",
+    "utilization",
+    "UtilizationRow",
+    "project_optimizations",
+    "ProjectionRow",
+    "MultiWaferModel",
+    "MultiWaferPoint",
+    "EnergyModel",
+    "EfficiencyPoint",
+    "achievable_timescale_um",
+    "TimescalePoint",
+    "packing_sweep",
+    "PackedConfig",
+]

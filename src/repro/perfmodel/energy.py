@@ -1,0 +1,70 @@
+"""Energy-efficiency models (paper Fig. 7b, 7c).
+
+Timesteps per joule = timesteps per second / system power.  The WSE
+draws a fixed 23 kW; cluster baselines draw power proportional to the
+nodes engaged, so past the strong-scaling knee both timesteps/s and
+timesteps/J *fall together* — the paper's key energy observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EfficiencyPoint", "EnergyModel", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One machine configuration's performance/efficiency sample."""
+
+    machine: str
+    element: str
+    units: float  # nodes / GCDs / sockets engaged
+    rate_steps_per_s: float
+    power_watts: float
+
+    @property
+    def steps_per_joule(self) -> float:
+        """Energy efficiency."""
+        return self.rate_steps_per_s / self.power_watts
+
+    def relative_to(self, other: "EfficiencyPoint") -> tuple[float, float]:
+        """(performance, efficiency) of ``other`` normalized to this point.
+
+        The paper's Fig. 7c normalizes every WSE result to 1 and plots
+        CPU/GPU systems relative to it.
+        """
+        return (
+            other.rate_steps_per_s / self.rate_steps_per_s,
+            other.steps_per_joule / self.steps_per_joule,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-unit power draw of a cluster machine."""
+
+    unit_power_watts: float
+    base_power_watts: float = 0.0
+
+    def power(self, units: float) -> float:
+        """System power with ``units`` nodes/GCDs engaged."""
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        return self.base_power_watts + self.unit_power_watts * units
+
+
+def pareto_front(points: list[EfficiencyPoint]) -> list[EfficiencyPoint]:
+    """Points not dominated in (rate, steps/joule) — Fig. 7c's frontier."""
+    front = []
+    for p in points:
+        dominated = any(
+            (q.rate_steps_per_s >= p.rate_steps_per_s
+             and q.steps_per_joule >= p.steps_per_joule
+             and (q.rate_steps_per_s > p.rate_steps_per_s
+                  or q.steps_per_joule > p.steps_per_joule))
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.rate_steps_per_s)

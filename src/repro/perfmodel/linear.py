@@ -1,0 +1,105 @@
+"""The paper's linear timestep model and its regression (Table II).
+
+    t_wall = A * n_candidate + B * n_interaction + C
+
+Fit by ordinary least squares over a controlled sweep of
+(n_candidate, n_interaction) configurations (paper Sec. IV-B type 2,
+Sec. V-B); the paper reports A = 26.6 ns, B = 71.4 ns, C = 574.0 ns
+with r^2 = 0.9998 — the residual coming from the mild sqrt(candidate)
+dependence of the multicast schedule, which our cycle model reproduces
+(:mod:`repro.core.cycle_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearStepModel", "fit_linear_model", "PAPER_TABLE2"]
+
+
+@dataclass(frozen=True)
+class LinearStepModel:
+    """Fitted constants, all in nanoseconds.
+
+    Attributes
+    ----------
+    a_candidate:
+        Cost per received candidate (paper: 26.6 ns).
+    b_interaction:
+        Cost per accepted interaction (paper: 71.4 ns).
+    c_fixed:
+        Fixed cost per timestep (paper: 574.0 ns).
+    r_squared:
+        Coefficient of determination of the fit (1.0 when constructed
+        directly rather than fitted).
+    """
+
+    a_candidate: float
+    b_interaction: float
+    c_fixed: float
+    r_squared: float = 1.0
+
+    def step_time_ns(self, n_candidate, n_interaction):
+        """Predicted wall time of one step (ns)."""
+        return (
+            self.a_candidate * np.asarray(n_candidate, dtype=np.float64)
+            + self.b_interaction * np.asarray(n_interaction, dtype=np.float64)
+            + self.c_fixed
+        )
+
+    def steps_per_second(self, n_candidate: float, n_interaction: float) -> float:
+        """Predicted timestep rate."""
+        t = float(self.step_time_ns(n_candidate, n_interaction))
+        if t <= 0:
+            raise ValueError(f"non-positive predicted step time {t}")
+        return 1.0e9 / t
+
+    def relative_error(self, measured_rate: float, n_candidate: float,
+                       n_interaction: float) -> float:
+        """Prediction error vs a measured rate (paper Table I column)."""
+        predicted = self.steps_per_second(n_candidate, n_interaction)
+        return abs(predicted - measured_rate) / measured_rate
+
+
+#: The constants the paper reports in Table II.
+PAPER_TABLE2 = LinearStepModel(
+    a_candidate=26.6, b_interaction=71.4, c_fixed=574.0, r_squared=0.9998
+)
+
+
+def fit_linear_model(
+    n_candidate: np.ndarray,
+    n_interaction: np.ndarray,
+    t_wall_ns: np.ndarray,
+) -> LinearStepModel:
+    """Least-squares fit of the three constants from sweep measurements."""
+    n_candidate = np.asarray(n_candidate, dtype=np.float64)
+    n_interaction = np.asarray(n_interaction, dtype=np.float64)
+    t_wall_ns = np.asarray(t_wall_ns, dtype=np.float64)
+    if not (len(n_candidate) == len(n_interaction) == len(t_wall_ns)):
+        raise ValueError("sweep arrays must have equal length")
+    if len(t_wall_ns) < 3:
+        raise ValueError(
+            f"need at least 3 sweep points to fit 3 constants, got {len(t_wall_ns)}"
+        )
+    design = np.stack(
+        [n_candidate, n_interaction, np.ones_like(n_candidate)], axis=1
+    )
+    coef, _, rank, _ = np.linalg.lstsq(design, t_wall_ns, rcond=None)
+    if rank < 3:
+        raise ValueError(
+            "sweep is degenerate (candidate and interaction counts are "
+            "collinear); vary them independently"
+        )
+    resid = t_wall_ns - design @ coef
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((t_wall_ns - t_wall_ns.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearStepModel(
+        a_candidate=float(coef[0]),
+        b_interaction=float(coef[1]),
+        c_fixed=float(coef[2]),
+        r_squared=r2,
+    )

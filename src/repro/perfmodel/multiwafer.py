@@ -1,0 +1,150 @@
+"""Multi-wafer weak scaling via ghost regions (paper Table VI / Sec. VI-C).
+
+Each wafer node holds a thin-slab subdomain of ``N_interior = X^2 Z``
+lattice sites plus an aliased ghost shell of width ``lambda`` lattice
+units: ``N_atom = (X + 2 lambda)^2 Z``.  Each timestep invalidates the
+outermost ``2 r_cut``-wide strip of ghosts, so a node runs
+
+    k = floor(lambda * r_lattice / (2 r_cut))
+
+timesteps per *period* before refreshing all ghosts (192 bits each) over
+the inter-node links:
+
+    t_period = k * t_wall + tau + 192 * N_ghost / omega.
+
+The paper's published Table VI numbers correspond to ghost transmission
+fully overlapped with computation (ghost data for the next period
+streams in while the current period computes), leaving only the
+latency ``tau`` exposed; both the overlapped and serialized variants are
+available here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MultiWaferModel", "MultiWaferPoint"]
+
+
+@dataclass(frozen=True)
+class MultiWaferPoint:
+    """Modeled performance of one (element, lambda) configuration."""
+
+    element: str
+    x_sites: int
+    z_sites: int
+    lam: int
+    cutoff_per_lattice: float
+    t_wall_us: float
+    k_steps: int
+    n_interior: int
+    n_atom: int
+    n_ghost: int
+    rate_steps_per_s: float
+    fraction_of_single_wafer: float
+    interior_fraction: float
+
+
+@dataclass(frozen=True)
+class MultiWaferModel:
+    """Inter-node parameters (paper: omega = 1.2 Tb/s, tau = 2 us)."""
+
+    bandwidth_bits_per_s: float = 1.2e12
+    latency_s: float = 2.0e-6
+    ghost_bits: int = 192  # position + velocity per ghost atom
+    overlap_transfers: bool = True
+
+    def evaluate(
+        self,
+        element: str,
+        x_sites: int,
+        z_sites: int,
+        lam: int,
+        cutoff_per_lattice: float,
+        t_wall_s: float,
+        single_wafer_rate: float,
+    ) -> MultiWaferPoint:
+        """Model one Table VI cell."""
+        if min(x_sites, z_sites, lam) < 1:
+            raise ValueError(
+                f"sites/lambda must be positive: {x_sites}, {z_sites}, {lam}"
+            )
+        if cutoff_per_lattice <= 0 or t_wall_s <= 0:
+            raise ValueError("cutoff ratio and t_wall must be positive")
+        k = int(lam / (2.0 * cutoff_per_lattice))
+        if k < 1:
+            raise ValueError(
+                f"ghost width lambda={lam} yields zero usable steps at "
+                f"r_cut/r_lattice={cutoff_per_lattice}"
+            )
+        n_interior = x_sites * x_sites * z_sites
+        n_atom = (x_sites + 2 * lam) ** 2 * z_sites
+        n_ghost = n_atom - n_interior
+        transfer = self.ghost_bits * n_ghost / self.bandwidth_bits_per_s
+        compute = k * t_wall_s
+        if self.overlap_transfers:
+            # Ghost refreshes are double-buffered: the next period's
+            # ghost data streams in while the current period computes,
+            # leaving only the inter-node latency exposed.  This is the
+            # assumption under which the paper's published Table VI
+            # fractions (92-99% of single-wafer) reproduce exactly; the
+            # serialized variant below exposes the full transfer.
+            exposed = self.latency_s
+        else:
+            exposed = self.latency_s + transfer
+        t_period = compute + exposed
+        rate = k / t_period
+        return MultiWaferPoint(
+            element=element,
+            x_sites=x_sites,
+            z_sites=z_sites,
+            lam=lam,
+            cutoff_per_lattice=cutoff_per_lattice,
+            t_wall_us=t_wall_s * 1e6,
+            k_steps=k,
+            n_interior=n_interior,
+            n_atom=n_atom,
+            n_ghost=n_ghost,
+            rate_steps_per_s=rate,
+            fraction_of_single_wafer=rate / single_wafer_rate,
+            interior_fraction=n_interior / n_atom,
+        )
+
+    def cluster_atoms(self, point: MultiWaferPoint, n_nodes: int) -> int:
+        """Total unique atoms a cluster of subdomains simulates."""
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        return point.n_interior * n_nodes
+
+    def facility_strong_scaling(
+        self,
+        element: str,
+        n_atoms: int,
+        z_sites: int,
+        lam: int,
+        cutoff_per_lattice: float,
+        t_wall_s: float,
+        single_wafer_rate: float,
+        node_counts: tuple[int, ...] = (1, 4, 16, 64, 256),
+    ) -> list[tuple[int, MultiWaferPoint]]:
+        """Divide a *fixed* problem across wafers (paper Sec. VI-D outlook).
+
+        The instructive result: because one-atom-per-core step time does
+        not depend on the atom count, splitting a fixed problem across
+        more wafers leaves the timestep *rate* essentially flat (it is
+        already the single-wafer rate, minus the ghost-period latency) —
+        wafer clusters buy capacity, not speed.  Breaking the timescale
+        barrier further needs faster steps (Table V), not more wafers.
+        """
+        if n_atoms < 1:
+            raise ValueError(f"n_atoms must be positive, got {n_atoms}")
+        out = []
+        for nodes in node_counts:
+            interior = n_atoms // nodes
+            x = max(2 * lam + 1, int(round((interior / z_sites) ** 0.5)))
+            point = self.evaluate(
+                element, x, z_sites, lam, cutoff_per_lattice, t_wall_s,
+                single_wafer_rate,
+            )
+            out.append((nodes, point))
+        return out

@@ -1,0 +1,96 @@
+"""Multi-atom-per-core packing model (paper Sec. V-C).
+
+The paper distributes one atom per core and notes that "distributing
+multiple atoms per core could further increase the problem size when
+all cores of the wafer are engaged" (citing the NETL field-equation
+work).  This model prices that mode: with ``k`` atoms per core,
+
+* the physical pitch grows by sqrt(k), so the neighborhood half-width
+  in *tiles* shrinks to ``ceil(b / sqrt(k))``;
+* each exchange carries ``k`` atom records per tile (vector length
+  scales by k);
+* per-core compute scales by k (each atom still processes the same
+  physical candidates and interactions).
+
+Throughput in atom-steps/s grows sub-linearly in k (compute dominates),
+while timesteps/s falls roughly as 1/k — the trade the paper gestures
+at for capacity scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cycle_model import CycleCostModel
+
+__all__ = ["PackedConfig", "packed_step_cycles", "packing_sweep"]
+
+
+@dataclass(frozen=True)
+class PackedConfig:
+    """One packing configuration's modeled performance."""
+
+    atoms_per_core: int
+    b_tiles: int
+    step_cycles: float
+    steps_per_second: float
+    atom_steps_per_second: float
+    max_atoms: int
+
+
+def packed_step_cycles(
+    model: CycleCostModel,
+    n_candidate: float,
+    n_interaction: float,
+    b_one_atom: int,
+    atoms_per_core: int,
+) -> float:
+    """Cycles per timestep with ``atoms_per_core`` atoms on each tile.
+
+    ``n_candidate``/``n_interaction`` are *per atom* (physics-side
+    counts, unchanged by packing); ``b_one_atom`` is the neighborhood
+    half-width of the one-atom-per-core mapping.
+    """
+    k = atoms_per_core
+    if k < 1:
+        raise ValueError(f"atoms_per_core must be >= 1, got {k}")
+    b_tiles = max(1, math.ceil(b_one_atom / math.sqrt(k)))
+    # exchange with k-record vectors on the shrunken neighborhood
+    from repro.wse.multicast import exchange_cycle_model
+
+    exchange = (
+        exchange_cycle_model(3 * k, b_tiles) + exchange_cycle_model(k, b_tiles)
+    ) * model.opt.multicast_factor
+    compute = k * (
+        model.candidate_cycles() * n_candidate
+        + model.interaction_cycles() * n_interaction
+    )
+    return float(exchange + compute + model.fixed_cycles())
+
+
+def packing_sweep(
+    model: CycleCostModel,
+    n_candidate: float,
+    n_interaction: float,
+    b_one_atom: int,
+    *,
+    k_values: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> list[PackedConfig]:
+    """Model performance across packing factors."""
+    out = []
+    for k in k_values:
+        cycles = packed_step_cycles(
+            model, n_candidate, n_interaction, b_one_atom, k
+        )
+        rate = 1.0 / model.machine.cycles_to_seconds(cycles)
+        b_tiles = max(1, math.ceil(b_one_atom / math.sqrt(k)))
+        out.append(PackedConfig(
+            atoms_per_core=k,
+            b_tiles=b_tiles,
+            step_cycles=cycles,
+            steps_per_second=rate,
+            atom_steps_per_second=rate * k * model.machine.usable_cores,
+            max_atoms=k * model.machine.usable_cores,
+        ))
+    return out

@@ -1,0 +1,103 @@
+"""Future-optimization projections (paper Table V / Sec. VI-A).
+
+Table V re-expresses the baseline model in the basis
+
+    t = multicast * n_candidate + miss * n_miss + interaction * n_int + fixed
+
+(n_miss = rejected candidates = n_candidate - n_interaction), with
+baseline costs 6 / 21 / 92 / 574 ns, then stacks four conservative
+optimizations:
+
+1. Fixed cost      — 2x on the fixed component (574 -> 287 ns).
+2. Neighbor list   — re-examine candidates every 10th step (miss /10).
+3. Force symmetry  — i<j computation + reverse-multicast reduction (interaction /2).
+4. Multi-core workers — 4-core parallelization, 2x on multicast, miss
+   and interaction.
+
+Combined, the tantalum benchmark projects above one million
+timesteps/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ProjectionBasis", "ProjectionRow", "project_optimizations",
+           "PAPER_BASELINE_BASIS"]
+
+
+@dataclass(frozen=True)
+class ProjectionBasis:
+    """Component costs in nanoseconds (Table V columns)."""
+
+    multicast: float
+    miss: float
+    interaction: float
+    fixed: float
+
+    def step_time_ns(self, n_candidate: float, n_interaction: float) -> float:
+        """Wall time of one step under this basis."""
+        n_miss = n_candidate - n_interaction
+        if n_miss < 0:
+            raise ValueError(
+                f"more interactions ({n_interaction}) than candidates "
+                f"({n_candidate})"
+            )
+        return (
+            self.multicast * n_candidate
+            + self.miss * n_miss
+            + self.interaction * n_interaction
+            + self.fixed
+        )
+
+    def steps_per_second(self, n_candidate: float, n_interaction: float) -> float:
+        """Timestep rate under this basis."""
+        return 1.0e9 / self.step_time_ns(n_candidate, n_interaction)
+
+
+#: Paper Table V "Baseline" row.  multicast + miss = A (26.6 ns);
+#: interaction - miss = B (71.4 ns); fixed = C (574 ns).
+PAPER_BASELINE_BASIS = ProjectionBasis(
+    multicast=6.0, miss=20.6, interaction=92.0, fixed=574.0
+)
+
+
+@dataclass(frozen=True)
+class ProjectionRow:
+    """One cumulative optimization stage and its projected rates."""
+
+    description: str
+    basis: ProjectionBasis
+    rates: dict[str, float]  # element symbol -> steps/s
+
+
+def project_optimizations(
+    workloads: dict[str, tuple[float, float]],
+    *,
+    baseline: ProjectionBasis = PAPER_BASELINE_BASIS,
+) -> list[ProjectionRow]:
+    """Cumulative Table V stages for ``{element: (n_cand, n_int)}``."""
+    stages: list[tuple[str, ProjectionBasis]] = []
+    b = baseline
+    stages.append(("Baseline", b))
+    b = replace(b, fixed=b.fixed * 0.5)
+    stages.append(("Fixed cost", b))
+    b = replace(b, miss=b.miss * 0.1)
+    stages.append(("Neighbor list", b))
+    b = replace(b, interaction=b.interaction * 0.5)
+    stages.append(("Symmetry", b))
+    b = replace(
+        b,
+        multicast=b.multicast * 0.5,
+        miss=b.miss * 0.5,
+        interaction=b.interaction * 0.5,
+    )
+    stages.append(("Parallel", b))
+    rows = []
+    for description, basis in stages:
+        rates = {
+            sym: basis.steps_per_second(nc, ni)
+            for sym, (nc, ni) in workloads.items()
+        }
+        rows.append(ProjectionRow(description=description, basis=basis, rates=rates))
+    return rows

@@ -1,0 +1,57 @@
+"""Achievable-timescale map (paper Fig. 1).
+
+Fig. 1 places stars for the maximum simulated time reachable in 30
+wall-clock days at each platform's measured timestep rate, against the
+method boxes (QM / MD / CM).  The conversion is elementary — rate x
+wall time x timestep — but it is the paper's headline figure, so it
+gets an explicit, tested home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimescalePoint", "achievable_timescale_um", "METHOD_BOXES"]
+
+SECONDS_PER_DAY = 86400.0
+
+#: Illustrative (length, time) ranges of the three simulation regimes in
+#: Fig. 1: (min_length_m, max_length_m, min_time_s, max_time_s).
+METHOD_BOXES = {
+    "QM": (1e-10, 1e-8, 1e-15, 1e-11),
+    "MD": (1e-9, 1e-6, 1e-13, 1e-5),
+    "CM": (1e-7, 1e-2, 1e-9, 1e2),
+}
+
+
+def achievable_timescale_um(
+    rate_steps_per_s: float,
+    dt_fs: float = 2.0,
+    wall_days: float = 30.0,
+) -> float:
+    """Simulated microseconds reachable in ``wall_days`` of wall time."""
+    if rate_steps_per_s <= 0 or dt_fs <= 0 or wall_days <= 0:
+        raise ValueError("rate, timestep and wall time must be positive")
+    steps = rate_steps_per_s * wall_days * SECONDS_PER_DAY
+    return steps * dt_fs * 1.0e-9  # fs -> us
+
+
+@dataclass(frozen=True)
+class TimescalePoint:
+    """One Fig. 1 star."""
+
+    machine: str
+    rate_steps_per_s: float
+    dt_fs: float = 2.0
+    wall_days: float = 30.0
+
+    @property
+    def simulated_us(self) -> float:
+        """Reachable simulated time (microseconds)."""
+        return achievable_timescale_um(
+            self.rate_steps_per_s, self.dt_fs, self.wall_days
+        )
+
+    def speedup_over(self, other: "TimescalePoint") -> float:
+        """Ratio of reachable timescales (the paper's '179x')."""
+        return self.simulated_us / other.simulated_us

@@ -1,0 +1,59 @@
+"""Utilization analysis (paper Table IV).
+
+Utilization = algorithm-specified FLOP rate / theoretical platform peak.
+The same FLOP model (Table III) is credited to every platform — as the
+paper notes, slightly generous to LAMMPS, which skips most candidate
+processing by reusing neighbor lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.flops import flops_per_atom_step
+
+__all__ = ["UtilizationRow", "utilization"]
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """One machine/element cell of Table IV."""
+
+    machine: str
+    element: str
+    rate_steps_per_s: float
+    n_atoms: int
+    peak_pflops: float
+    utilization: float
+
+    @property
+    def percent(self) -> float:
+        """Utilization in percent."""
+        return 100.0 * self.utilization
+
+
+def utilization(
+    machine: str,
+    element: str,
+    rate_steps_per_s: float,
+    n_atoms: int,
+    n_candidate: float,
+    n_interaction: float,
+    peak_flops: float,
+) -> UtilizationRow:
+    """Fraction of peak achieved by a measured simulation rate."""
+    if rate_steps_per_s <= 0 or n_atoms <= 0 or peak_flops <= 0:
+        raise ValueError(
+            f"rate/atoms/peak must be positive: {rate_steps_per_s}, "
+            f"{n_atoms}, {peak_flops}"
+        )
+    per_step = flops_per_atom_step(n_candidate, n_interaction) * n_atoms
+    achieved = per_step * rate_steps_per_s
+    return UtilizationRow(
+        machine=machine,
+        element=element,
+        rate_steps_per_s=rate_steps_per_s,
+        n_atoms=n_atoms,
+        peak_pflops=peak_flops / 1.0e15,
+        utilization=achieved / peak_flops,
+    )

@@ -1,0 +1,240 @@
+"""Tabulated Embedded Atom Method potential (paper Sec. II-A).
+
+The potential energy is (Eq. 3)
+
+    U = sum_{i<j} phi_ij(r_ij)  +  sum_i F_i(rho_bar_i),
+    rho_bar_i = sum_{j != i} rho_j(r_ij),
+
+with all of ``rho``, ``F`` and ``phi`` stored as spline tables.  Forces
+follow Eq. 4: the radial scalar for a pair is
+
+    s_ij = F'(rho_bar_i) rho'_j(r) + F'(rho_bar_j) rho'_i(r) + phi'_ij(r).
+
+The evaluation is deliberately split into three stages —
+:meth:`EAMPotential.accumulate_density`, :meth:`EAMPotential.embed`, and
+:meth:`EAMPotential.pair_energy_forces` — because the WSE timestep
+communicates between exactly those stages (candidate exchange, then
+embedding-derivative exchange, then force evaluation).  The reference MD
+engine simply composes all three in :meth:`EAMPotential.compute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.potentials.base import PairDistanceCap, PairTable, Potential
+from repro.potentials.spline import UniformCubicSpline
+
+__all__ = ["EAMTables", "EAMPotential"]
+
+
+@dataclass
+class EAMTables:
+    """Spline tables for one or more atom types.
+
+    Attributes
+    ----------
+    rho:
+        Electron-density splines, one per atom type.
+    embed:
+        Embedding-energy splines ``F(rho_bar)``, one per atom type.
+    phi:
+        Pair-potential splines keyed by unordered type pair (t1 <= t2).
+    cutoff:
+        Interaction cutoff radius (A); all ``rho``/``phi`` tables vanish
+        at and beyond it.
+    meta:
+        Free-form provenance (element symbols, construction parameters).
+    """
+
+    rho: list[UniformCubicSpline]
+    embed: list[UniformCubicSpline]
+    phi: dict[tuple[int, int], UniformCubicSpline]
+    cutoff: float
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        nt = len(self.rho)
+        if len(self.embed) != nt:
+            raise ValueError(
+                f"{nt} density tables but {len(self.embed)} embedding tables"
+            )
+        for t1 in range(nt):
+            for t2 in range(t1, nt):
+                if (t1, t2) not in self.phi:
+                    raise ValueError(f"missing phi table for type pair {(t1, t2)}")
+        if self.cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {self.cutoff}")
+
+    @property
+    def n_types(self) -> int:
+        """Number of atom types covered by the tables."""
+        return len(self.rho)
+
+    def phi_for(self, t1: int, t2: int) -> UniformCubicSpline:
+        """Pair table for an (unordered) type pair."""
+        return self.phi[(t1, t2) if t1 <= t2 else (t2, t1)]
+
+    def sram_bytes(self, dtype_size: int = 4) -> int:
+        """Total table footprint a WSE tile would hold (paper Sec. III-A)."""
+        total = sum(s.nbytes(dtype_size) for s in self.rho)
+        total += sum(s.nbytes(dtype_size) for s in self.embed)
+        total += sum(s.nbytes(dtype_size) for s in self.phi.values())
+        return total
+
+
+class EAMPotential(Potential):
+    """EAM potential evaluated from :class:`EAMTables`."""
+
+    def __init__(self, tables: EAMTables, cap: PairDistanceCap | None = None) -> None:
+        self.tables = tables
+        self.cap = cap or PairDistanceCap()
+
+    @property
+    def cutoff(self) -> float:
+        return self.tables.cutoff
+
+    # -- stage 1: density accumulation ------------------------------------
+
+    def accumulate_density(
+        self, n_atoms: int, pairs: PairTable, types: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Electron density ``rho_bar_i`` at every atom (Eq. 2)."""
+        types = self._types(n_atoms, types)
+        self.cap.check(pairs.r)
+        rho_bar = np.zeros(n_atoms, dtype=np.float64)
+        for tj in range(self.tables.n_types):
+            mask = types[pairs.j] == tj
+            if not np.any(mask):
+                continue
+            contrib = self.tables.rho[tj](pairs.r[mask])
+            rho_bar += np.bincount(
+                pairs.i[mask], weights=contrib, minlength=n_atoms
+            )
+        if pairs.half:
+            # each stored pair also donates the i atom's density to j
+
+            for ti in range(self.tables.n_types):
+                mask = types[pairs.i] == ti
+                if not np.any(mask):
+                    continue
+                contrib = self.tables.rho[ti](pairs.r[mask])
+                rho_bar += np.bincount(
+                    pairs.j[mask], weights=contrib, minlength=n_atoms
+                )
+        return rho_bar
+
+    # -- stage 2: embedding -------------------------------------------------
+
+    def embed(
+        self, rho_bar: np.ndarray, types: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Embedding energy ``F_i`` and derivative ``F'_i`` per atom."""
+        n_atoms = len(rho_bar)
+        types = self._types(n_atoms, types)
+        f_val = np.empty(n_atoms, dtype=np.float64)
+        f_der = np.empty(n_atoms, dtype=np.float64)
+        for t in range(self.tables.n_types):
+            mask = types == t
+            if not np.any(mask):
+                continue
+            v, d = self.tables.embed[t].evaluate(rho_bar[mask])
+            f_val[mask] = v
+            f_der[mask] = d
+        return f_val, f_der
+
+    # -- stage 3: pair energy and forces -----------------------------------
+
+    def pair_energy_forces(
+        self,
+        n_atoms: int,
+        pairs: PairTable,
+        f_der: np.ndarray,
+        types: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pair energies (N,) and total forces (N, 3) given ``F'`` per atom.
+
+        For a full (directed) pair list each entry updates only atom
+        ``i``; for a half list the opposite contribution is applied to
+        ``j`` as well.
+        """
+        types = self._types(n_atoms, types)
+        p = pairs.n_pairs
+        e_pair = np.zeros(n_atoms, dtype=np.float64)
+        forces = np.zeros((n_atoms, 3), dtype=np.float64)
+        if p == 0:
+            return e_pair, forces
+
+        phi_v = np.empty(p, dtype=np.float64)
+        phi_d = np.empty(p, dtype=np.float64)
+        rho_d_j = np.empty(p, dtype=np.float64)  # rho'_{type(j)}(r)
+        rho_d_i = np.empty(p, dtype=np.float64)  # rho'_{type(i)}(r)
+        ti_arr = types[pairs.i]
+        tj_arr = types[pairs.j]
+        for t1 in range(self.tables.n_types):
+            m_i = ti_arr == t1
+            if np.any(m_i):
+                _, d = self.tables.rho[t1].evaluate(pairs.r[m_i])
+                rho_d_i[m_i] = d
+            m_j = tj_arr == t1
+            if np.any(m_j):
+                _, d = self.tables.rho[t1].evaluate(pairs.r[m_j])
+                rho_d_j[m_j] = d
+            for t2 in range(self.tables.n_types):
+                m = (ti_arr == t1) & (tj_arr == t2)
+                if not np.any(m):
+                    continue
+                v, d = self.tables.phi_for(t1, t2).evaluate(pairs.r[m])
+                phi_v[m] = v
+                phi_d[m] = d
+
+        # Radial scalar of Eq. 4, per directed pair.
+        s = f_der[pairs.i] * rho_d_j + f_der[pairs.j] * rho_d_i + phi_d
+        with np.errstate(invalid="raise", divide="raise"):
+            unit = pairs.rij / pairs.r[:, None]
+        fvec = s[:, None] * unit  # force on atom i, along r_j - r_i direction
+
+        for axis in range(3):
+            forces[:, axis] += np.bincount(
+                pairs.i, weights=fvec[:, axis], minlength=n_atoms
+            )
+        if pairs.half:
+            for axis in range(3):
+                forces[:, axis] -= np.bincount(
+                    pairs.j, weights=fvec[:, axis], minlength=n_atoms
+                )
+            e_pair += 0.5 * np.bincount(pairs.i, weights=phi_v, minlength=n_atoms)
+            e_pair += 0.5 * np.bincount(pairs.j, weights=phi_v, minlength=n_atoms)
+        else:
+            e_pair += 0.5 * np.bincount(pairs.i, weights=phi_v, minlength=n_atoms)
+        return e_pair, forces
+
+    # -- composed evaluation --------------------------------------------------
+
+    def compute(
+        self,
+        n_atoms: int,
+        pairs: PairTable,
+        types: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-atom energies and forces (composition of the three stages)."""
+        types = self._types(n_atoms, types)
+        rho_bar = self.accumulate_density(n_atoms, pairs, types)
+        f_val, f_der = self.embed(rho_bar, types)
+        e_pair, forces = self.pair_energy_forces(n_atoms, pairs, f_der, types)
+        return e_pair + f_val, forces
+
+    def _types(self, n_atoms: int, types: np.ndarray | None) -> np.ndarray:
+        if types is None:
+            return np.zeros(n_atoms, dtype=np.int64)
+        types = np.asarray(types)
+        if len(types) != n_atoms:
+            raise ValueError(f"types length {len(types)} != n_atoms {n_atoms}")
+        if np.any(types < 0) or np.any(types >= self.tables.n_types):
+            raise ValueError(
+                f"type out of range [0, {self.tables.n_types}): "
+                f"{np.unique(types)}"
+            )
+        return types

@@ -1,0 +1,98 @@
+"""DYNAMO *funcfl* (LAMMPS ``pair_style eam``) single-element reader.
+
+The older sibling of setfl: one element per file, with the embedding
+function, an *effective charge* function Z(r), and the density function.
+The pair potential is derived from Z via
+
+    phi(r) = 27.2 * 0.529 * Z_i(r) * Z_j(r) / r   (eV, Hartree-Bohr units)
+
+Several classic potentials (including the Adams Cu family the paper
+cites) circulate in this format, so supporting it widens what can be
+dropped into the engines.
+
+Format::
+
+    line 1: comment
+    line 2: atomic-number mass lattice-constant lattice-type
+    line 3: Nrho drho Nr dr cutoff
+    F(rho)  -- Nrho values
+    Z(r)    -- Nr values
+    rho(r)  -- Nr values
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.potentials.eam import EAMTables
+from repro.potentials.spline import UniformCubicSpline
+
+__all__ = ["read_funcfl"]
+
+#: Hartree * Bohr in eV * A — the conversion constant LAMMPS uses.
+_HARTREE_BOHR = 27.2 * 0.529
+
+
+def read_funcfl(path: str | Path | io.TextIOBase) -> EAMTables:
+    """Parse a funcfl file into single-element spline tables."""
+    if isinstance(path, io.TextIOBase):
+        text = path.read()
+        source = "<stream>"
+    else:
+        text = Path(path).read_text()
+        source = str(path)
+    lines = text.splitlines()
+    if len(lines) < 4:
+        raise ValueError(f"{source}: truncated funcfl file ({len(lines)} lines)")
+    comment = lines[0]
+    hdr = lines[1].split()
+    if len(hdr) < 4:
+        raise ValueError(f"{source}: malformed element header {lines[1]!r}")
+    z_num, mass, alat, lattice = (
+        int(float(hdr[0])), float(hdr[1]), float(hdr[2]), hdr[3]
+    )
+    grid = lines[2].split()
+    if len(grid) < 5:
+        raise ValueError(f"{source}: malformed grid line {lines[2]!r}")
+    n_rho, d_rho, n_r, d_r, cutoff = (
+        int(grid[0]), float(grid[1]), int(grid[2]), float(grid[3]),
+        float(grid[4]),
+    )
+    try:
+        values = np.array(" ".join(lines[3:]).split(), dtype=np.float64)
+    except ValueError as err:
+        raise ValueError(f"{source}: non-numeric table data: {err}") from None
+    need = n_rho + 2 * n_r
+    if len(values) < need:
+        raise ValueError(
+            f"{source}: expected {need} table values, found {len(values)}"
+        )
+    f_vals = values[:n_rho]
+    z_vals = values[n_rho:n_rho + n_r]
+    rho_vals = values[n_rho + n_r:need]
+
+    r = d_r * np.arange(n_r)
+    phi_vals = np.empty(n_r)
+    phi_vals[1:] = _HARTREE_BOHR * z_vals[1:] ** 2 / r[1:]
+    phi_vals[0] = 2.0 * phi_vals[1] - phi_vals[2]
+
+    return EAMTables(
+        rho=[UniformCubicSpline(0.0, d_r, rho_vals, extrapolate_low="clamp",
+                                zero_above=True)],
+        embed=[UniformCubicSpline(0.0, d_rho, f_vals,
+                                  extrapolate_low="clamp", zero_above=False)],
+        phi={(0, 0): UniformCubicSpline(0.0, d_r, phi_vals,
+                                        extrapolate_low="clamp",
+                                        zero_above=True)},
+        cutoff=cutoff,
+        meta={
+            "source": source,
+            "format": "funcfl",
+            "comment": comment,
+            "elements": [{"z": z_num, "mass": mass,
+                          "lattice_constant": alat, "lattice": lattice}],
+        },
+    )

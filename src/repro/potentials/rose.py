@@ -1,0 +1,81 @@
+"""Rose universal equation of state (Rose, Smith, Guinea & Ferrante 1984).
+
+The cohesive energy per atom of a metal under uniform expansion is well
+described by the universal form
+
+    E(a*) = -Ec (1 + a*) exp(-a*),
+    a*    = (a / a0 - 1) / sqrt(Ec / (9 B Omega)),
+
+where ``Ec`` is the cohesive energy, ``B`` the bulk modulus, ``Omega``
+the equilibrium atomic volume, and ``a`` the lattice parameter.  EAM
+potentials constructed to satisfy this relation exactly (Foiles-style
+normalization) reproduce lattice constant, cohesive energy, and bulk
+modulus *by construction* — see :mod:`repro.potentials.builder`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RoseEOS"]
+
+
+@dataclass(frozen=True)
+class RoseEOS:
+    """Universal energy/lattice-scale relation for one material.
+
+    Parameters
+    ----------
+    cohesive_energy:
+        ``Ec`` in eV/atom (positive number; the bound-state energy is
+        ``-Ec``).
+    bulk_modulus:
+        ``B`` in eV/A^3.
+    atomic_volume:
+        ``Omega`` in A^3/atom.
+    """
+
+    cohesive_energy: float
+    bulk_modulus: float
+    atomic_volume: float
+
+    def __post_init__(self) -> None:
+        if self.cohesive_energy <= 0:
+            raise ValueError(f"Ec must be positive, got {self.cohesive_energy}")
+        if self.bulk_modulus <= 0:
+            raise ValueError(f"B must be positive, got {self.bulk_modulus}")
+        if self.atomic_volume <= 0:
+            raise ValueError(f"Omega must be positive, got {self.atomic_volume}")
+
+    @property
+    def length_scale(self) -> float:
+        """The denominator ``sqrt(Ec / 9 B Omega)`` in the reduced scale."""
+        return math.sqrt(
+            self.cohesive_energy / (9.0 * self.bulk_modulus * self.atomic_volume)
+        )
+
+    def reduced(self, scale: np.ndarray) -> np.ndarray:
+        """Reduced lattice coordinate ``a*`` from scale ``a / a0``."""
+        return (np.asarray(scale, dtype=np.float64) - 1.0) / self.length_scale
+
+    def energy(self, scale: np.ndarray) -> np.ndarray:
+        """Cohesive energy per atom (eV) at lattice scale ``a / a0``."""
+        a_star = self.reduced(scale)
+        return -self.cohesive_energy * (1.0 + a_star) * np.exp(-a_star)
+
+    def energy_derivative(self, scale: np.ndarray) -> np.ndarray:
+        """d E / d(scale); zero at the equilibrium scale of 1."""
+        a_star = self.reduced(scale)
+        # dE/da* = Ec a* exp(-a*);  chain rule through the reduced coordinate.
+        return self.cohesive_energy * a_star * np.exp(-a_star) / self.length_scale
+
+    def curvature_check(self) -> float:
+        """Second derivative of E wrt scale at equilibrium.
+
+        Equals ``9 B Omega`` — useful as an internal consistency check
+        and in tests.
+        """
+        return self.cohesive_energy / self.length_scale**2

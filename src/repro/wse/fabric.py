@@ -1,0 +1,209 @@
+"""Event-driven (cycle-level) fabric simulation of the marching multicast.
+
+Simulates one direction of one stage on a chain of tiles: every tile
+must transmit its ``vector_len``-word atom record to the ``b`` tiles
+downstream, using the systolic schedule of paper Fig. 3d-f / Fig. 4a.
+Links carry one wavelet per cycle per virtual channel with one cycle of
+latency per hop; any attempt to place two wavelets on a link in the same
+cycle is a detected error (the schedule's whole point is that this never
+happens).
+
+The 2-D neighborhood exchange composes four of these runs — positive
+and negative horizontal (vector ``L``), then positive and negative
+vertical (vector ``(2b+1) L``) — on separate virtual channels; opposite
+directions run concurrently, so the exchange time is the sum of the two
+stage times (:mod:`repro.wse.multicast` provides the closed form, which
+tests assert equals this simulator's measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wse.router import (
+    MarchingRouter,
+    RouterState,
+    advance_command_list,
+)
+from repro.wse.wavelet import Wavelet, WaveletKind
+
+__all__ = ["ChainFabric", "MulticastChainSim", "ChainResult"]
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one chain-stage simulation.
+
+    Attributes
+    ----------
+    cycles:
+        Total cycles until the fabric drained.
+    received:
+        Per-tile list of (source tile, word index) in arrival order.
+    link_busy_cycles:
+        Total link-cycle occupancy (for bandwidth accounting).
+    """
+
+    cycles: int
+    received: list[list[tuple[int, int]]]
+    link_busy_cycles: int
+
+    def sources_for(self, tile: int) -> list[int]:
+        """Distinct source tiles whose data reached ``tile``, in order."""
+        seen: list[int] = []
+        for src, _ in self.received[tile]:
+            if src not in seen:
+                seen.append(src)
+        return seen
+
+
+class ChainFabric:
+    """One direction of a marching-multicast stage on an ``n``-tile chain."""
+
+    def __init__(self, n_tiles: int, b: int, vector_len: int) -> None:
+        if n_tiles < 2:
+            raise ValueError(f"need at least 2 tiles, got {n_tiles}")
+        if b < 1:
+            raise ValueError(f"b must be >= 1, got {b}")
+        if b >= n_tiles:
+            raise ValueError(f"b={b} must be smaller than the chain ({n_tiles})")
+        if vector_len < 1:
+            raise ValueError(f"vector length must be >= 1, got {vector_len}")
+        self.n = n_tiles
+        self.b = b
+        self.vector_len = vector_len
+        self.routers = [MarchingRouter() for _ in range(n_tiles)]
+        period = b + 1
+        for t in range(n_tiles):
+            r = t % period
+            if r == 0:
+                self.routers[t].state = RouterState.HEAD
+            elif r == 1 and b >= 2:
+                self.routers[t].state = RouterState.BODY_NEXT
+            elif r == b:
+                self.routers[t].state = RouterState.TAIL
+            else:
+                self.routers[t].state = RouterState.BODY
+        # transmission progress per tile: words sent so far, -1 = done
+        self._sent = [0] * n_tiles
+        self._command_sent = [False] * n_tiles
+
+    def run(self, max_cycles: int | None = None) -> ChainResult:
+        """Drive the fabric to completion; returns delivery + cycle stats."""
+        limit = max_cycles or (self.b + 2) * (self.vector_len + 4) * 4 + 64
+        # wavelets in flight: arriving[t] is the wavelet reaching tile t
+        # at the *start* of the current cycle (link latency = 1).
+        arriving: dict[int, Wavelet] = {}
+        received: list[list[tuple[int, int]]] = [[] for _ in range(self.n)]
+        link_busy = 0
+        cycle = 0
+        while cycle < limit:
+            next_arriving: dict[int, Wavelet] = {}
+
+            def send_downstream(tile: int, wavelet: Wavelet) -> None:
+                nonlocal link_busy
+                dest = tile + 1
+                if dest >= self.n:
+                    return  # falls off the fabric edge
+                if dest in next_arriving:
+                    raise RuntimeError(
+                        f"link contention: tiles {tile} and others drive the "
+                        f"link into {dest} at cycle {cycle}"
+                    )
+                next_arriving[dest] = wavelet
+                link_busy += 1
+
+            # 1. routers process arrivals.
+            became_head: set[int] = set()
+            for tile in sorted(arriving):
+                w = arriving[tile]
+                router = self.routers[tile]
+                was_head = router.state is RouterState.HEAD
+                arrived_len = len(w.commands) if w.is_command else 0
+                out, delivered = router.route(w, from_core=False)
+                if router.state is RouterState.HEAD and not was_head:
+                    became_head.add(tile)
+                if delivered:
+                    received[tile].append((w.src, w.seq))
+                for o in out:
+                    send_downstream(tile, o)
+                # A RESET arriving with a full-minus-one command list marks
+                # the tile adjacent to the new head: promote to BODY_NEXT
+                # (the hardware encodes this in its fourth router state).
+                if (
+                    w.is_command
+                    and self.b >= 2
+                    and arrived_len == self.b - 1
+                    and router.state is RouterState.BODY
+                ):
+                    router.promote_body_next()
+
+            # 2. heads inject (one word per cycle).  A tile promoted this
+            # cycle starts transmitting on the next one (its router just
+            # finished carrying the command wavelet on the same link).
+            for tile in range(self.n):
+                router = self.routers[tile]
+                if router.state is not RouterState.HEAD or tile in became_head:
+                    continue
+                if self._sent[tile] < self.vector_len:
+                    w = Wavelet(
+                        kind=WaveletKind.DATA,
+                        vc=0,
+                        src=tile,
+                        seq=self._sent[tile],
+                    )
+                    out, _ = router.route(w, from_core=True)
+                    for o in out:
+                        send_downstream(tile, o)
+                    self._sent[tile] += 1
+                elif not self._command_sent[tile]:
+                    w = Wavelet(
+                        kind=WaveletKind.COMMAND,
+                        vc=0,
+                        src=tile,
+                        commands=advance_command_list(self.b),
+                    )
+                    out, _ = router.route(w, from_core=True)
+                    for o in out:
+                        send_downstream(tile, o)
+                    self._command_sent[tile] = True
+                    router.finish_transmission()
+
+            cycle += 1
+            arriving = next_arriving
+            if not arriving and all(self._command_sent):
+                break
+        else:
+            raise RuntimeError(
+                f"fabric did not drain within {limit} cycles; schedule stuck"
+            )
+        return ChainResult(
+            cycles=cycle, received=received, link_busy_cycles=link_busy
+        )
+
+
+class MulticastChainSim:
+    """Both directions of one stage (separate virtual channels).
+
+    Opposite directions use disjoint links (each mesh link is
+    full-duplex) and disjoint VCs, so they run concurrently: the stage
+    time is the max of the two runs.  The negative direction is
+    simulated by running a mirrored chain.
+    """
+
+    def __init__(self, n_tiles: int, b: int, vector_len: int) -> None:
+        self.n = n_tiles
+        self.b = b
+        self.vector_len = vector_len
+
+    def run(self) -> tuple[int, list[list[int]]]:
+        """Returns (stage cycles, per-tile ordered source lists)."""
+        pos = ChainFabric(self.n, self.b, self.vector_len).run()
+        neg = ChainFabric(self.n, self.b, self.vector_len).run()
+        sources: list[list[int]] = []
+        for t in range(self.n):
+            left = pos.sources_for(t)  # data moving +x: sources to the left
+            mirrored = self.n - 1 - t
+            right = [self.n - 1 - s for s in neg.sources_for(mirrored)]
+            sources.append(left + right)
+        return max(pos.cycles, neg.cycles), sources

@@ -1,0 +1,126 @@
+"""Event-level composition of the full 2-D neighborhood exchange.
+
+The marching multicast runs a horizontal stage (each tile's atom record
+moves b hops left and right along its row) followed by a vertical stage
+(the accumulated (2b+1)-record row segment moves b hops up and down each
+column).  :class:`ExchangeFabric2D` composes the per-row and per-column
+chain simulations of :mod:`repro.wse.fabric` and checks, wavelet by
+wavelet, that every tile ends up holding exactly its (2b+1)^2 - 1
+candidate neighborhood — the property the lockstep machine's shift-based
+exchange assumes.
+
+This is the slow, exact reference; it exists to validate the schedule
+and the closed-form cycle model (their equality is asserted in tests),
+not to run production workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wse.fabric import ChainFabric
+from repro.wse.geometry import TileGrid
+from repro.wse.multicast import stage_cycles
+
+__all__ = ["ExchangeFabric2D", "Exchange2DResult"]
+
+
+@dataclass
+class Exchange2DResult:
+    """Outcome of a full 2-D exchange simulation.
+
+    Attributes
+    ----------
+    horizontal_cycles, vertical_cycles:
+        Measured stage durations (max over rows / columns and both
+        directions).
+    neighborhoods:
+        Per-tile sets of flat source-tile indices received.
+    """
+
+    horizontal_cycles: int
+    vertical_cycles: int
+    neighborhoods: list[set[int]]
+
+    @property
+    def total_cycles(self) -> int:
+        """Exchange duration: the stages are sequential."""
+        return self.horizontal_cycles + self.vertical_cycles
+
+
+class ExchangeFabric2D:
+    """Wavelet-level 2-D candidate exchange on an ``nx x ny`` grid."""
+
+    def __init__(self, grid: TileGrid, b: int, vector_len: int = 3) -> None:
+        if b < 1:
+            raise ValueError(f"b must be >= 1, got {b}")
+        if 2 * b + 1 > min(grid.nx, grid.ny):
+            raise ValueError(
+                f"neighborhood 2b+1={2 * b + 1} exceeds grid "
+                f"{grid.nx}x{grid.ny}"
+            )
+        self.grid = grid
+        self.b = b
+        self.vector_len = vector_len
+
+    def _chain_sources(self, n: int) -> tuple[int, list[list[int]]]:
+        """Sources gathered by each position of an n-tile bidirectional chain."""
+        pos = ChainFabric(n, self.b, self.vector_len).run()
+        neg = ChainFabric(n, self.b, self.vector_len).run()
+        sources: list[list[int]] = []
+        for t in range(n):
+            left = pos.sources_for(t)
+            mirrored = n - 1 - t
+            right = [n - 1 - s for s in neg.sources_for(mirrored)]
+            sources.append(left + right)
+        return max(pos.cycles, neg.cycles), sources
+
+    def run(self) -> Exchange2DResult:
+        """Simulate both stages and collect per-tile neighborhoods."""
+        g = self.grid
+        # Horizontal: every row runs the same schedule; simulate one
+        # chain per distinct length (all rows share g.nx).
+        h_cycles, row_sources = self._chain_sources(g.nx)
+
+        # After the horizontal stage each tile holds its own atom plus
+        # the row segment from up to b tiles left and right.
+        segment: list[list[int]] = []
+        for x in range(g.nx):
+            for y in range(g.ny):
+                seg = [int(g.flatten(x, y))]
+                seg += [int(g.flatten(sx, y)) for sx in row_sources[x]]
+                segment.append(seg)
+
+        # Vertical: the payload is the whole row segment — vector
+        # length (2b+1) * L in the interior (edge tiles carry less; the
+        # schedule is sized by the interior worst case).
+        v_vector = (2 * self.b + 1) * self.vector_len
+        v_sim = ChainFabric(g.ny, self.b, v_vector).run()
+        v_neg = ChainFabric(g.ny, self.b, v_vector).run()
+        v_cycles = max(v_sim.cycles, v_neg.cycles)
+        col_sources: list[list[int]] = []
+        for t in range(g.ny):
+            down = v_sim.sources_for(t)
+            mirrored = g.ny - 1 - t
+            up = [g.ny - 1 - s for s in v_neg.sources_for(mirrored)]
+            col_sources.append(down + up)
+
+        neighborhoods: list[set[int]] = []
+        for x in range(g.nx):
+            for y in range(g.ny):
+                held: set[int] = set(segment[g.flatten(x, y)])
+                for sy in col_sources[y]:
+                    held.update(segment[g.flatten(x, sy)])
+                held.discard(int(g.flatten(x, y)))
+                neighborhoods.append(held)
+        return Exchange2DResult(
+            horizontal_cycles=h_cycles,
+            vertical_cycles=v_cycles,
+            neighborhoods=neighborhoods,
+        )
+
+    def expected_cycles(self) -> int:
+        """The closed-form model this simulation must reproduce."""
+        return stage_cycles(self.vector_len, self.b) + stage_cycles(
+            (2 * self.b + 1) * self.vector_len, self.b
+        )

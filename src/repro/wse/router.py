@@ -1,0 +1,172 @@
+"""Marching-multicast router state machine (paper Fig. 4).
+
+Logically a router in the systolic pipeline is in one of three roles —
+*head* (accepts data from its local core and forwards it downstream),
+*body* (receives from upstream, delivers to its core and forwards), or
+*tail* (receives and delivers only).  The hardware cannot change a
+router's input and output side in one transition, so the real machine
+uses four states; we model the fourth as ``BODY_NEXT``, the body tile
+adjacent to the head, which is the one that will react to the head's
+"advance" and become the next head.
+
+State changes are driven by command wavelets carrying a *list* of
+router commands.  Each router reacts to the first command in the list
+and pops it before forwarding (the configuration the paper describes in
+Sec. III-B); the wavelet dies when its list empties, which is exactly at
+the old tail.  The head constructs the list so that position in the
+chain selects the new role:
+
+    [TO_HEAD, TO_BODY_NEXT, TO_BODY, ..., TO_BODY(=RESET)]
+      |            |                          |
+      next tile    the one after              old tail (wavelet dropped)
+
+and transitions itself to TAIL after emitting (it becomes the tail of
+the *previous* strip's new head).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.wse.wavelet import RouterCommand, Wavelet, WaveletKind
+
+__all__ = ["RouterState", "MarchingRouter", "advance_command_list"]
+
+
+class RouterState(enum.Enum):
+    """Role of a router within the systolic multicast pipeline."""
+
+    HEAD = "head"
+    BODY_NEXT = "body_next"  # first body: reacts to ADVANCE
+    BODY = "body"
+    TAIL = "tail"
+    IDLE = "idle"  # outside any active multicast domain (fabric edge)
+
+
+#: Commands that set an explicit new state ("advance" in the paper is
+#: the transition to the next role; "reset" is the return to body).
+_STATE_FOR_COMMAND = {
+    RouterCommand.ADVANCE: None,  # interpreted against current state
+    RouterCommand.RESET: RouterState.BODY,
+}
+
+
+def advance_command_list(b: int) -> list[RouterCommand]:
+    """Command list the head emits after its vector (length ``b``).
+
+    Position in the list encodes the receiving tile's new role: the
+    first downstream tile advances (to head), all later receivers reset
+    to body.  The b-th receiver (the old tail) pops the final command
+    and the emptied wavelet is dropped there.
+    """
+    if b < 1:
+        raise ValueError(f"multicast depth b must be >= 1, got {b}")
+    return [RouterCommand.ADVANCE] + [RouterCommand.RESET] * (b - 1)
+
+
+@dataclass
+class MarchingRouter:
+    """Per-virtual-channel router state for the marching multicast.
+
+    Attributes
+    ----------
+    state:
+        Current role.
+    delivered:
+        Data payloads delivered to the local core, in arrival order —
+        the deterministic candidate order the neighbor-list step relies
+        on (Sec. III-C).
+    """
+
+    state: RouterState = RouterState.BODY
+    delivered: list[Wavelet] = field(default_factory=list)
+
+    def route(self, wavelet: Wavelet, *, from_core: bool) -> tuple[list[Wavelet], bool]:
+        """Process one incoming wavelet.
+
+        Parameters
+        ----------
+        wavelet:
+            The arriving message.
+        from_core:
+            True when the local core injected it (only legal for HEAD).
+
+        Returns
+        -------
+        (downstream, deliver):
+            Wavelets to forward downstream this cycle, and whether the
+            payload was delivered to the local core.
+        """
+        if wavelet.kind is WaveletKind.DATA:
+            return self._route_data(wavelet, from_core)
+        if from_core:
+            # command wavelets from the local core (the head ending its
+            # transmission) are forwarded untouched; the head itself
+            # transitions via finish_transmission().
+            return [wavelet], False
+        return self._route_command(wavelet)
+
+    def _route_data(
+        self, wavelet: Wavelet, from_core: bool
+    ) -> tuple[list[Wavelet], bool]:
+        if from_core:
+            if self.state is not RouterState.HEAD:
+                raise RuntimeError(
+                    f"core injected data while router is {self.state.value}; "
+                    "only the head may transmit"
+                )
+            return [wavelet], False
+        if self.state in (RouterState.BODY, RouterState.BODY_NEXT):
+            self.delivered.append(wavelet)
+            return [wavelet], True
+        if self.state is RouterState.TAIL:
+            self.delivered.append(wavelet)
+            return [], True
+        raise RuntimeError(
+            f"data wavelet arrived from upstream at a {self.state.value} router"
+        )
+
+    def _route_command(self, wavelet: Wavelet) -> tuple[list[Wavelet], bool]:
+        cmd = wavelet.commands[0]
+        if cmd is RouterCommand.ADVANCE:
+            self._apply_advance()
+        elif cmd is RouterCommand.RESET:
+            self._apply_reset()
+        if len(wavelet.commands) == 1:
+            return [], False  # wavelet consumed at the old tail
+        return [wavelet.popped()], False
+
+    def _apply_advance(self) -> None:
+        if self.state is RouterState.BODY_NEXT:
+            self.state = RouterState.HEAD
+        elif self.state is RouterState.TAIL:
+            # b == 1 degenerate chain: the tail is also next in line.
+            self.state = RouterState.HEAD
+        else:
+            raise RuntimeError(
+                f"ADVANCE reached a {self.state.value} router; the command "
+                "list is mis-sized for this chain"
+            )
+
+    def _apply_reset(self) -> None:
+        if self.state is RouterState.TAIL:
+            self.state = RouterState.BODY
+        elif self.state is RouterState.BODY:
+            # mid-body stays body; the first of them becomes next-in-line
+            pass
+        else:
+            raise RuntimeError(f"RESET reached a {self.state.value} router")
+
+    def finish_transmission(self) -> None:
+        """Head -> tail transition after emitting its vector + command."""
+        if self.state is not RouterState.HEAD:
+            raise RuntimeError(
+                f"finish_transmission on a {self.state.value} router"
+            )
+        self.state = RouterState.TAIL
+
+    def promote_body_next(self) -> None:
+        """Mark this body as next in line (the tile after a new head)."""
+        if self.state is RouterState.BODY:
+            self.state = RouterState.BODY_NEXT

@@ -1,0 +1,106 @@
+"""Cycle tracing and stability statistics (paper Sec. IV-B type 2, V-B).
+
+The paper's controlled measurements record a hardware cycle counter at
+the end of every timestep on every tile, then report two stabilities:
+the per-tile standard deviation of timestep time (0.11 %), and the
+standard deviation of the *array-averaged* timestep time (91 ppm).
+:class:`CycleTrace` reproduces both reductions from per-tile,
+per-timestep cycle samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CycleTrace", "StabilityReport"]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Timestep-time stability in the paper's two senses.
+
+    Attributes
+    ----------
+    mean_cycles:
+        Mean timestep duration across all tiles and steps.
+    per_tile_std:
+        Standard deviation of per-tile timestep samples.
+    per_tile_rel:
+        ``per_tile_std / mean_cycles`` (the paper reports 0.11 %).
+    array_avg_std:
+        Standard deviation of per-step array-averaged durations.
+    array_avg_rel:
+        ``array_avg_std / mean_cycles`` (the paper reports 91 ppm).
+    """
+
+    mean_cycles: float
+    per_tile_std: float
+    per_tile_rel: float
+    array_avg_std: float
+    array_avg_rel: float
+
+
+class CycleTrace:
+    """Accumulates per-tile cycle counts for each timestep."""
+
+    def __init__(self, n_tiles: int) -> None:
+        if n_tiles < 1:
+            raise ValueError(f"need at least one tile, got {n_tiles}")
+        self.n_tiles = n_tiles
+        self._steps: list[np.ndarray] = []
+
+    def record(self, per_tile_cycles: np.ndarray) -> None:
+        """Record one timestep's per-tile cycle counts."""
+        arr = np.asarray(per_tile_cycles, dtype=np.float64).ravel()
+        if arr.shape != (self.n_tiles,):
+            raise ValueError(
+                f"expected {self.n_tiles} tile samples, got {arr.shape}"
+            )
+        self._steps.append(arr)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of recorded timesteps."""
+        return len(self._steps)
+
+    def as_array(self) -> np.ndarray:
+        """Samples as (n_steps, n_tiles)."""
+        if not self._steps:
+            raise RuntimeError("no timesteps recorded")
+        return np.stack(self._steps)
+
+    def step_cycles(self, *, reduce: str = "max") -> np.ndarray:
+        """Per-step machine timestep duration.
+
+        Tiles are locally synchronized by each neighborhood exchange, so
+        the machine's step time is governed by the slowest tile
+        (``reduce="max"``); ``"mean"`` gives the array average used in
+        the stability analysis.
+        """
+        data = self.as_array()
+        if reduce == "max":
+            return data.max(axis=1)
+        if reduce == "mean":
+            return data.mean(axis=1)
+        raise ValueError(f"unknown reduce {reduce!r}")
+
+    def total_cycles(self) -> float:
+        """Whole-run cycle count (sum of per-step maxima)."""
+        return float(self.step_cycles(reduce="max").sum())
+
+    def stability(self) -> StabilityReport:
+        """Both of the paper's stability statistics."""
+        data = self.as_array()
+        mean = float(data.mean())
+        per_tile_std = float(data.std())
+        array_avg = data.mean(axis=1)
+        array_avg_std = float(array_avg.std())
+        return StabilityReport(
+            mean_cycles=mean,
+            per_tile_std=per_tile_std,
+            per_tile_rel=per_tile_std / mean if mean else 0.0,
+            array_avg_std=array_avg_std,
+            array_avg_rel=array_avg_std / mean if mean else 0.0,
+        )

@@ -1,0 +1,83 @@
+"""Wavelets: the fabric's unit of communication (paper Sec. III-B, IV-A).
+
+A wavelet is a single 32-bit message.  Data wavelets carry payload
+words of a vector transmission; command wavelets carry a list of router
+commands — the marching multicast's "advance"/"reset" control messages
+that trigger router state transitions when they arrive (Fig. 4).
+Routers can be configured to *react to* and/or *pop* the first command
+before forwarding downstream, which is how "advance" reaches exactly the
+next tile in line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["WaveletKind", "RouterCommand", "Wavelet"]
+
+
+class WaveletKind(enum.Enum):
+    """Data versus control plane."""
+
+    DATA = "data"
+    COMMAND = "command"
+
+
+class RouterCommand(enum.Enum):
+    """Commands carried by marching-multicast control wavelets."""
+
+    ADVANCE = "advance"  # move to the next role in the systolic pipeline
+    RESET = "reset"      # return to the body state (end of stage)
+
+
+@dataclass
+class Wavelet:
+    """One 32-bit fabric message.
+
+    Attributes
+    ----------
+    kind:
+        Data or command.
+    vc:
+        Virtual channel (the exchange uses 4: +/- horizontal, +/- vertical).
+    src:
+        Originating tile's flat index (diagnostic; hardware wavelets
+        carry no source, delivery order is the identification mechanism).
+    payload:
+        For DATA: the word's value (diagnostics).  For COMMAND: unused.
+    commands:
+        For COMMAND wavelets: the command list, first element is acted
+        on / popped by configured routers.
+    seq:
+        Word index within the vector transmission (diagnostic).
+    """
+
+    kind: WaveletKind
+    vc: int
+    src: int
+    payload: float = 0.0
+    commands: list[RouterCommand] = field(default_factory=list)
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is WaveletKind.COMMAND and not self.commands:
+            raise ValueError("command wavelet with an empty command list")
+
+    @property
+    def is_command(self) -> bool:
+        """True for control-plane wavelets."""
+        return self.kind is WaveletKind.COMMAND
+
+    def popped(self) -> "Wavelet":
+        """Copy with the first command removed (router 'pop' behaviour)."""
+        if not self.is_command:
+            raise ValueError("cannot pop commands from a data wavelet")
+        return Wavelet(
+            kind=self.kind,
+            vc=self.vc,
+            src=self.src,
+            payload=self.payload,
+            commands=self.commands[1:],
+            seq=self.seq,
+        )

@@ -1,0 +1,121 @@
+"""Baseline platform models: anchor reproduction and curve shapes."""
+
+import pytest
+
+from repro.baselines.cpu_model import QUARTZ_MODELS, SKYLAKE_LJ_MODEL
+from repro.baselines.gpu_model import FRONTIER_MODELS, V100_LJ_MODEL
+from repro.baselines.platform import FRONTIER, QUARTZ
+from repro.baselines.sweep import powers_of_two, sweep_cpu, sweep_gpu
+
+N_PAPER = 801_792
+
+GPU_ANCHORS = {"Cu": 973, "W": 998, "Ta": 1_530}
+CPU_ANCHORS = {"Cu": 3_120, "W": 3_633, "Ta": 4_938}
+
+
+class TestGpuModel:
+    @pytest.mark.parametrize("symbol", ["Cu", "W", "Ta"])
+    def test_best_rate_matches_table1(self, symbol):
+        rate, n = FRONTIER_MODELS[symbol].best_rate(N_PAPER)
+        assert rate == pytest.approx(GPU_ANCHORS[symbol], rel=0.02)
+
+    @pytest.mark.parametrize("symbol", ["Cu", "W", "Ta"])
+    def test_best_near_32_gcds(self, symbol):
+        """Table IV credits Frontier at 32 GCDs (~25k atoms per GCD)."""
+        _, n = FRONTIER_MODELS[symbol].best_rate(N_PAPER)
+        assert 16 <= n <= 64
+
+    def test_rate_declines_past_optimum(self):
+        m = FRONTIER_MODELS["Ta"]
+        best, n = m.best_rate(N_PAPER)
+        assert m.rate(N_PAPER, n * 8) < best
+
+    def test_kernel_launch_floor_binds_at_small_atoms_per_gcd(self):
+        m = FRONTIER_MODELS["Cu"]
+        # far beyond the knee, halving atoms/GCD doesn't help
+        assert m.rate(N_PAPER, 512) == pytest.approx(
+            m.rate(N_PAPER, 1024) / 1.0, rel=0.1
+        )
+
+    def test_v100_lj_anchor(self):
+        # paper Sec. II-B: < 10k steps/s for 1k-atom LJ on a V100
+        assert V100_LJ_MODEL.rate(1_000, 1) < 10_000
+        assert V100_LJ_MODEL.rate(1_000, 1) > 5_000
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FRONTIER_MODELS["Cu"].rate(0, 1)
+
+
+class TestCpuModel:
+    @pytest.mark.parametrize("symbol", ["Cu", "W", "Ta"])
+    def test_rate_at_400_nodes_matches_table1(self, symbol):
+        """Paper: scaling stalls at 400 dual-socket nodes."""
+        r = QUARTZ_MODELS[symbol].rate_for_nodes(N_PAPER, 400)
+        assert r == pytest.approx(CPU_ANCHORS[symbol], rel=0.02)
+
+    @pytest.mark.parametrize("symbol", ["Cu", "W", "Ta"])
+    def test_best_rate_close_to_anchor(self, symbol):
+        rate, n = QUARTZ_MODELS[symbol].best_rate(N_PAPER)
+        assert rate == pytest.approx(CPU_ANCHORS[symbol], rel=0.05)
+        assert 200 <= n <= 1200  # flat region around the stall
+
+    def test_rate_declines_at_large_node_counts(self):
+        m = QUARTZ_MODELS["Ta"]
+        assert m.rate_for_nodes(N_PAPER, 2048) < m.rate_for_nodes(N_PAPER, 512)
+
+    def test_cpu_beats_gpu_at_this_size(self):
+        """Paper Sec. V-A: CPUs are more effective than GPUs here."""
+        for sym in ("Cu", "W", "Ta"):
+            assert (
+                QUARTZ_MODELS[sym].best_rate(N_PAPER)[0]
+                > FRONTIER_MODELS[sym].best_rate(N_PAPER)[0]
+            )
+
+    def test_skylake_lj_anchor(self):
+        # ~25k steps/s for the 1k-atom LJ system on 36 ranks
+        assert SKYLAKE_LJ_MODEL.rate(1_000, 36) == pytest.approx(
+            25_000, rel=0.2
+        )
+
+
+class TestPlatforms:
+    def test_peak_flops_match_table4(self):
+        assert FRONTIER.peak_flops(32) == pytest.approx(0.77e15)
+        assert QUARTZ.peak_flops(800) == pytest.approx(0.50e15)
+
+    def test_power_accounting(self):
+        assert FRONTIER.power(32) == pytest.approx(32 * 430.0)
+        with pytest.raises(ValueError):
+            FRONTIER.power(0)
+
+    def test_unit_bounds(self):
+        with pytest.raises(ValueError):
+            QUARTZ.power(100_000)
+
+
+class TestSweeps:
+    def test_powers_of_two(self):
+        assert powers_of_two(1, 8) == [1, 2, 4, 8]
+        assert powers_of_two(3, 20) == [4, 8, 16]
+        with pytest.raises(ValueError):
+            powers_of_two(0, 4)
+
+    def test_gpu_sweep_shape(self):
+        pts = sweep_gpu(FRONTIER_MODELS["Ta"], FRONTIER, N_PAPER)
+        rates = [p.rate_steps_per_s for p in pts]
+        # rises then flattens/declines
+        assert max(rates) == pytest.approx(1_530, rel=0.05)
+        assert rates[0] < max(rates)
+
+    def test_cpu_sweep_efficiency_declines_with_nodes(self):
+        pts = sweep_cpu(QUARTZ_MODELS["Ta"], QUARTZ, N_PAPER,
+                        node_counts=[1, 16, 400, 2048])
+        eff = [p.steps_per_joule for p in pts]
+        assert eff[0] > eff[-1]
+
+    def test_gpu_best_efficiency_at_one_gcd(self):
+        """Paper: best GPU energy efficiency using only one GCD."""
+        pts = sweep_gpu(FRONTIER_MODELS["Ta"], FRONTIER, N_PAPER)
+        best = max(pts, key=lambda p: p.steps_per_joule)
+        assert best.units == 1

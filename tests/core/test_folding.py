@@ -1,0 +1,113 @@
+"""Periodic folding tests (paper Fig. 5 properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.folding import FabricProjection, circle_distance, fold_coordinate
+from repro.md.boundary import Box
+
+
+class TestFoldCoordinate:
+    def test_near_half_maps_doubled(self):
+        assert fold_coordinate(np.array([3.0]), 20.0)[0] == pytest.approx(6.0)
+
+    def test_far_half_interleaves(self):
+        # u and L-u map to adjacent line positions
+        w1 = fold_coordinate(np.array([3.0]), 20.0)[0]
+        w2 = fold_coordinate(np.array([17.0]), 20.0)[0]
+        assert abs(w1 - w2) == pytest.approx(1.0)
+
+    def test_wraps_input(self):
+        w1 = fold_coordinate(np.array([23.0]), 20.0)[0]
+        w2 = fold_coordinate(np.array([3.0]), 20.0)[0]
+        assert w1 == pytest.approx(w2)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            fold_coordinate(np.array([1.0]), 0.0)
+
+    @given(
+        u1=st.floats(0, 100), u2=st.floats(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lipschitz_bound_2d_plus_1(self, u1, u2):
+        """|w(u1) - w(u2)| <= 2 d_circle + 1: the two-hop property."""
+        length = 25.0
+        w1 = fold_coordinate(np.array([u1]), length)[0]
+        w2 = fold_coordinate(np.array([u2]), length)[0]
+        d = circle_distance(np.array([u1]), np.array([u2]), length)[0]
+        assert abs(w1 - w2) <= 2.0 * d + 1.0 + 1e-9
+
+    def test_output_range(self):
+        u = np.linspace(0, 30.0, 1000)
+        w = fold_coordinate(u, 30.0)
+        assert w.min() >= -1.0 - 1e-9
+        assert w.max() <= 30.0 + 1e-9
+
+
+class TestCircleDistance:
+    def test_wraps(self):
+        assert circle_distance(1.0, 19.0, 20.0) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        assert circle_distance(3.0, 15.0, 20.0) == circle_distance(
+            15.0, 3.0, 20.0
+        )
+
+    def test_max_is_half_period(self):
+        assert circle_distance(0.0, 10.0, 20.0) == pytest.approx(10.0)
+
+
+class TestFabricProjection:
+    def test_open_box_projection_is_identity(self):
+        box = Box.open([20, 20, 10])
+        proj = FabricProjection(box)
+        pos = np.array([[1.0, 2.0, 3.0], [-4.0, 5.0, -1.0]])
+        out = proj.project(pos)
+        assert np.allclose(out, pos[:, :2])
+        assert np.all(proj.lipschitz == 1.0)
+
+    def test_periodic_x_folds(self):
+        box = Box(np.array([20.0, 20.0, 10.0]), periodic=[True, False, False],
+                  origin=np.zeros(3))
+        proj = FabricProjection(box)
+        out = proj.project(np.array([[3.0, 5.0, 0.0]]))
+        assert out[0, 0] == pytest.approx(6.0)
+        assert out[0, 1] == pytest.approx(5.0)
+        assert proj.lipschitz.tolist() == [2.0, 1.0]
+
+    def test_z_periodicity_ignored(self):
+        # z periodicity needs no folding: the projection discards z
+        box = Box(np.array([20.0, 20.0, 10.0]), periodic=[False, False, True])
+        proj = FabricProjection(box)
+        assert not any(proj.fold_dims)
+
+    def test_separation_bound(self):
+        box = Box(np.array([20.0, 20.0, 10.0]), periodic=[True, False, False],
+                  origin=np.zeros(3))
+        proj = FabricProjection(box)
+        assert proj.separation_bound(4.0) == pytest.approx(9.0)  # 2*4 + 1
+        open_proj = FabricProjection(Box.open([20, 20, 10]))
+        assert open_proj.separation_bound(4.0) == pytest.approx(4.0)
+
+    def test_plane_extent_fixed_for_folded_dim(self):
+        box = Box(np.array([20.0, 20.0, 10.0]), periodic=[True, False, False],
+                  origin=np.zeros(3))
+        proj = FabricProjection(box)
+        pos = np.array([[1.0, -3.0, 0.0], [8.0, 7.0, 0.0]])
+        lo, hi = proj.plane_extent(pos)
+        assert lo[0] == -1.0 and hi[0] == 20.0
+        assert lo[1] == -3.0 and hi[1] == 7.0
+
+    def test_interacting_atoms_stay_close_after_fold(self):
+        """Across the periodic seam, folded coordinates remain adjacent."""
+        box = Box(np.array([30.0, 30.0, 10.0]), periodic=[True, False, False],
+                  origin=np.zeros(3))
+        proj = FabricProjection(box)
+        a = np.array([[0.5, 0.0, 0.0]])
+        b = np.array([[29.5, 0.0, 0.0]])  # 1 A apart across the seam
+        wa = proj.project(a)[0, 0]
+        wb = proj.project(b)[0, 0]
+        assert abs(wa - wb) <= 3.0  # 2*1 + 1

@@ -1,0 +1,174 @@
+"""Mapping invariants: bijectivity, bounded cost, layer awareness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import (
+    Mapping,
+    assign_rows,
+    build_mapping,
+    grid_for_atoms,
+    layer_offsets,
+)
+from repro.lattice.slab import make_slab
+from repro.md.boundary import Box
+from repro.potentials.elements import ELEMENTS
+from repro.wse.geometry import TileGrid
+
+
+def slab_and_box(symbol="Ta", reps=(8, 8, 3), pad=20.0):
+    el = ELEMENTS[symbol]
+    slab = make_slab(el.cell, el.lattice_constant, reps)
+    return slab, Box.open(slab.box + pad)
+
+
+class TestAssignRows:
+    def test_no_collision_identity(self):
+        d = np.array([1, 3, 5, 7])
+        assert assign_rows(d, 10).tolist() == [1, 3, 5, 7]
+
+    def test_collisions_spread_centered(self):
+        d = np.array([5, 5, 5])
+        rows = assign_rows(d, 11)
+        assert len(set(rows.tolist())) == 3
+        assert abs(int(np.mean(rows)) - 5) <= 1
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            assign_rows(np.array([0, 0, 0]), 2)
+
+    def test_empty(self):
+        assert len(assign_rows(np.array([], dtype=int), 5)) == 0
+
+    @given(
+        n_rows=st.integers(4, 60),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_distinct_monotone_in_range(self, n_rows, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(1, n_rows + 1)
+        d = np.sort(rng.integers(0, n_rows, size=m))
+        rows = assign_rows(d, n_rows)
+        assert len(np.unique(rows)) == m
+        assert np.all(np.diff(rows) > 0)
+        assert rows.min() >= 0 and rows.max() < n_rows
+
+    def test_no_accumulating_drift_under_uniform_overload(self):
+        """2 atoms per even row at 94% fill: displacement stays local."""
+        d = np.sort(np.repeat(np.arange(0, 232, 2), 2)[:218])
+        rows = assign_rows(d, 232)
+        assert np.abs(rows - d).max() <= 30  # bounded, not ~115
+
+
+class TestGridSizing:
+    def test_capacity_sufficient(self):
+        g = grid_for_atoms(1000, np.array([100.0, 100.0]), fill=0.9)
+        assert g.n_tiles >= 1000
+
+    def test_aspect_follows_extent(self):
+        g = grid_for_atoms(1000, np.array([400.0, 100.0]))
+        assert g.nx > g.ny
+
+    def test_max_tiles_enforced(self):
+        with pytest.raises(ValueError, match="machine has"):
+            grid_for_atoms(1000, np.array([10.0, 10.0]), max_tiles=500)
+
+    def test_paper_fill_factor(self):
+        # 801,792 atoms at 94% -> within the 850k-core wafer
+        g = grid_for_atoms(801_792, np.array([850.0, 860.0]), fill=0.94)
+        assert 801_792 <= g.n_tiles <= 880_000
+
+
+class TestLayerOffsets:
+    def test_flat_config_has_no_layers(self):
+        z = np.zeros(100)
+        assert layer_offsets(z) is None
+
+    def test_slab_layers_detected(self):
+        slab, _ = slab_and_box("Ta", (4, 4, 3))
+        offs = layer_offsets(slab.positions[:, 2])
+        assert offs is not None
+        # adjacent layers get adjacent pattern cells (serpentine)
+        zs = np.unique(np.round(slab.positions[:, 2], 6))
+        by_z = {}
+        for z in zs:
+            mask = np.isclose(slab.positions[:, 2], z)
+            by_z[z] = offs[mask][0]
+        keys = sorted(by_z)
+        for z1, z2 in zip(keys, keys[1:]):
+            d = np.abs(by_z[z1] - by_z[z2])
+            assert d.max() <= 1.0 + 1e-9
+
+    def test_same_layer_same_offset(self):
+        slab, _ = slab_and_box("Cu", (4, 4, 3))
+        offs = layer_offsets(slab.positions[:, 2])
+        z0 = slab.positions[0, 2]
+        mask = np.isclose(slab.positions[:, 2], z0)
+        assert np.allclose(offs[mask], offs[mask][0])
+
+
+class TestBuildMapping:
+    def test_one_to_one(self):
+        slab, box = slab_and_box()
+        m = build_mapping(slab.positions, box)
+        assert len(np.unique(m.atom_core)) == slab.n_atoms
+
+    def test_cost_is_small_and_size_independent(self):
+        costs = []
+        for reps in ((8, 8, 3), (16, 16, 3), (32, 32, 3)):
+            slab, box = slab_and_box("Ta", reps)
+            m = build_mapping(slab.positions, box)
+            costs.append(m.assignment_cost(slab.positions))
+        assert max(costs) < 5.0  # paper's offline optimum: 2.1 A
+        assert costs[2] < costs[0] * 2.0  # no growth with system size
+
+    def test_per_atom_cost_max_norm(self):
+        slab, box = slab_and_box()
+        m = build_mapping(slab.positions, box)
+        per = m.per_atom_cost(slab.positions)
+        assert per.shape == (slab.n_atoms,)
+        assert m.assignment_cost(slab.positions) == pytest.approx(per.max())
+
+    def test_occupancy_counts(self):
+        slab, box = slab_and_box()
+        m = build_mapping(slab.positions, box)
+        occ = m.occupancy()
+        assert occ.sum() == slab.n_atoms
+        assert occ.shape == (m.grid.nx, m.grid.ny)
+
+    def test_explicit_grid_respected(self):
+        slab, box = slab_and_box("Ta", (4, 4, 2))
+        g = TileGrid(30, 30)
+        m = build_mapping(slab.positions, box, grid=g)
+        assert m.grid is g
+
+    def test_too_small_grid_rejected(self):
+        slab, box = slab_and_box("Ta", (4, 4, 2))
+        with pytest.raises(ValueError, match="too small"):
+            build_mapping(slab.positions, box, grid=TileGrid(5, 5))
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_mapping(np.empty((0, 3)), Box.open([10, 10, 10]))
+
+    def test_duplicate_core_rejected_in_mapping_type(self):
+        slab, box = slab_and_box("Ta", (3, 3, 2))
+        m = build_mapping(slab.positions, box)
+        bad = m.atom_core.copy()
+        bad[1] = bad[0]
+        with pytest.raises(ValueError, match="one-to-one"):
+            Mapping(
+                grid=m.grid, projection=m.projection, pitch=m.pitch,
+                origin=m.origin, atom_core=bad,
+            )
+
+    def test_random_gas_also_maps(self):
+        """Non-crystal configurations (no layers) still map one-to-one."""
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(-20, 20, size=(500, 3)) * [1, 1, 0.1]
+        box = Box.open([60, 60, 20])
+        m = build_mapping(pos, box)
+        assert len(np.unique(m.atom_core)) == 500

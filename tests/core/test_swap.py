@@ -1,0 +1,137 @@
+"""Atom-swap protocol: conservation, mutuality, cost improvement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.swap import SWAP_OFFSETS, SwapEngine
+
+
+def make_grids(nx, ny, seed=0, occupancy=0.9):
+    """Random per-tile atom projections with some empty tiles."""
+    rng = np.random.default_rng(seed)
+    occ = rng.random((nx, ny)) < occupancy
+    centers = np.empty((nx, ny, 2))
+    centers[:, :, 0] = np.arange(nx)[:, None]
+    centers[:, :, 1] = np.arange(ny)[None, :]
+    # atoms near their core, some scrambled
+    proj = centers + rng.normal(scale=1.2, size=(nx, ny, 2))
+    proj[~occ] = 1e15
+    return occ, proj, centers
+
+
+def total_cost(proj, occ, centers):
+    d = np.abs(proj - centers).max(axis=2)
+    return float(d[occ].max()), float(d[occ].sum())
+
+
+class TestProposal:
+    def test_no_swaps_for_perfect_assignment(self):
+        occ = np.ones((6, 6), dtype=bool)
+        centers = np.empty((6, 6, 2))
+        centers[:, :, 0] = np.arange(6)[:, None]
+        centers[:, :, 1] = np.arange(6)[None, :]
+        engine = SwapEngine()
+        choice, benefit = engine.propose(centers.copy(), occ, centers,
+                                         np.array([1.0, 1.0]))
+        assert np.all(choice == -1)
+
+    def test_obvious_swap_detected(self):
+        # two adjacent tiles holding each other's atom
+        occ = np.ones((4, 4), dtype=bool)
+        centers = np.empty((4, 4, 2))
+        centers[:, :, 0] = np.arange(4)[:, None]
+        centers[:, :, 1] = np.arange(4)[None, :]
+        proj = centers.copy()
+        proj[1, 1] = centers[2, 1]
+        proj[2, 1] = centers[1, 1]
+        engine = SwapEngine()
+        choice, benefit = engine.propose(proj, occ, centers,
+                                         np.array([1.0, 1.0]))
+        # (1,1) prefers +x (offset 0), (2,1) prefers -x (offset 1)
+        assert choice[1, 1] == 0
+        assert choice[2, 1] == 1
+        assert benefit[1, 1] > 0
+
+    def test_move_into_empty_tile(self):
+        occ = np.ones((4, 4), dtype=bool)
+        occ[2, 1] = False
+        centers = np.empty((4, 4, 2))
+        centers[:, :, 0] = np.arange(4)[:, None]
+        centers[:, :, 1] = np.arange(4)[None, :]
+        proj = centers.copy()
+        proj[1, 1] = centers[2, 1]  # atom belongs where the hole is
+        proj[2, 1] = 1e15
+        engine = SwapEngine()
+        grids = {"proj": proj, "occ": occ}
+        n = engine.apply(grids, proj, occ, centers, np.array([1.0, 1.0]))
+        assert n == 1
+        assert grids["occ"][2, 1] and not grids["occ"][1, 1]
+
+
+class TestApply:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_atoms_conserved(self, seed):
+        occ, proj, centers = make_grids(8, 8, seed)
+        ids = np.where(occ, np.arange(64).reshape(8, 8), -1)
+        engine = SwapEngine()
+        grids = {"proj": proj, "occ": occ, "ids": ids}
+        engine.apply(grids, proj, occ, centers, np.array([1.0, 1.0]))
+        held = set(grids["ids"][grids["occ"]].tolist())
+        expected = set(ids[ids >= 0].tolist())
+        assert held == expected
+        assert grids["occ"].sum() == occ.sum() if grids is not None else True
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_total_cost_never_increases(self, seed):
+        occ, proj, centers = make_grids(8, 8, seed)
+        engine = SwapEngine()
+        _, sum_before = total_cost(proj, occ, centers)
+        grids = {"proj": proj, "occ": occ}
+        engine.apply(grids, proj, occ, centers, np.array([1.0, 1.0]))
+        _, sum_after = total_cost(grids["proj"], grids["occ"], centers)
+        # every executed swap had positive local benefit
+        assert sum_after <= sum_before + 1e-9
+
+    def test_repeated_rounds_converge(self):
+        occ, proj, centers = make_grids(10, 10, seed=5)
+        engine = SwapEngine()
+        grids = {"proj": proj, "occ": occ}
+        costs = []
+        for _ in range(40):
+            engine.apply(grids, grids["proj"], grids["occ"], centers,
+                         np.array([1.0, 1.0]))
+            costs.append(total_cost(grids["proj"], grids["occ"], centers)[1])
+        # strictly improving then stable
+        assert costs[-1] <= costs[0]
+        assert costs[-1] == pytest.approx(costs[-2])
+
+    def test_scrambled_mapping_substantially_improved(self):
+        """A deliberately bad start (paper Fig. 9's transient) recovers."""
+        rng = np.random.default_rng(1)
+        nx = ny = 12
+        occ = np.ones((nx, ny), dtype=bool)
+        centers = np.empty((nx, ny, 2))
+        centers[:, :, 0] = np.arange(nx)[:, None]
+        centers[:, :, 1] = np.arange(ny)[None, :]
+        # locally shuffled atoms: permute within 3x3 blocks heavily
+        proj = centers + rng.normal(scale=2.0, size=(nx, ny, 2))
+        engine = SwapEngine()
+        grids = {"proj": proj}
+        start = total_cost(proj, occ, centers)[1]
+        for _ in range(60):
+            engine.apply(grids, grids["proj"], occ, centers,
+                         np.array([1.0, 1.0]))
+        end = total_cost(grids["proj"], occ, centers)[1]
+        assert end < 0.7 * start
+
+
+class TestOffsets:
+    def test_offsets_paired_with_opposites(self):
+        from repro.core.swap import _OPPOSITE
+        for k, (dx, dy) in enumerate(SWAP_OFFSETS):
+            ox, oy = SWAP_OFFSETS[_OPPOSITE[k]]
+            assert (ox, oy) == (-dx, -dy)

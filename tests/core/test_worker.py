@@ -1,0 +1,117 @@
+"""Scalar worker program vs the reference force kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.worker import Candidate, Worker
+from repro.md.boundary import Box
+from repro.md.cell_list import all_pairs
+from repro.potentials.base import PairTable
+from repro.potentials.eam import EAMPotential
+from repro.potentials.elements import ELEMENTS, make_element_tables
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    rng = np.random.default_rng(21)
+    pos = rng.uniform(0, 8.0, size=(12, 3))
+    from scipy.spatial.distance import pdist
+    while pdist(pos).min() < 2.0:
+        pos = rng.uniform(0, 8.0, size=(12, 3))
+    return pos
+
+
+@pytest.fixture(scope="module")
+def reference(cluster):
+    tables = make_element_tables("Ta")
+    pot = EAMPotential(tables)
+    box = Box.open([100, 100, 100])
+    i, j, rij, r = all_pairs(cluster, tables.cutoff, box)
+    pairs = PairTable(i=i, j=j, rij=rij, r=r)
+    rho = pot.accumulate_density(len(cluster), pairs)
+    f_val, f_der = pot.embed(rho)
+    e_pair, forces = pot.pair_energy_forces(len(cluster), pairs, f_der)
+    return {
+        "tables": tables, "pairs": pairs, "rho": rho, "f_val": f_val,
+        "f_der": f_der, "e_pair": e_pair, "forces": forces,
+    }
+
+
+def run_worker(cluster, reference, atom: int):
+    tables = reference["tables"]
+    w = Worker(
+        atom_id=atom,
+        position=cluster[atom].copy(),
+        velocity=np.zeros(3),
+        tables=tables,
+        mass=ELEMENTS["Ta"].mass,
+    )
+    candidates = [
+        Candidate(atom_id=k, position=cluster[k])
+        for k in range(len(cluster)) if k != atom
+    ]
+    w.receive_candidates(candidates)
+    return w, candidates
+
+
+class TestWorkerProgram:
+    def test_neighbor_list_is_ordinal_list(self, cluster, reference):
+        w, candidates = run_worker(cluster, reference, 0)
+        tables = reference["tables"]
+        for ordinal in w.neighbor_list:
+            d = np.linalg.norm(candidates[ordinal].position - cluster[0])
+            assert d < tables.cutoff
+        assert w.neighbor_list == sorted(w.neighbor_list)
+
+    def test_density_matches_reference(self, cluster, reference):
+        for atom in range(len(cluster)):
+            w, _ = run_worker(cluster, reference, atom)
+            w.compute_embedding()
+            assert w.rho_bar == pytest.approx(reference["rho"][atom], abs=1e-12)
+
+    def test_embedding_derivative_matches(self, cluster, reference):
+        w, _ = run_worker(cluster, reference, 3)
+        f_der = w.compute_embedding()
+        assert f_der == pytest.approx(reference["f_der"][3], abs=1e-12)
+
+    def test_force_matches_reference(self, cluster, reference):
+        for atom in (0, 5, 11):
+            w, candidates = run_worker(cluster, reference, atom)
+            w.compute_embedding()
+            neighbor_ids = [candidates[o].atom_id for o in w.neighbor_list]
+            # the embedding exchange delivers neighbors' F'
+            neighbor_fder = reference["f_der"][neighbor_ids]
+            force = w.compute_force(neighbor_fder)
+            assert np.allclose(force, reference["forces"][atom], atol=1e-10)
+
+    def test_pair_energy_matches(self, cluster, reference):
+        w, _ = run_worker(cluster, reference, 2)
+        w.compute_embedding()
+        assert w.pair_energy() == pytest.approx(
+            reference["e_pair"][2], abs=1e-12
+        )
+
+    def test_integrate_leapfrog_step(self, reference):
+        tables = reference["tables"]
+        w = Worker(
+            atom_id=0, position=np.zeros(3), velocity=np.array([1.0, 0, 0]),
+            tables=tables, mass=100.0,
+        )
+        w.receive_candidates([])
+        w.compute_embedding()
+        w.integrate(np.zeros(3), dt_fs=1000.0)  # 1 ps, no force
+        assert np.allclose(w.position, [1.0, 0.0, 0.0])
+
+    def test_force_requires_matching_fder_length(self, cluster, reference):
+        w, _ = run_worker(cluster, reference, 0)
+        w.compute_embedding()
+        with pytest.raises(ValueError, match="one F' per neighbor"):
+            w.compute_force(np.zeros(w.n_interactions + 1))
+
+    def test_staging_order_enforced(self, reference):
+        w = Worker(
+            atom_id=0, position=np.zeros(3), velocity=np.zeros(3),
+            tables=reference["tables"], mass=1.0,
+        )
+        with pytest.raises(RuntimeError):
+            w.compute_embedding()

@@ -1,0 +1,81 @@
+"""Multi-frame trajectory I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io.xyz import read_xyz_frames, write_xyz
+from repro.md.boundary import Box
+from repro.md.state import AtomsState
+
+
+def make_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return AtomsState.from_positions(
+        rng.uniform(0, 8, (5, 3)), Box.open([20, 20, 20])
+    )
+
+
+class TestFrames:
+    def test_multi_frame_roundtrip(self):
+        buf = io.StringIO()
+        states = [make_state(k) for k in range(3)]
+        for s in states:
+            write_xyz(s, buf)
+        buf.seek(0)
+        frames = read_xyz_frames(buf)
+        assert len(frames) == 3
+        for loaded, orig in zip(frames, states):
+            assert np.allclose(loaded.positions, orig.positions)
+
+    def test_trajectory_evolution_preserved(self, ta_potential):
+        """Write a real short trajectory and read it back in order."""
+        from tests.conftest import small_slab_state
+        from repro.md.simulation import Simulation
+        state = small_slab_state("Ta", (3, 3, 2), temperature=200.0)
+        sim = Simulation(state, ta_potential)
+        buf = io.StringIO()
+        for _ in range(3):
+            sim.run(5)
+            write_xyz(state, buf, append=True)
+        buf.seek(0)
+        frames = read_xyz_frames(buf)
+        assert len(frames) == 3
+        d01 = np.abs(frames[0].positions - frames[1].positions).max()
+        assert d01 > 0  # motion between frames preserved
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="no frames"):
+            read_xyz_frames(io.StringIO("\n\n"))
+
+    def test_truncated_final_frame_rejected(self):
+        buf = io.StringIO()
+        write_xyz(make_state(), buf)
+        text = buf.getvalue().splitlines()
+        bad = "\n".join(text + ["5", "garbage header"])
+        with pytest.raises(ValueError, match="file ends"):
+            read_xyz_frames(io.StringIO(bad))
+
+    def test_blank_lines_between_frames_tolerated(self):
+        buf = io.StringIO()
+        write_xyz(make_state(0), buf)
+        buf.write("\n")
+        write_xyz(make_state(1), buf)
+        buf.seek(0)
+        assert len(read_xyz_frames(buf)) == 2
+
+
+class TestFacilityStrongScaling:
+    def test_rate_flat_with_node_count(self):
+        """Sec. VI-D outlook: wafer clusters buy capacity, not rate."""
+        from repro.perfmodel.multiwafer import MultiWaferModel
+        m = MultiWaferModel()
+        sweep = m.facility_strong_scaling(
+            "Ta", 40_000_000, 8, 88, 1.39, 3.65e-6, 274_016,
+        )
+        rates = [p.rate_steps_per_s for _, p in sweep]
+        assert max(rates) / min(rates) < 1.05
+        # subdomains shrink with node count
+        interiors = [p.n_interior for _, p in sweep]
+        assert interiors[0] > interiors[-1]

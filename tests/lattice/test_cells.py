@@ -1,0 +1,44 @@
+"""Bravais cell definitions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lattice.cells import BCC, FCC, SC, BravaisCell, cell_by_name
+
+
+class TestCells:
+    def test_atoms_per_cell(self):
+        assert FCC.atoms_per_cell == 4
+        assert BCC.atoms_per_cell == 2
+        assert SC.atoms_per_cell == 1
+
+    def test_nn_distances(self):
+        assert FCC.nn_distance(1.0) == pytest.approx(1 / math.sqrt(2))
+        assert BCC.nn_distance(1.0) == pytest.approx(math.sqrt(3) / 2)
+        assert SC.nn_distance(2.0) == pytest.approx(2.0)
+
+    def test_atomic_volume(self):
+        assert FCC.atomic_volume(3.615) == pytest.approx(3.615**3 / 4)
+        assert BCC.atomic_volume(3.304) == pytest.approx(3.304**3 / 2)
+
+    def test_number_density_inverse_of_volume(self):
+        for cell in (FCC, BCC, SC):
+            assert cell.number_density(2.0) * cell.atomic_volume(2.0) == (
+                pytest.approx(1.0)
+            )
+
+    def test_lookup_by_name(self):
+        assert cell_by_name("FCC") is FCC
+        assert cell_by_name("bcc") is BCC
+        with pytest.raises(ValueError, match="unknown structure"):
+            cell_by_name("hcp")
+
+    def test_rejects_bad_basis(self):
+        with pytest.raises(ValueError):
+            BravaisCell(name="bad", basis=np.array([[0.0, 0.0]]), nn_factor=1.0)
+        with pytest.raises(ValueError):
+            BravaisCell(
+                name="bad", basis=np.array([[1.5, 0.0, 0.0]]), nn_factor=1.0
+            )

@@ -1,0 +1,90 @@
+"""Crystal replication and ideal-shell tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.cells import BCC, FCC
+from repro.lattice.crystals import replicate
+from repro.lattice.neighbors_ideal import (
+    coordination_within,
+    lattice_sum,
+    neighbor_shells,
+)
+
+
+class TestReplicate:
+    def test_atom_count(self):
+        c = replicate(FCC, 3.6, (3, 4, 5))
+        assert c.n_atoms == 3 * 4 * 5 * 4
+
+    def test_box_extent(self):
+        c = replicate(BCC, 3.0, (2, 3, 4))
+        assert np.allclose(c.box, [6.0, 9.0, 12.0])
+
+    def test_positions_inside_box(self):
+        c = replicate(FCC, 3.6, (3, 3, 3))
+        assert np.all(c.positions >= 0)
+        assert np.all(c.positions < c.box)
+
+    def test_no_duplicate_positions(self):
+        c = replicate(BCC, 3.0, (3, 3, 3))
+        uniq = np.unique(np.round(c.positions, 9), axis=0)
+        assert len(uniq) == c.n_atoms
+
+    def test_origin_shift(self):
+        c = replicate(FCC, 3.6, (2, 2, 2), origin=np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(c.positions.min(axis=0), [1.0, 2.0, 3.0])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            replicate(FCC, -1.0, (2, 2, 2))
+        with pytest.raises(ValueError):
+            replicate(FCC, 3.6, (0, 2, 2))
+
+    @given(
+        nx=st.integers(1, 4), ny=st.integers(1, 4), nz=st.integers(1, 4)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_replication_count_property(self, nx, ny, nz):
+        c = replicate(BCC, 2.5, (nx, ny, nz))
+        assert c.n_atoms == 2 * nx * ny * nz
+
+
+class TestShells:
+    def test_fcc_first_shells(self):
+        shells = neighbor_shells(FCC, 2.1)
+        # 12, 6, 24, 12 at 1, sqrt2, sqrt3, 2 (in NN units)
+        assert shells[0] == (pytest.approx(1.0), 12)
+        assert shells[1][1] == 6
+        assert shells[2][1] == 24
+        assert shells[3][1] == 12
+
+    def test_bcc_first_shells(self):
+        shells = neighbor_shells(BCC, 1.7)
+        assert shells[0] == (pytest.approx(1.0), 8)
+        assert shells[1][1] == 6
+        assert shells[2][1] == 12
+
+    def test_paper_coordination_numbers(self):
+        assert coordination_within(FCC, 1.94) == 42   # Cu
+        assert coordination_within(BCC, 1.39) == 14   # Ta
+        assert coordination_within(BCC, 2.02) == 58   # W (ideal lattice)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError):
+            neighbor_shells(FCC, 0.0)
+
+    def test_lattice_sum_counts_neighbors(self):
+        # summing 1 over the first FCC shell = 12
+        nn = FCC.nn_distance(3.6)
+        total = lattice_sum(FCC, lambda r: 1.0, nn * 1.1, 3.6)
+        assert total == 12
+
+    def test_lattice_sum_scale(self):
+        # compressing the lattice pulls the second shell inside the cutoff
+        nn = BCC.nn_distance(3.0)
+        cutoff = nn * 1.1
+        assert lattice_sum(BCC, lambda r: 1.0, cutoff, 3.0, scale=1.0) == 8
+        assert lattice_sum(BCC, lambda r: 1.0, cutoff, 3.0, scale=0.9) == 14

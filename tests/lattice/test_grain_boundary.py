@@ -1,0 +1,64 @@
+"""Bicrystal grain-boundary construction."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist
+
+from repro.lattice.cells import BCC
+from repro.lattice.grain_boundary import make_grain_boundary_slab, rotation_z
+
+
+class TestRotation:
+    def test_identity(self):
+        assert np.allclose(rotation_z(0.0), np.eye(3))
+
+    def test_preserves_z(self):
+        r = rotation_z(0.3)
+        v = np.array([1.0, 2.0, 3.0])
+        assert (r @ v)[2] == pytest.approx(3.0)
+
+    def test_orthogonal(self):
+        r = rotation_z(1.1)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+
+
+@pytest.fixture(scope="module")
+def gb():
+    return make_grain_boundary_slab(
+        BCC, 3.304, (40.0, 40.0), 10.0, misorientation_deg=22.6
+    )
+
+
+class TestGrainBoundary:
+    def test_inside_requested_extent(self, gb):
+        assert np.all(np.abs(gb.positions[:, 0]) <= 20.0 + 1e-9)
+        assert np.all(np.abs(gb.positions[:, 1]) <= 20.0 + 1e-9)
+        assert np.all(np.abs(gb.positions[:, 2]) <= 5.0 + 1e-9)
+
+    def test_two_grains_present(self, gb):
+        lower = gb.positions[gb.positions[:, 1] < -5]
+        upper = gb.positions[gb.positions[:, 1] > 5]
+        assert len(lower) > 50 and len(upper) > 50
+
+    def test_no_overlapping_atoms(self, gb):
+        min_sep = pdist(gb.positions).min()
+        assert min_sep > 0.7 * BCC.nn_distance(3.304) - 1e-9
+
+    def test_grains_are_rotated_copies(self, gb):
+        # atoms far from the boundary sit on a rotated perfect lattice:
+        # their pairwise NN distance distribution matches the crystal's
+        lower = gb.positions[gb.positions[:, 1] < -8]
+        d = pdist(lower)
+        nn = BCC.nn_distance(3.304)
+        close = d[d < nn * 1.1]
+        assert np.allclose(close, nn, atol=0.01)
+
+    def test_density_reasonable(self, gb):
+        # bicrystal density within 20% of bulk
+        vol = 40.0 * 40.0 * 10.0
+        bulk = 2 / 3.304**3
+        assert gb.n_atoms / vol == pytest.approx(bulk, rel=0.2)
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            make_grain_boundary_slab(BCC, 3.3, (0.0, 10.0), 5.0)

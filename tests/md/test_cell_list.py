@@ -1,0 +1,124 @@
+"""Cell-list pair search vs brute force (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.boundary import Box
+from repro.md.cell_list import CellList, all_pairs, concatenated_ranges
+
+
+def pair_set(i, j):
+    return set(zip(i.tolist(), j.tolist()))
+
+
+def cell_list_pairs(positions, cutoff, box):
+    cl = CellList(box, cutoff)
+    cl.build(positions)
+    i, j = cl.candidate_pairs()
+    d = positions[j] - positions[i]
+    d = box.minimum_image(d)
+    r2 = np.einsum("ij,ij->i", d, d)
+    keep = r2 < cutoff * cutoff
+    return i[keep], j[keep]
+
+
+class TestConcatenatedRanges:
+    def test_basic(self):
+        out = concatenated_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_empty(self):
+        assert len(concatenated_ranges(np.array([], dtype=int),
+                                       np.array([], dtype=int))) == 0
+
+    def test_zero_counts_skipped(self):
+        out = concatenated_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert out.tolist() == [7, 8]
+
+
+class TestAgainstBruteForce:
+    @given(
+        n=st.integers(2, 40),
+        seed=st.integers(0, 1000),
+        cutoff=st.floats(0.5, 3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_open_box_matches_brute_force(self, n, seed, cutoff):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 10.0, size=(n, 3))
+        box = Box.open([20.0, 20.0, 20.0])
+        bi, bj, _, _ = all_pairs(pos, cutoff, box)
+        ci, cj = cell_list_pairs(pos, cutoff, box)
+        assert pair_set(bi, bj) == pair_set(ci, cj)
+
+    @given(n=st.integers(2, 30), seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_periodic_box_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        box = Box(np.array([9.0, 9.0, 9.0]), periodic=[True] * 3,
+                  origin=np.zeros(3))
+        pos = rng.uniform(0, 9.0, size=(n, 3))
+        cutoff = 2.5
+        bi, bj, _, _ = all_pairs(pos, cutoff, box)
+        ci, cj = cell_list_pairs(pos, cutoff, box)
+        assert pair_set(bi, bj) == pair_set(ci, cj)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_small_periodic_falls_back_to_brute(self, seed):
+        # box of 2 cells per dim: the stencil would alias; must still be correct
+        rng = np.random.default_rng(seed)
+        box = Box(np.array([6.0, 6.0, 6.0]), periodic=[True] * 3,
+                  origin=np.zeros(3))
+        pos = rng.uniform(0, 6.0, size=(12, 3))
+        cutoff = 2.5
+        bi, bj, _, _ = all_pairs(pos, cutoff, box)
+        ci, cj = cell_list_pairs(pos, cutoff, box)
+        assert pair_set(bi, bj) == pair_set(ci, cj)
+
+    def test_mixed_boundaries(self):
+        rng = np.random.default_rng(3)
+        box = Box(np.array([12.0, 30.0, 30.0]), periodic=[True, False, False],
+                  origin=np.zeros(3))
+        pos = rng.uniform(0, 12.0, size=(40, 3)) * [1.0, 2.0, 2.0]
+        bi, bj, _, _ = all_pairs(pos, 3.0, box)
+        ci, cj = cell_list_pairs(pos, 3.0, box)
+        assert pair_set(bi, bj) == pair_set(ci, cj)
+
+
+class TestStructure:
+    def test_pairs_are_directed_and_symmetric(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 8, size=(25, 3))
+        box = Box.open([20, 20, 20])
+        i, j = cell_list_pairs(pos, 3.0, box)
+        s = pair_set(i, j)
+        assert all((b, a) in s for a, b in s)
+        assert all(a != b for a, b in s)
+
+    def test_no_self_pairs_with_duplicated_positions(self):
+        # two atoms at identical positions: pair appears, but no (i, i)
+        pos = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [5.0, 5.0, 5.0]])
+        box = Box.open([20, 20, 20])
+        cl = CellList(box, 2.0)
+        cl.build(pos)
+        i, j = cl.candidate_pairs()
+        assert np.all(i != j)
+        assert (0, 1) in pair_set(i, j)
+
+    def test_rejects_nonfinite_positions(self):
+        box = Box.open([10, 10, 10])
+        cl = CellList(box, 2.0)
+        with pytest.raises(FloatingPointError):
+            cl.build(np.array([[0.0, 0.0, np.nan]]))
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            CellList(Box.open([10, 10, 10]), -1.0)
+
+    def test_candidate_pairs_before_build_raises(self):
+        cl = CellList(Box.open([10, 10, 10]), 2.0)
+        with pytest.raises(RuntimeError):
+            cl.candidate_pairs()

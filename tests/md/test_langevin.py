@@ -1,0 +1,63 @@
+"""Langevin thermostat tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.boundary import Box
+from repro.md.langevin import LangevinThermostat
+from repro.md.state import AtomsState
+
+
+def free_gas(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    return AtomsState.from_positions(
+        rng.uniform(0, 50, (n, 3)), Box.open([100, 100, 100]), mass=100.0
+    )
+
+
+class TestLangevin:
+    def test_heats_cold_system_to_target(self):
+        state = free_gas()
+        thermo = LangevinThermostat(300.0, damping_fs=50.0, seed=1)
+        for _ in range(3000):
+            thermo.apply(state, dt_fs=2.0)
+        assert state.temperature() == pytest.approx(300.0, rel=0.1)
+
+    def test_cools_hot_system(self):
+        from repro.md.thermostat import maxwell_boltzmann_velocities
+        state = free_gas()
+        maxwell_boltzmann_velocities(state, 900.0, np.random.default_rng(2))
+        thermo = LangevinThermostat(300.0, damping_fs=50.0, seed=3)
+        for _ in range(3000):
+            thermo.apply(state, dt_fs=2.0)
+        assert state.temperature() == pytest.approx(300.0, rel=0.1)
+
+    def test_zero_temperature_is_pure_friction(self):
+        state = free_gas()
+        state.velocities[:] = 1.0
+        thermo = LangevinThermostat(0.0, damping_fs=100.0)
+        for _ in range(500):
+            thermo.apply(state, dt_fs=2.0)
+        assert state.temperature() < 0.05
+
+    def test_deterministic_given_seed(self):
+        a, b = free_gas(seed=5), free_gas(seed=5)
+        for st in (a, b):
+            LangevinThermostat(300.0, seed=11).apply(st, 2.0)
+        # fresh thermostats with the same seed produce identical kicks
+        t1 = LangevinThermostat(300.0, seed=11)
+        t2 = LangevinThermostat(300.0, seed=11)
+        t1.apply(a, 2.0)
+        t2.apply(b, 2.0)
+        assert np.array_equal(a.velocities, b.velocities)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LangevinThermostat(-5.0)
+        with pytest.raises(ValueError):
+            LangevinThermostat(300.0, damping_fs=0.0)
+
+    def test_overdamped_timestep_rejected(self):
+        thermo = LangevinThermostat(300.0, damping_fs=1.0)
+        with pytest.raises(ValueError, match="too large"):
+            thermo.apply(free_gas(n=4), dt_fs=2.0)

@@ -1,0 +1,68 @@
+"""FIRE minimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.cells import BCC
+from repro.lattice.grain_boundary import make_grain_boundary_slab
+from repro.md.boundary import Box
+from repro.md.minimize import FireMinimizer
+from repro.md.state import AtomsState
+from repro.potentials.elements import ELEMENTS, make_element_potential
+
+
+class TestFire:
+    def test_perturbed_crystal_relaxes_back(self, ta_potential):
+        from repro.lattice.crystals import replicate
+        el = ELEMENTS["Ta"]
+        c = replicate(el.cell, el.lattice_constant, (3, 3, 3))
+        box = Box(c.box, periodic=[True] * 3, origin=np.zeros(3))
+        rng = np.random.default_rng(0)
+        pos = c.positions + rng.normal(scale=0.08, size=c.positions.shape)
+        state = AtomsState.from_positions(pos, box, mass=el.mass)
+        result = FireMinimizer(ta_potential).run(state, max_steps=800)
+        assert result.converged
+        assert result.final_energy < result.initial_energy
+        # back to the cohesive-energy floor
+        assert result.final_energy / state.n_atoms == pytest.approx(
+            -el.cohesive_energy, abs=5e-3
+        )
+
+    def test_energy_monotone_overall(self, ta_potential):
+        from repro.lattice.crystals import replicate
+        el = ELEMENTS["Ta"]
+        c = replicate(el.cell, el.lattice_constant, (3, 3, 2))
+        box = Box.open(c.box + 20.0)
+        rng = np.random.default_rng(1)
+        pos = c.positions + rng.normal(scale=0.05, size=c.positions.shape)
+        state = AtomsState.from_positions(pos, box, mass=el.mass)
+        r = FireMinimizer(ta_potential).run(state, max_steps=400,
+                                            force_tolerance=5e-3)
+        assert r.final_energy <= r.initial_energy
+
+    def test_grain_boundary_relaxation_lowers_energy(self, w_potential):
+        el = ELEMENTS["W"]
+        gb = make_grain_boundary_slab(
+            BCC, el.lattice_constant, extent_xy=(22.0, 22.0),
+            thickness_z=7.0,
+        )
+        box = Box.open(gb.box + 4 * el.cutoff)
+        state = AtomsState.from_positions(gb.positions, box, mass=el.mass)
+        r = FireMinimizer(w_potential).run(
+            state, max_steps=300, force_tolerance=5e-2
+        )
+        assert r.final_energy < r.initial_energy - 0.5  # real relaxation
+
+    def test_already_minimal_converges_immediately(self, ta_potential):
+        from repro.lattice.crystals import replicate
+        el = ELEMENTS["Ta"]
+        c = replicate(el.cell, el.lattice_constant, (3, 3, 3))
+        box = Box(c.box, periodic=[True] * 3, origin=np.zeros(3))
+        state = AtomsState.from_positions(c.positions, box, mass=el.mass)
+        r = FireMinimizer(ta_potential).run(state)
+        assert r.converged
+        assert r.n_steps == 0
+
+    def test_rejects_bad_timesteps(self, ta_potential):
+        with pytest.raises(ValueError):
+            FireMinimizer(ta_potential, dt_fs=2.0, dt_max_fs=1.0)

@@ -1,0 +1,86 @@
+"""Verlet-list skin/rebuild policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.boundary import Box
+from repro.md.cell_list import all_pairs
+from repro.md.neighbor_list import NeighborList
+
+
+@pytest.fixture()
+def cluster():
+    rng = np.random.default_rng(4)
+    return rng.uniform(0, 10.0, size=(30, 3))
+
+
+class TestCorrectness:
+    def test_pairs_match_brute_force(self, cluster):
+        box = Box.open([25, 25, 25])
+        nl = NeighborList(box, 3.0, skin=0.5)
+        pairs = nl.pairs(cluster)
+        bi, bj, _, _ = all_pairs(cluster, 3.0, box)
+        assert set(zip(pairs.i.tolist(), pairs.j.tolist())) == set(
+            zip(bi.tolist(), bj.tolist())
+        )
+
+    def test_pairs_correct_after_motion_within_skin(self, cluster):
+        box = Box.open([25, 25, 25])
+        nl = NeighborList(box, 3.0, skin=1.0)
+        nl.pairs(cluster)
+        builds = nl.n_builds
+        moved = cluster + 0.2  # uniform shift < skin/2
+        pairs = nl.pairs(moved)
+        assert nl.n_builds == builds  # reused
+        bi, bj, _, _ = all_pairs(moved, 3.0, box)
+        assert set(zip(pairs.i.tolist(), pairs.j.tolist())) == set(
+            zip(bi.tolist(), bj.tolist())
+        )
+
+    def test_distances_always_current(self, cluster):
+        box = Box.open([25, 25, 25])
+        nl = NeighborList(box, 3.0, skin=1.0)
+        nl.pairs(cluster)
+        moved = cluster.copy()
+        moved[0] += 0.3
+        pairs = nl.pairs(moved)
+        expect = np.linalg.norm(moved[pairs.j] - moved[pairs.i], axis=1)
+        assert np.allclose(pairs.r, expect)
+
+
+class TestRebuildPolicy:
+    def test_first_call_builds(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0)
+        assert nl.needs_rebuild(cluster)
+        nl.pairs(cluster)
+        assert nl.n_builds == 1
+
+    def test_rebuild_when_atom_exceeds_half_skin(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=1.0)
+        nl.pairs(cluster)
+        moved = cluster.copy()
+        moved[5] += np.array([0.6, 0.0, 0.0])  # > skin/2
+        assert nl.needs_rebuild(moved)
+        nl.pairs(moved)
+        assert nl.n_builds == 2
+
+    def test_no_rebuild_below_half_skin(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=1.0)
+        nl.pairs(cluster)
+        moved = cluster + 0.1
+        assert not nl.needs_rebuild(moved)
+
+    def test_zero_skin_always_rebuilds(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=0.0)
+        nl.pairs(cluster)
+        nl.pairs(cluster)
+        assert nl.n_builds == 2
+
+    def test_atom_count_change_forces_rebuild(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=1.0)
+        nl.pairs(cluster)
+        assert nl.needs_rebuild(cluster[:-1])
+
+    def test_rejects_negative_skin(self):
+        with pytest.raises(ValueError):
+            NeighborList(Box.open([10, 10, 10]), 3.0, skin=-0.5)

@@ -1,0 +1,107 @@
+"""AtomsState tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KB_EV
+from repro.md.boundary import Box
+from repro.md.state import AtomsState
+
+
+def make_state(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return AtomsState(
+        positions=rng.uniform(0, 10, (n, 3)),
+        velocities=rng.normal(size=(n, 3)),
+        types=np.zeros(n, dtype=int),
+        masses=np.array([50.0]),
+        box=Box.open([20, 20, 20]),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AtomsState(
+                positions=np.zeros((5, 3)),
+                velocities=np.zeros((4, 3)),
+                types=np.zeros(5, dtype=int),
+                masses=np.array([1.0]),
+                box=Box.open([10, 10, 10]),
+            )
+
+    def test_type_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AtomsState(
+                positions=np.zeros((2, 3)),
+                velocities=np.zeros((2, 3)),
+                types=np.array([0, 3]),
+                masses=np.array([1.0]),
+                box=Box.open([10, 10, 10]),
+            )
+
+    def test_nonpositive_mass_rejected(self):
+        with pytest.raises(ValueError):
+            AtomsState(
+                positions=np.zeros((1, 3)),
+                velocities=np.zeros((1, 3)),
+                types=np.zeros(1, dtype=int),
+                masses=np.array([0.0]),
+                box=Box.open([10, 10, 10]),
+            )
+
+    def test_default_ids_sequential(self):
+        s = make_state(7)
+        assert s.ids.tolist() == list(range(7))
+
+
+class TestObservables:
+    def test_kinetic_energy_single_atom(self):
+        s = AtomsState(
+            positions=np.zeros((1, 3)),
+            velocities=np.array([[2.0, 0.0, 0.0]]),
+            types=np.zeros(1, dtype=int),
+            masses=np.array([10.0]),
+            box=Box.open([10, 10, 10]),
+        )
+        from repro.constants import MVV2E
+        assert s.kinetic_energy() == pytest.approx(0.5 * 10.0 * 4.0 * MVV2E)
+
+    def test_temperature_consistent_with_equipartition(self):
+        s = make_state(1000, seed=1)
+        t = s.temperature()
+        assert t == pytest.approx(
+            2 * s.kinetic_energy() / (3 * 1000 * KB_EV)
+        )
+
+    def test_momentum_zero_for_zero_velocities(self):
+        s = make_state()
+        s.velocities[:] = 0
+        assert np.allclose(s.momentum(), 0)
+
+
+class TestCopyReorder:
+    def test_copy_is_deep(self):
+        s = make_state()
+        c = s.copy()
+        c.positions[0, 0] = 999.0
+        assert s.positions[0, 0] != 999.0
+
+    def test_reorder_moves_ids_with_atoms(self):
+        s = make_state(5)
+        perm = np.array([4, 3, 2, 1, 0])
+        r = s.reorder(perm)
+        assert r.ids.tolist() == [4, 3, 2, 1, 0]
+        assert np.allclose(r.positions[0], s.positions[4])
+
+    def test_reorder_rejects_non_permutation(self):
+        s = make_state(5)
+        with pytest.raises(ValueError):
+            s.reorder(np.array([0, 0, 1, 2, 3]))
+
+    def test_from_positions_factory(self):
+        pos = np.random.default_rng(0).uniform(0, 5, (6, 3))
+        s = AtomsState.from_positions(pos, Box.open([10, 10, 10]), mass=2.0)
+        assert s.n_atoms == 6
+        assert np.all(s.velocities == 0)
+        assert s.atom_masses.tolist() == [2.0] * 6

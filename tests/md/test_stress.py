@@ -1,0 +1,82 @@
+"""Virial stress / pressure tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.boundary import Box
+from repro.md.cell_list import all_pairs
+from repro.md.state import AtomsState
+from repro.md.stress import pair_virial, pressure
+from repro.lattice.crystals import replicate
+from repro.potentials.base import PairTable
+from repro.potentials.elements import ELEMENTS, make_element_potential
+
+
+def bulk(symbol, scale=1.0):
+    el = ELEMENTS[symbol]
+    a = el.lattice_constant * scale
+    crystal = replicate(el.cell, a, (4, 4, 4))
+    box = Box(crystal.box, periodic=[True] * 3, origin=np.zeros(3))
+    state = AtomsState.from_positions(crystal.positions, box, mass=el.mass)
+    pot = make_element_potential(symbol)
+    i, j, rij, r = all_pairs(state.positions, pot.cutoff, box)
+    return state, pot, PairTable(i=i, j=j, rij=rij, r=r)
+
+
+class TestPressure:
+    @pytest.mark.parametrize("symbol", ["Cu", "Ta"])
+    def test_equilibrium_is_stress_free(self, symbol):
+        state, pot, pairs = bulk(symbol)
+        p = pressure(state, pot, pairs)
+        # |P| well under 0.1 GPa at the construction's equilibrium
+        assert abs(p) < 0.1 / 160.2
+
+    def test_compression_gives_positive_pressure(self):
+        state, pot, pairs = bulk("Ta", scale=0.98)
+        assert pressure(state, pot, pairs) > 0
+
+    def test_tension_gives_negative_pressure(self):
+        state, pot, pairs = bulk("Ta", scale=1.02)
+        assert pressure(state, pot, pairs) < 0
+
+    def test_pressure_slope_matches_bulk_modulus(self):
+        """B = -V dP/dV: finite-difference the EOS around equilibrium."""
+        el = ELEMENTS["Ta"]
+        eps = 0.004
+        p_lo = pressure(*bulk("Ta", scale=1.0 - eps))
+        p_hi = pressure(*bulk("Ta", scale=1.0 + eps))
+        # dV/V = 3 ds/s; B = -dP / (dV/V)
+        b_est = -(p_hi - p_lo) / (6.0 * eps)
+        assert b_est == pytest.approx(el.bulk_modulus, rel=0.08)
+
+
+class TestVirialTensor:
+    def test_isotropic_in_cubic_crystal(self):
+        state, pot, pairs = bulk("Cu", scale=0.98)
+        w = pair_virial(pot, state.n_atoms, pairs, state.types).sum(axis=0)
+        assert w[0, 0] == pytest.approx(w[1, 1], rel=1e-6)
+        assert w[1, 1] == pytest.approx(w[2, 2], rel=1e-6)
+        off = np.abs(w - np.diag(np.diag(w))).max()
+        assert off < 1e-8 * abs(w[0, 0])
+
+    def test_isolated_pair_virial(self):
+        """Two-atom system: virial equals -1/2 r (x) f per atom."""
+        pot = make_element_potential("Ta")
+        pos = np.array([[0.0, 0.0, 0.0], [2.9, 0.0, 0.0]])
+        box = Box.open([50, 50, 50])
+        i, j, rij, r = all_pairs(pos, pot.cutoff, box)
+        pairs = PairTable(i=i, j=j, rij=rij, r=r)
+        w = pair_virial(pot, 2, pairs)
+        _, forces = pot.compute(2, pairs)
+        # W_1 = 1/2 (r_1 - r_0) (x) f_1
+        expect = 0.5 * (pos[1] - pos[0])[0] * forces[1][0]
+        # each atom carries half of the pair's xx virial
+        assert w[0, 0, 0] == pytest.approx(expect, rel=1e-10)
+        assert w[1, 0, 0] == pytest.approx(expect, rel=1e-10)
+
+    def test_empty_pairs(self):
+        pot = make_element_potential("Ta")
+        pairs = PairTable(i=np.empty(0, int), j=np.empty(0, int),
+                          rij=np.empty((0, 3)), r=np.empty(0))
+        w = pair_virial(pot, 3, pairs)
+        assert np.all(w == 0)

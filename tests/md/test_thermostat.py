@@ -1,0 +1,98 @@
+"""Velocity initialization and thermostat tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.boundary import Box
+from repro.md.state import AtomsState
+from repro.md.thermostat import (
+    BerendsenThermostat,
+    maxwell_boltzmann_velocities,
+    rescale_to_temperature,
+    zero_net_momentum,
+)
+
+
+def state(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return AtomsState.from_positions(
+        rng.uniform(0, 20, (n, 3)), Box.open([40, 40, 40]), mass=63.5
+    )
+
+
+class TestMaxwellBoltzmann:
+    def test_exact_temperature(self):
+        s = state()
+        maxwell_boltzmann_velocities(s, 290.0, np.random.default_rng(1))
+        assert s.temperature() == pytest.approx(290.0)
+
+    def test_zero_momentum(self):
+        s = state()
+        maxwell_boltzmann_velocities(s, 290.0, np.random.default_rng(1))
+        p = s.momentum()
+        assert np.allclose(p / s.n_atoms, 0.0, atol=1e-10)
+
+    def test_zero_temperature_zeroes_velocities(self):
+        s = state()
+        s.velocities[:] = 1.0
+        maxwell_boltzmann_velocities(s, 0.0)
+        assert np.all(s.velocities == 0.0)
+
+    def test_distribution_is_gaussian(self):
+        s = state(n=4000)
+        maxwell_boltzmann_velocities(
+            s, 300.0, np.random.default_rng(2), exact=False
+        )
+        vx = s.velocities[:, 0]
+        # skewness and excess kurtosis near 0
+        assert abs(float(np.mean(vx**3)) / np.std(vx) ** 3) < 0.15
+        assert abs(float(np.mean(vx**4)) / np.std(vx) ** 4 - 3.0) < 0.3
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            maxwell_boltzmann_velocities(state(), -1.0)
+
+
+class TestRescale:
+    def test_rescale_hits_target(self):
+        s = state()
+        maxwell_boltzmann_velocities(s, 100.0, np.random.default_rng(3))
+        rescale_to_temperature(s, 450.0)
+        assert s.temperature() == pytest.approx(450.0)
+
+    def test_rescale_zero_velocities_raises(self):
+        s = state()
+        with pytest.raises(ValueError, match="zero velocities"):
+            rescale_to_temperature(s, 300.0)
+
+    def test_zero_momentum_removes_drift(self):
+        s = state()
+        s.velocities[:] = [1.0, 2.0, 3.0]
+        zero_net_momentum(s)
+        assert np.allclose(s.momentum(), 0.0, atol=1e-9)
+
+
+class TestBerendsen:
+    def test_relaxes_toward_target(self):
+        s = state()
+        maxwell_boltzmann_velocities(s, 100.0, np.random.default_rng(4))
+        thermo = BerendsenThermostat(300.0, tau_fs=50.0)
+        temps = []
+        for _ in range(200):
+            thermo.apply(s, dt_fs=2.0)
+            temps.append(s.temperature())
+        assert temps[-1] == pytest.approx(300.0, rel=0.01)
+        assert temps[0] < temps[-1]
+
+    def test_noop_at_target(self):
+        s = state()
+        maxwell_boltzmann_velocities(s, 300.0, np.random.default_rng(5))
+        v = s.velocities.copy()
+        BerendsenThermostat(300.0).apply(s, dt_fs=2.0)
+        assert np.allclose(s.velocities, v, rtol=1e-10)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BerendsenThermostat(-10.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, tau_fs=0.0)

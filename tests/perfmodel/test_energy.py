@@ -1,0 +1,56 @@
+"""Energy-efficiency model tests (Fig. 7b/c)."""
+
+import pytest
+
+from repro.perfmodel.energy import EfficiencyPoint, EnergyModel, pareto_front
+
+
+def pt(machine, rate, power, units=1.0, element="Ta"):
+    return EfficiencyPoint(
+        machine=machine, element=element, units=units,
+        rate_steps_per_s=rate, power_watts=power,
+    )
+
+
+class TestEfficiency:
+    def test_wse_steps_per_joule(self):
+        p = pt("WSE", 274_016, 23_000)
+        assert p.steps_per_joule == pytest.approx(11.9, rel=0.01)
+
+    def test_relative_normalization(self):
+        wse = pt("WSE", 274_016, 23_000)
+        gpu = pt("Frontier", 1_530, 13_760)
+        rel_perf, rel_eff = wse.relative_to(gpu)
+        assert rel_perf == pytest.approx(1_530 / 274_016)
+        # WSE ~100x more efficient (paper: one to two orders)
+        assert 1.0 / rel_eff > 30
+
+    def test_energy_model_power(self):
+        m = EnergyModel(unit_power_watts=430.0)
+        assert m.power(32) == pytest.approx(13_760)
+        with pytest.raises(ValueError):
+            m.power(0)
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        pts = [
+            pt("A", 100, 10),   # 10 steps/J
+            pt("B", 100, 20),   # dominated by A
+            pt("C", 200, 40),   # faster, less efficient
+        ]
+        front = pareto_front(pts)
+        names = [p.machine for p in front]
+        assert "B" not in names
+        assert "A" in names and "C" in names
+
+    def test_single_dominating_point(self):
+        pts = [pt("WSE", 274_016, 23_000), pt("CPU", 4_938, 140_000)]
+        front = pareto_front(pts)
+        assert [p.machine for p in front] == ["WSE"]
+
+    def test_front_sorted_by_rate(self):
+        pts = [pt("C", 200, 40), pt("A", 100, 5)]
+        front = pareto_front(pts)
+        rates = [p.rate_steps_per_s for p in front]
+        assert rates == sorted(rates)

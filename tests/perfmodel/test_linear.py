@@ -1,0 +1,77 @@
+"""Table II regression model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.linear import (
+    PAPER_TABLE2,
+    LinearStepModel,
+    fit_linear_model,
+)
+
+
+class TestPaperModel:
+    @pytest.mark.parametrize(
+        "nc,ni,expected",
+        # paper Table I "Predicted (WSE)" column
+        [(224, 42, 104_895), (224, 59, 93_048), (80, 14, 270_097)],
+    )
+    def test_reproduces_table1_predictions(self, nc, ni, expected):
+        assert PAPER_TABLE2.steps_per_second(nc, ni) == pytest.approx(
+            expected, rel=0.001
+        )
+
+    def test_relative_error_against_measured(self):
+        # paper Table I "Prediction (error)": Ta 1.4%
+        err = PAPER_TABLE2.relative_error(274_016, 80, 14)
+        assert err == pytest.approx(0.014, abs=0.003)
+
+    def test_vectorized_step_time(self):
+        t = PAPER_TABLE2.step_time_ns(np.array([80, 224]), np.array([14, 42]))
+        assert t.shape == (2,)
+        assert t[1] > t[0]
+
+
+class TestFitting:
+    def test_exact_recovery_of_planted_model(self):
+        rng = np.random.default_rng(0)
+        nc = rng.integers(8, 400, size=50).astype(float)
+        ni = np.minimum(nc, rng.integers(4, 80, size=50)).astype(float)
+        t = 26.6 * nc + 71.4 * ni + 574.0
+        fit = fit_linear_model(nc, ni, t)
+        assert fit.a_candidate == pytest.approx(26.6, abs=1e-9)
+        assert fit.b_interaction == pytest.approx(71.4, abs=1e-9)
+        assert fit.c_fixed == pytest.approx(574.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @given(
+        a=st.floats(5, 50), b=st.floats(20, 120), c=st.floats(100, 900),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_recovery_with_noise(self, a, b, c, seed):
+        rng = np.random.default_rng(seed)
+        nc = rng.integers(8, 400, size=80).astype(float)
+        ni = np.minimum(nc, rng.integers(4, 80, size=80)).astype(float)
+        t = a * nc + b * ni + c
+        t = t * (1 + 0.001 * rng.standard_normal(80))
+        fit = fit_linear_model(nc, ni, t)
+        assert fit.a_candidate == pytest.approx(a, rel=0.05)
+        assert fit.b_interaction == pytest.approx(b, rel=0.10)
+        assert fit.r_squared > 0.99
+
+    def test_degenerate_sweep_rejected(self):
+        nc = np.array([10.0, 20.0, 30.0, 40.0])
+        ni = nc / 2  # collinear
+        with pytest.raises(ValueError, match="degenerate|collinear"):
+            fit_linear_model(nc, ni, nc * 3)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_linear_model(np.array([1.0]), np.array([1.0]), np.array([1.0]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            fit_linear_model(np.zeros(3), np.zeros(4), np.zeros(3))

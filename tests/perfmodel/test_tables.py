@@ -1,0 +1,185 @@
+"""Tables III, IV, V, VI and Fig. 1 model tests against paper values."""
+
+import pytest
+
+from repro.perfmodel.flops import (
+    TABLE3_ROWS,
+    at_peak_time_ns,
+    flop_table,
+    flops_per_atom_step,
+)
+from repro.perfmodel.multiwafer import MultiWaferModel
+from repro.perfmodel.projections import (
+    PAPER_BASELINE_BASIS,
+    project_optimizations,
+)
+from repro.perfmodel.timescale import TimescalePoint, achievable_timescale_um
+from repro.perfmodel.utilization import utilization
+from repro.wse.machine import WSE2
+from repro.wse.tile import TABLE3_FLOPS
+
+
+class TestTable3:
+    def test_row_subtotals_match_table3_flops(self):
+        groups = flop_table()
+        for g in ("candidate", "interaction", "fixed"):
+            assert groups[g].adds == TABLE3_FLOPS[g].adds
+            assert groups[g].muls == TABLE3_FLOPS[g].muls
+            assert groups[g].other == TABLE3_FLOPS[g].other
+
+    def test_paper_subtotal_values(self):
+        groups = flop_table()
+        assert (groups["candidate"].adds, groups["candidate"].muls) == (6, 3)
+        assert (groups["interaction"].adds, groups["interaction"].muls,
+                groups["interaction"].other) == (14, 19, 3)
+        assert (groups["fixed"].adds, groups["fixed"].muls,
+                groups["fixed"].other) == (8, 2, 2)
+
+    def test_all_rows_have_notes(self):
+        assert all(r.note for r in TABLE3_ROWS)
+
+    def test_utilization_fractions_from_table3(self):
+        """Paper: 5.3/26.6 = 20%, 21.2/71.4 = 30%, 7.1/574 = 1%."""
+        cand = at_peak_time_ns(TABLE3_FLOPS["candidate"], 2.0, WSE2.clock_hz)
+        inter = at_peak_time_ns(TABLE3_FLOPS["interaction"], 2.0, WSE2.clock_hz)
+        fixed = at_peak_time_ns(TABLE3_FLOPS["fixed"], 2.0, WSE2.clock_hz)
+        assert cand / 26.6 == pytest.approx(0.20, abs=0.02)
+        assert inter / 71.4 == pytest.approx(0.30, abs=0.02)
+        assert fixed / 574.0 == pytest.approx(0.012, abs=0.01)
+
+
+class TestTable4:
+    def test_cs2_utilization_near_paper(self):
+        # CS-2 row: Cu 22%, W 23%, Ta 20%
+        cases = {
+            "Cu": (106_313, 224, 42, 0.22),
+            "W": (96_140, 224, 59, 0.23),
+            "Ta": (274_016, 80, 14, 0.20),
+        }
+        for sym, (rate, nc, ni, target) in cases.items():
+            row = utilization(
+                "CS-2", sym, rate, 801_792, nc, ni, WSE2.peak_flops_fp32
+            )
+            assert row.utilization == pytest.approx(target, abs=0.03)
+
+    def test_frontier_utilization_fraction_of_percent(self):
+        row = utilization("Frontier", "Cu", 973, 801_792, 224, 42, 0.77e15)
+        assert row.utilization == pytest.approx(0.004, abs=0.002)
+
+    def test_quartz_utilization(self):
+        row = utilization("Quartz", "W", 3633, 801_792, 224, 59, 0.50e15)
+        assert row.utilization == pytest.approx(0.025, abs=0.008)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            utilization("x", "y", 0.0, 1, 1, 1, 1.0)
+
+
+class TestTable5:
+    def test_baseline_consistent_with_table2(self):
+        # multicast + miss = A; interaction - miss = B
+        b = PAPER_BASELINE_BASIS
+        assert b.multicast + b.miss == pytest.approx(26.6, abs=0.1)
+        assert b.interaction - b.miss == pytest.approx(71.4, abs=0.1)
+
+    def test_projection_rows_match_paper(self):
+        workloads = {"Ta": (80, 14), "W": (224, 59), "Cu": (224, 42)}
+        rows = project_optimizations(workloads)
+        assert [r.description for r in rows] == [
+            "Baseline", "Fixed cost", "Neighbor list", "Symmetry", "Parallel",
+        ]
+        # paper Table V (rates in 1000 steps/s): Ta column
+        ta = [r.rates["Ta"] / 1000 for r in rows]
+        paper_ta = [270, 290, 460, 650, 1100]
+        for ours, ref in zip(ta, paper_ta):
+            assert ours == pytest.approx(ref, rel=0.10)
+        # final Cu and W rates
+        assert rows[-1].rates["Cu"] / 1000 == pytest.approx(510, rel=0.10)
+        assert rows[-1].rates["W"] / 1000 == pytest.approx(430, rel=0.10)
+
+    def test_rates_monotone_across_stages(self):
+        rows = project_optimizations({"Ta": (80, 14)})
+        rates = [r.rates["Ta"] for r in rows]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_more_interactions_than_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_BASELINE_BASIS.step_time_ns(10, 20)
+
+
+class TestTable6:
+    # paper Table VI rows: (element, X, Z, rcut/rlat, t_wall_us,
+    #                       lam_low, k_low, perf_low, frac_low,
+    #                       lam_high, k_high, perf_high, frac_high)
+    ROWS = [
+        ("Cu", 283, 10, 1.94, 9.41, 78, 20, 105_152, 0.99, 15, 3, 99_239, 0.93),
+        ("W", 317, 8, 2.02, 10.4, 88, 21, 95_281, 0.99, 17, 4, 91_743, 0.95),
+        ("Ta", 317, 8, 1.39, 3.65, 88, 31, 269_214, 0.98, 17, 6, 251_046, 0.92),
+    ]
+    SINGLE = {"Cu": 106_313, "W": 96_140, "Ta": 274_016}
+
+    @pytest.mark.parametrize("row", ROWS, ids=[r[0] for r in ROWS])
+    def test_k_steps_match(self, row):
+        sym, x, z, ratio, twall, lam_lo, k_lo, _, _, lam_hi, k_hi, _, _ = row
+        model = MultiWaferModel()
+        lo = model.evaluate(sym, x, z, lam_lo, ratio, twall * 1e-6,
+                            self.SINGLE[sym])
+        hi = model.evaluate(sym, x, z, lam_hi, ratio, twall * 1e-6,
+                            self.SINGLE[sym])
+        assert lo.k_steps == k_lo
+        assert hi.k_steps == k_hi
+
+    @pytest.mark.parametrize("row", ROWS, ids=[r[0] for r in ROWS])
+    def test_performance_fractions_match(self, row):
+        sym, x, z, ratio, twall, lam_lo, _, perf_lo, frac_lo, lam_hi, _, \
+            perf_hi, frac_hi = row
+        model = MultiWaferModel()
+        lo = model.evaluate(sym, x, z, lam_lo, ratio, twall * 1e-6,
+                            self.SINGLE[sym])
+        hi = model.evaluate(sym, x, z, lam_hi, ratio, twall * 1e-6,
+                            self.SINGLE[sym])
+        assert lo.fraction_of_single_wafer == pytest.approx(frac_lo, abs=0.02)
+        assert hi.fraction_of_single_wafer == pytest.approx(frac_hi, abs=0.02)
+        assert lo.rate_steps_per_s == pytest.approx(perf_lo, rel=0.03)
+        assert hi.rate_steps_per_s == pytest.approx(perf_hi, rel=0.03)
+
+    def test_interior_atom_counts(self):
+        model = MultiWaferModel()
+        p = model.evaluate("Cu", 283, 10, 78, 1.94, 9.41e-6, 106_313)
+        assert p.n_interior == 800_890  # paper's N_atom column
+
+    def test_cluster_scale_estimate(self):
+        """Sec. VI-C: 64 nodes -> tens of millions of atoms at ~these rates."""
+        model = MultiWaferModel()
+        p = model.evaluate("Ta", 317, 8, 88, 1.39, 3.65e-6, 274_016)
+        total = model.cluster_atoms(p, 64)
+        assert total > 10_000_000
+        assert p.rate_steps_per_s > 250_000
+
+    def test_serialized_transfers_slower(self):
+        overlap = MultiWaferModel(overlap_transfers=True)
+        serial = MultiWaferModel(overlap_transfers=False)
+        a = overlap.evaluate("Cu", 283, 10, 78, 1.94, 9.41e-6, 106_313)
+        b = serial.evaluate("Cu", 283, 10, 78, 1.94, 9.41e-6, 106_313)
+        assert b.rate_steps_per_s < a.rate_steps_per_s
+
+    def test_zero_step_ghost_width_rejected(self):
+        with pytest.raises(ValueError, match="zero usable steps"):
+            MultiWaferModel().evaluate("Cu", 100, 10, 1, 1.94, 1e-5, 1e5)
+
+
+class TestFig1:
+    def test_wse_timescale_near_47us_per_day_times_30(self):
+        # 274,016 steps/s x 2 fs: ~47 us/day -> ~1.4 ms in 30 days
+        us = achievable_timescale_um(274_016, 2.0, 30.0)
+        assert us == pytest.approx(1420, rel=0.02)
+
+    def test_speedup_is_rate_ratio(self):
+        wse = TimescalePoint("WSE", 274_016)
+        gpu = TimescalePoint("Frontier", 1_530)
+        assert wse.speedup_over(gpu) == pytest.approx(274_016 / 1_530)
+        assert wse.speedup_over(gpu) == pytest.approx(179, rel=0.01)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            achievable_timescale_um(0.0)

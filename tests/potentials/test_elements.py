@@ -1,0 +1,56 @@
+"""Element data: paper-facing constants (Table I / Table VI)."""
+
+import pytest
+
+from repro.lattice.neighbors_ideal import coordination_within
+from repro.potentials.elements import ELEMENTS, make_element_potential
+
+
+class TestPaperConstants:
+    def test_benchmark_atom_counts(self):
+        # Table I: all three benchmark slabs have 801,792 atoms
+        for el in ELEMENTS.values():
+            assert el.n_atoms_table1 == 801_792
+
+    @pytest.mark.parametrize(
+        "symbol,candidates", [("Cu", 224), ("W", 224), ("Ta", 80)]
+    )
+    def test_candidate_counts(self, symbol, candidates):
+        assert ELEMENTS[symbol].candidates == candidates
+
+    @pytest.mark.parametrize(
+        "symbol,expected",
+        [("Cu", 42), ("Ta", 14), ("W", 58)],
+    )
+    def test_bulk_coordination_matches_cutoff(self, symbol, expected):
+        # Cu 42 and Ta 14 match Table I exactly; W's ideal-lattice count
+        # is 58 against the paper's thermally averaged 59.
+        el = ELEMENTS[symbol]
+        assert coordination_within(el.cell, el.cutoff_nn) == expected
+
+    def test_cutoffs_in_angstroms(self):
+        assert ELEMENTS["Cu"].cutoff == pytest.approx(4.96, abs=0.02)
+        assert ELEMENTS["Ta"].cutoff == pytest.approx(3.98, abs=0.02)
+        assert ELEMENTS["W"].cutoff == pytest.approx(5.54, abs=0.02)
+
+    def test_structures(self):
+        assert ELEMENTS["Cu"].cell.name == "fcc"
+        assert ELEMENTS["W"].cell.name == "bcc"
+        assert ELEMENTS["Ta"].cell.name == "bcc"
+
+    def test_unknown_element_rejected(self):
+        from repro.potentials.elements import make_element_tables
+        with pytest.raises(ValueError, match="unknown element"):
+            make_element_tables("Xx")
+
+    def test_potentials_cached(self):
+        a = make_element_potential("Ta")
+        b = make_element_potential("Ta")
+        assert a.tables is b.tables
+
+    def test_cutoff_below_candidate_reach(self):
+        # the (2b+1) neighborhood must be able to span the cutoff given
+        # ~1 atom per core: candidates >= bulk coordination
+        for el in ELEMENTS.values():
+            coord = coordination_within(el.cell, el.cutoff_nn)
+            assert el.candidates >= coord

@@ -1,0 +1,91 @@
+"""funcfl single-element reader tests (synthetic file)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.potentials.funcfl import _HARTREE_BOHR, read_funcfl
+
+
+def synthetic_funcfl(n_rho=50, n_r=60, cutoff=4.5):
+    """A small, well-formed funcfl file with known analytic content."""
+    d_rho = 0.5
+    d_r = cutoff / (n_r - 1)
+    rho_grid = d_rho * np.arange(n_rho)
+    r_grid = d_r * np.arange(n_r)
+    f_vals = -2.0 * np.sqrt(rho_grid)          # F(rho) = -2 sqrt(rho)
+    z_vals = 2.0 * np.exp(-1.5 * r_grid)        # Z(r)
+    rho_vals = np.exp(-2.0 * r_grid)            # rho(r)
+    out = ["synthetic funcfl for tests"]
+    out.append("29 63.546 3.615 fcc")
+    out.append(f"{n_rho} {d_rho} {n_r} {d_r} {cutoff}")
+    vals = np.concatenate([f_vals, z_vals, rho_vals])
+    for k in range(0, len(vals), 5):
+        out.append(" ".join(f"{v:.12e}" for v in vals[k:k + 5]))
+    return "\n".join(out), (d_rho, d_r, cutoff)
+
+
+class TestReadFuncfl:
+    def test_roundtrip_tables(self):
+        text, (d_rho, d_r, cutoff) = synthetic_funcfl()
+        tables = read_funcfl(io.StringIO(text))
+        assert tables.n_types == 1
+        assert tables.cutoff == pytest.approx(cutoff)
+        # embedding reproduces -2 sqrt(rho) at the knots
+        rho = np.array([4.0, 9.0])
+        assert np.allclose(tables.embed[0](rho), -2.0 * np.sqrt(rho),
+                           atol=1e-6)
+
+    def test_pair_from_effective_charge(self):
+        text, (_, d_r, _) = synthetic_funcfl()
+        tables = read_funcfl(io.StringIO(text))
+        r = np.array([10 * d_r])  # on a knot
+        z = 2.0 * np.exp(-1.5 * r)
+        expect = _HARTREE_BOHR * z**2 / r
+        assert tables.phi[(0, 0)](r)[0] == pytest.approx(expect[0], rel=1e-9)
+
+    def test_metadata(self):
+        text, _ = synthetic_funcfl()
+        tables = read_funcfl(io.StringIO(text))
+        el = tables.meta["elements"][0]
+        assert el["z"] == 29
+        assert el["mass"] == pytest.approx(63.546)
+        assert el["lattice"] == "fcc"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_funcfl(io.StringIO("just\nthree\nlines"))
+
+    def test_short_table_rejected(self):
+        text, _ = synthetic_funcfl()
+        cut = "\n".join(text.splitlines()[:-4])
+        with pytest.raises(ValueError, match="expected"):
+            read_funcfl(io.StringIO(cut))
+
+    def test_malformed_header_rejected(self):
+        text, _ = synthetic_funcfl()
+        lines = text.splitlines()
+        lines[1] = "29 63.5"
+        with pytest.raises(ValueError, match="element header"):
+            read_funcfl(io.StringIO("\n".join(lines)))
+
+    def test_potential_usable_in_engine(self):
+        """A funcfl-loaded potential drives the reference MD engine."""
+        from repro.md.boundary import Box
+        from repro.md.simulation import Simulation
+        from repro.md.state import AtomsState
+        from repro.potentials.eam import EAMPotential
+
+        text, _ = synthetic_funcfl()
+        pot = EAMPotential(read_funcfl(io.StringIO(text)))
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 8, (20, 3))
+        from scipy.spatial.distance import pdist
+        while pdist(pos).min() < 1.5:
+            pos = rng.uniform(0, 8, (20, 3))
+        state = AtomsState.from_positions(pos, Box.open([30, 30, 30]),
+                                          mass=63.546)
+        sim = Simulation(state, pot, dt_fs=1.0)
+        sim.run(5)
+        assert np.all(np.isfinite(state.positions))

@@ -1,0 +1,98 @@
+"""Physical-symmetry property tests for the EAM kernels (hypothesis).
+
+The potential energy must be invariant under rigid translations and
+rotations; forces must transform as vectors.  These are the invariants
+behind momentum/angular-momentum conservation and are checked against
+the full kernel pipeline (neighbor search included).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.boundary import Box
+from repro.md.cell_list import all_pairs
+from repro.potentials.base import PairTable
+from repro.potentials.elements import make_element_potential
+
+
+def random_cluster(seed: int, n: int = 10):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 7.0, size=(n, 3))
+    from scipy.spatial.distance import pdist
+    tries = 0
+    while pdist(pos).min() < 1.8:
+        pos = rng.uniform(0, 7.0, size=(n, 3))
+        tries += 1
+        if tries > 200:
+            # fall back to a stretched lattice arrangement
+            g = np.stack(np.meshgrid(*[np.arange(3) * 2.5] * 3,
+                                     indexing="ij"), axis=-1)
+            return g.reshape(-1, 3)[:n].astype(float)
+    return pos
+
+
+def rotation_matrix(angles):
+    ax, ay, az = angles
+    cx, sx = np.cos(ax), np.sin(ax)
+    cy, sy = np.cos(ay), np.sin(ay)
+    cz, sz = np.cos(az), np.sin(az)
+    rx = np.array([[1, 0, 0], [0, cx, -sx], [0, sx, cx]])
+    ry = np.array([[cy, 0, sy], [0, 1, 0], [-sy, 0, cy]])
+    rz = np.array([[cz, -sz, 0], [sz, cz, 0], [0, 0, 1]])
+    return rz @ ry @ rx
+
+
+def evaluate(pot, pos):
+    box = Box.open(np.ptp(pos, axis=0) + 10 * pot.cutoff)
+    i, j, rij, r = all_pairs(pos, pot.cutoff, box)
+    return pot.compute(len(pos), PairTable(i=i, j=j, rij=rij, r=r))
+
+
+@pytest.fixture(scope="module")
+def pot():
+    return make_element_potential("Ta")
+
+
+class TestInvariance:
+    @given(seed=st.integers(0, 500),
+           shift=st.tuples(*[st.floats(-30, 30)] * 3))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariance(self, pot, seed, shift):
+        pos = random_cluster(seed)
+        e1, f1 = evaluate(pot, pos)
+        e2, f2 = evaluate(pot, pos + np.asarray(shift))
+        assert np.allclose(e1, e2, atol=1e-9)
+        assert np.allclose(f1, f2, atol=1e-8)
+
+    @given(seed=st.integers(0, 500),
+           angles=st.tuples(*[st.floats(0, 6.28)] * 3))
+    @settings(max_examples=25, deadline=None)
+    def test_rotation_covariance(self, pot, seed, angles):
+        pos = random_cluster(seed)
+        rot = rotation_matrix(angles)
+        e1, f1 = evaluate(pot, pos)
+        e2, f2 = evaluate(pot, pos @ rot.T)
+        assert np.allclose(np.sort(e1), np.sort(e2), atol=1e-9)
+        assert np.allclose(f1 @ rot.T, f2, atol=1e-7)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_equivariance(self, pot, seed):
+        pos = random_cluster(seed)
+        rng = np.random.default_rng(seed + 1)
+        perm = rng.permutation(len(pos))
+        e1, f1 = evaluate(pot, pos)
+        e2, f2 = evaluate(pot, pos[perm])
+        assert np.allclose(e1[perm], e2, atol=1e-10)
+        assert np.allclose(f1[perm], f2, atol=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_net_force_and_torque_vanish(self, pot, seed):
+        pos = random_cluster(seed)
+        _, f = evaluate(pot, pos)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-9)
+        torque = np.cross(pos - pos.mean(axis=0), f).sum(axis=0)
+        assert np.allclose(torque, 0.0, atol=1e-7)

@@ -1,0 +1,173 @@
+"""Spline table unit + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.potentials.spline import (
+    UniformCubicSpline,
+    natural_cubic_second_derivatives,
+)
+
+
+class TestConstruction:
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            UniformCubicSpline(0.0, 0.0, np.array([1.0, 2.0]))
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(ValueError):
+            UniformCubicSpline(0.0, 1.0, np.array([1.0]))
+
+    def test_rejects_unknown_extrapolation(self):
+        with pytest.raises(ValueError):
+            UniformCubicSpline(0.0, 1.0, np.zeros(4), extrapolate_low="nope")
+
+    def test_x_max(self):
+        s = UniformCubicSpline(1.0, 0.5, np.zeros(5))
+        assert s.x_max == pytest.approx(3.0)
+        assert np.allclose(s.knots(), [1.0, 1.5, 2.0, 2.5, 3.0])
+
+
+class TestExactness:
+    def test_interpolates_knots_exactly(self):
+        xs = np.linspace(0, 5, 11)
+        ys = np.sin(xs)
+        s = UniformCubicSpline(0.0, 0.5, ys, zero_above=False)
+        vals, _ = s.evaluate(xs)
+        assert np.allclose(vals, ys, atol=1e-12)
+
+    def test_linear_function_reproduced_exactly(self):
+        # natural cubic splines are exact on linear data
+        xs = np.linspace(0, 4, 9)
+        s = UniformCubicSpline(0.0, 0.5, 3.0 * xs + 1.0, zero_above=False)
+        q = np.linspace(0.0, 4.0, 57)
+        vals, ders = s.evaluate(q)
+        assert np.allclose(vals, 3.0 * q + 1.0, atol=1e-10)
+        assert np.allclose(ders, 3.0, atol=1e-10)
+
+    def test_smooth_function_accuracy(self):
+        s = UniformCubicSpline.from_function(
+            np.exp, 0.0, 2.0, 200, zero_above=False
+        )
+        q = np.linspace(0.0, 2.0, 501)
+        vals, ders = s.evaluate(q)
+        # natural-BC end error dominates both bounds
+        assert np.max(np.abs(vals - np.exp(q))) < 1e-4
+        assert np.max(np.abs(ders - np.exp(q))) < 5e-2
+        # interior accuracy is much tighter
+        interior = (q > 0.2) & (q < 1.8)
+        assert np.max(np.abs(vals[interior] - np.exp(q[interior]))) < 1e-7
+
+    def test_derivative_consistent_with_finite_difference(self):
+        s = UniformCubicSpline.from_function(
+            lambda x: np.cos(2 * x), 0.0, 3.0, 100, zero_above=False
+        )
+        q = np.linspace(0.1, 2.9, 37)
+        _, der = s.evaluate(q)
+        eps = 1e-6
+        fd = (s(q + eps) - s(q - eps)) / (2 * eps)
+        assert np.allclose(der, fd, atol=1e-5)
+
+
+class TestBoundaries:
+    def test_zero_above_cutoff(self):
+        s = UniformCubicSpline.from_function(np.exp, 0.0, 1.0, 10, zero_above=True)
+        v, d = s.evaluate(np.array([1.0, 1.5, 100.0]))
+        assert np.all(v == 0.0)
+        assert np.all(d == 0.0)
+
+    def test_clamp_above_keeps_last_value(self):
+        s = UniformCubicSpline(0.0, 1.0, np.array([1.0, 2.0, 5.0]), zero_above=False)
+        v, d = s.evaluate(np.array([7.0]))
+        assert v[0] == pytest.approx(5.0)
+        assert d[0] == 0.0
+
+    def test_linear_extrapolation_below(self):
+        s = UniformCubicSpline(
+            1.0, 0.5, np.array([2.0, 3.0, 4.0]), extrapolate_low="linear",
+            zero_above=False,
+        )
+        v0, d0 = s.evaluate(np.array([1.0]))
+        v, d = s.evaluate(np.array([0.5]))
+        # continues with the boundary polynomial's slope
+        assert v[0] == pytest.approx(v0[0] - 0.5 * d0[0], rel=0.2)
+
+    def test_error_below_raises(self):
+        s = UniformCubicSpline(
+            1.0, 0.5, np.zeros(3), extrapolate_low="error"
+        )
+        with pytest.raises(ValueError, match="below first knot"):
+            s.evaluate(np.array([0.0]))
+
+    def test_scalar_evaluation(self):
+        s = UniformCubicSpline(0.0, 1.0, np.array([0.0, 1.0, 0.0]),
+                               zero_above=False)
+        v, d = s.evaluate(1.0)
+        assert np.isscalar(v) or v.ndim == 0
+        assert v == pytest.approx(1.0)
+
+
+class TestSecondDerivatives:
+    def test_natural_boundary_conditions(self):
+        m = natural_cubic_second_derivatives(np.sin(np.linspace(0, 3, 20)), 3 / 19)
+        assert m[0] == 0.0
+        assert m[-1] == 0.0
+
+    def test_two_knots_all_zero(self):
+        assert np.all(natural_cubic_second_derivatives(np.array([1.0, 5.0]), 1.0) == 0)
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(ValueError):
+            natural_cubic_second_derivatives(np.array([1.0]), 1.0)
+
+
+class TestProperties:
+    @given(
+        coeffs=st.tuples(
+            st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)
+        ),
+        n=st.integers(8, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quadratics_interpolated_within_tolerance(self, coeffs, n):
+        a, b, c = coeffs
+        fn = lambda x: a * x * x + b * x + c
+        s = UniformCubicSpline.from_function(fn, 0.0, 2.0, n, zero_above=False)
+        q = np.linspace(0.0, 2.0, 101)
+        vals, _ = s.evaluate(q)
+        scale = max(1.0, abs(a), abs(b), abs(c))
+        # natural BCs perturb quadratics near the ends only
+        interior = (q > 0.3) & (q < 1.7)
+        assert np.max(np.abs(vals[interior] - fn(q[interior]))) < 0.05 * scale
+
+    @given(n=st.integers(4, 50), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_c1_continuity_at_knots(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ys = rng.normal(size=n)
+        s = UniformCubicSpline(0.0, 1.0, ys, zero_above=False)
+        eps = 1e-8
+        interior_knots = np.arange(1, n - 1, dtype=np.float64)
+        if len(interior_knots) == 0:
+            return
+        _, d_left = s.evaluate(interior_knots - eps)
+        _, d_right = s.evaluate(interior_knots + eps)
+        assert np.allclose(d_left, d_right, atol=1e-5)
+
+    @given(n=st.integers(4, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_segment_indices_in_range(self, n):
+        s = UniformCubicSpline(0.0, 0.25, np.zeros(n))
+        x = np.linspace(-1.0, n, 200)
+        k, dx = s.segment(x)
+        assert k.min() >= 0
+        assert k.max() <= n - 2
+
+
+class TestSram:
+    def test_nbytes(self):
+        s = UniformCubicSpline(0.0, 1.0, np.zeros(65))
+        # 64 segments x 4 coefficients x 4 bytes
+        assert s.nbytes() == 64 * 4 * 4

@@ -1,0 +1,66 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.element == "Ta"
+        assert args.engine == "wse"
+        assert args.reps == [8, 8, 3]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "850,000 cores" in out
+        assert "Ta" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "x" in out  # speedup columns
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        assert "Parallel" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        assert "lambda" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "Frontier" in capsys.readouterr().out
+
+    def test_run_wse(self, capsys):
+        rc = main(["run", "--element", "Ta", "--reps", "4", "4", "2",
+                   "--steps", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "timesteps/s" in out
+
+    def test_run_reference(self, capsys):
+        rc = main(["run", "--engine", "reference", "--reps", "4", "4", "2",
+                   "--steps", "5"])
+        assert rc == 0
+        assert "energy drift" in capsys.readouterr().out
+
+    def test_run_with_swaps_and_symmetry(self, capsys):
+        rc = main(["run", "--reps", "4", "4", "2", "--steps", "6",
+                   "--swap-interval", "3", "--force-symmetry"])
+        assert rc == 0
+        assert "swaps performed" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Units and physical-constant sanity."""
+
+import math
+
+import pytest
+
+from repro import constants, units
+
+
+class TestMetalUnits:
+    def test_mvv2e_value(self):
+        # the LAMMPS metal-units constant
+        assert constants.MVV2E == pytest.approx(1.0364269e-4, rel=1e-4)
+
+    def test_force_to_accel_is_inverse(self):
+        assert constants.FORCE_TO_ACCEL * constants.MVV2E == pytest.approx(1.0)
+
+    def test_boltzmann(self):
+        assert constants.KB_EV == pytest.approx(8.617e-5, rel=1e-3)
+
+    def test_gpa_conversion(self):
+        # 160.2 GPa is 1 eV/A^3
+        assert 1.0 / constants.GPA_TO_EV_PER_A3 == pytest.approx(160.2, rel=1e-3)
+
+
+class TestTemperature:
+    def test_roundtrip(self):
+        ke = constants.temperature_to_kinetic_energy(300.0, 3000)
+        assert constants.kinetic_energy_to_temperature(ke, 3000) == pytest.approx(300.0)
+
+    def test_zero_dof(self):
+        assert constants.kinetic_energy_to_temperature(1.0, 0) == 0.0
+
+    def test_thermal_velocity_scale_copper(self):
+        # Cu at 300K: sigma = sqrt(kT/m) ~ 0.63 A/ps per component
+        sigma = constants.thermal_velocity_scale(300.0, 63.546)
+        assert sigma == pytest.approx(
+            math.sqrt(constants.KB_EV * 300.0 / (63.546 * constants.MVV2E))
+        )
+        assert 1.0 < sigma < 3.0
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            constants.thermal_velocity_scale(300.0, -1.0)
+
+
+class TestUnitHelpers:
+    def test_cycles_ns_roundtrip(self):
+        ns = units.cycles_to_ns(1000, 1e9)
+        assert ns == pytest.approx(1000.0)
+        assert units.ns_to_cycles(ns, 1e9) == pytest.approx(1000.0)
+
+    def test_steps_per_second(self):
+        assert units.steps_per_second(1000.0) == pytest.approx(1e6)
+        assert units.step_time_ns(1e6) == pytest.approx(1000.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.steps_per_second(0.0)
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(10, 0.0)
+
+    def test_simulated_time_per_day(self):
+        # 274,016 steps/s at 2 fs -> ~47 us/day (the paper's Ta rate)
+        us = units.simulated_time_per_day_us(274016, 2.0)
+        assert us == pytest.approx(47.35, rel=0.01)
+
+    def test_timesteps_per_joule(self):
+        assert units.timesteps_per_joule(274016, 23000) == pytest.approx(
+            11.91, rel=0.01
+        )

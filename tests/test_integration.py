@@ -1,0 +1,119 @@
+"""End-to-end integration tests: the paper's headline facts.
+
+These tie the whole stack together — lattice generation, mapping, the
+lockstep machine, cycle model and baselines — and assert the numbers the
+paper leads with.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import FRONTIER_MODELS, QUARTZ_MODELS
+from repro.core import CycleCostModel
+from repro.perfmodel.linear import PAPER_TABLE2, fit_linear_model
+from repro.potentials.elements import ELEMENTS
+
+
+class TestHeadlineNumbers:
+    def test_179x_speedup_over_frontier(self):
+        """Abstract: 179-fold improvement vs the GPU exascale platform."""
+        model = CycleCostModel()
+        el = ELEMENTS["Ta"]
+        wse = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        gpu, _ = FRONTIER_MODELS["Ta"].best_rate(801_792)
+        assert wse / gpu == pytest.approx(179, rel=0.05)
+
+    def test_55x_speedup_over_quartz(self):
+        model = CycleCostModel()
+        el = ELEMENTS["Ta"]
+        wse = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        cpu, _ = QUARTZ_MODELS["Ta"].best_rate(801_792)
+        assert wse / cpu == pytest.approx(55, rel=0.07)
+
+    def test_rate_exceeds_270k_for_800k_atoms(self):
+        """Abstract: over 270,000 timesteps/s for problems up to 800k atoms."""
+        model = CycleCostModel()
+        el = ELEMENTS["Ta"]
+        assert model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        ) > 270_000
+
+    @pytest.mark.parametrize(
+        "symbol,gpu_x,cpu_x", [("Cu", 109, 34), ("W", 96, 26)]
+    )
+    def test_other_elements_speedups(self, symbol, gpu_x, cpu_x):
+        model = CycleCostModel()
+        el = ELEMENTS[symbol]
+        wse = model.steps_per_second(
+            el.candidates, el.interactions, el.neighborhood_b
+        )
+        gpu, _ = FRONTIER_MODELS[symbol].best_rate(801_792)
+        cpu, _ = QUARTZ_MODELS[symbol].best_rate(801_792)
+        assert wse / gpu == pytest.approx(gpu_x, rel=0.08)
+        assert wse / cpu == pytest.approx(cpu_x, rel=0.10)
+
+
+class TestSimulatedSweepRegression:
+    def test_lockstep_sweep_recovers_linear_model(self, ta_potential):
+        """E2 in miniature: fit (A, B, C) from lockstep measurements."""
+        from repro.core.cycle_model import CycleCostModel
+        model = CycleCostModel()
+        nc, ni, t_ns = [], [], []
+        rng = np.random.default_rng(0)
+        for b in (2, 3, 4, 5, 6, 7, 8):
+            for frac in (0.1, 0.3, 0.5, 0.8):
+                cand = (2 * b + 1) ** 2 - 1
+                inter = max(1, int(frac * cand))
+                nc.append(cand)
+                ni.append(inter)
+                t_ns.append(
+                    model.step_cycles(cand, inter, b) * model.machine.cycle_ns
+                )
+        fit = fit_linear_model(np.array(nc), np.array(ni), np.array(t_ns))
+        # Table II: A=26.6, B=71.4, C=574, r^2=0.9998
+        assert fit.a_candidate == pytest.approx(26.6, rel=0.05)
+        assert fit.b_interaction == pytest.approx(71.4, rel=0.03)
+        assert fit.c_fixed == pytest.approx(574.0, rel=0.15)
+        assert fit.r_squared > 0.999
+
+
+class TestQuickstartApi:
+    def test_wse_quickstart(self):
+        sim = repro.quick_wse_simulation("Ta", reps=(5, 5, 2),
+                                         temperature=290.0)
+        sim.step(5)
+        assert sim.measured_rate() > 50_000
+
+    def test_reference_quickstart(self):
+        sim = repro.quick_reference_simulation("Ta", reps=(4, 4, 2),
+                                               temperature=290.0)
+        sim.run(5)
+        assert sim.step_count == 5
+
+    def test_both_engines_agree(self):
+        wse = repro.quick_wse_simulation("Cu", reps=(4, 4, 2),
+                                         temperature=150.0, seed=5)
+        ref = repro.quick_reference_simulation("Cu", reps=(4, 4, 2),
+                                               temperature=150.0, seed=5)
+        wse.step(10)
+        ref.run(10)
+        out = wse.gather_state()
+        assert np.allclose(out.positions, ref.state.positions, atol=1e-10)
+
+
+class TestWeakScalingInvariant:
+    def test_per_tile_cycles_independent_of_system_size(self, ta_potential):
+        """Fig. 8's mechanism: tiles do identical work at any scale."""
+        rates = []
+        for reps in ((4, 4, 2), (8, 8, 2)):
+            sim = repro.quick_wse_simulation("Ta", reps=reps, temperature=0.0)
+            sim.step(1)
+            rates.append(sim.measured_rate())
+        # within a few percent despite 4x the atoms (b may differ by edge
+        # effects; the paper reports < 1% on uniform workloads)
+        assert rates[1] == pytest.approx(rates[0], rel=0.15)

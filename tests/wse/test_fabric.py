@@ -1,0 +1,190 @@
+"""Event-level fabric simulation: the marching multicast, wavelet by wavelet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wse.fabric import ChainFabric, MulticastChainSim
+from repro.wse.multicast import (
+    MarchingMulticastSchedule,
+    exchange_cycle_model,
+    stage_cycles,
+)
+from repro.wse.router import MarchingRouter, RouterState, advance_command_list
+from repro.wse.wavelet import RouterCommand, Wavelet, WaveletKind
+
+
+class TestRouter:
+    def test_head_accepts_core_data(self):
+        r = MarchingRouter(state=RouterState.HEAD)
+        w = Wavelet(kind=WaveletKind.DATA, vc=0, src=0)
+        out, delivered = r.route(w, from_core=True)
+        assert out == [w] and not delivered
+
+    def test_body_delivers_and_forwards(self):
+        r = MarchingRouter(state=RouterState.BODY)
+        w = Wavelet(kind=WaveletKind.DATA, vc=0, src=0)
+        out, delivered = r.route(w, from_core=False)
+        assert out == [w] and delivered
+
+    def test_tail_delivers_only(self):
+        r = MarchingRouter(state=RouterState.TAIL)
+        w = Wavelet(kind=WaveletKind.DATA, vc=0, src=0)
+        out, delivered = r.route(w, from_core=False)
+        assert out == [] and delivered
+
+    def test_non_head_core_injection_rejected(self):
+        r = MarchingRouter(state=RouterState.BODY)
+        w = Wavelet(kind=WaveletKind.DATA, vc=0, src=0)
+        with pytest.raises(RuntimeError, match="only the head"):
+            r.route(w, from_core=True)
+
+    def test_advance_promotes_body_next(self):
+        r = MarchingRouter(state=RouterState.BODY_NEXT)
+        w = Wavelet(kind=WaveletKind.COMMAND, vc=0, src=0,
+                    commands=advance_command_list(3))
+        out, _ = r.route(w, from_core=False)
+        assert r.state is RouterState.HEAD
+        assert len(out) == 1 and len(out[0].commands) == 2
+
+    def test_reset_returns_tail_to_body_and_consumes(self):
+        r = MarchingRouter(state=RouterState.TAIL)
+        w = Wavelet(kind=WaveletKind.COMMAND, vc=0, src=0,
+                    commands=[RouterCommand.RESET])
+        out, _ = r.route(w, from_core=False)
+        assert r.state is RouterState.BODY
+        assert out == []
+
+    def test_finish_transmission_head_to_tail(self):
+        r = MarchingRouter(state=RouterState.HEAD)
+        r.finish_transmission()
+        assert r.state is RouterState.TAIL
+
+    def test_finish_on_non_head_rejected(self):
+        with pytest.raises(RuntimeError):
+            MarchingRouter(state=RouterState.BODY).finish_transmission()
+
+    def test_command_list_sizing(self):
+        assert len(advance_command_list(1)) == 1
+        assert len(advance_command_list(4)) == 4
+        with pytest.raises(ValueError):
+            advance_command_list(0)
+
+
+class TestSchedule:
+    def test_phase_count(self):
+        assert MarchingMulticastSchedule(b=3).n_phases == 4
+
+    def test_roles_shift_each_phase(self):
+        s = MarchingMulticastSchedule(b=3)
+        assert s.role_at(0, 0) == "head"
+        assert s.role_at(1, 1) == "head"
+        assert s.role_at(0, 1) == "tail"  # old head becomes tail
+        assert s.role_at(3, 1) == "body"  # old tail becomes body
+
+    def test_every_column_heads_exactly_once(self):
+        s = MarchingMulticastSchedule(b=4)
+        for col in range(20):
+            heads = [
+                p for p in range(s.n_phases) if s.role_at(col, p) == "head"
+            ]
+            assert len(heads) == 1
+
+    def test_conflict_free(self):
+        for b in (1, 2, 3, 5, 7):
+            assert MarchingMulticastSchedule(b=b).link_conflict_free(64)
+
+    def test_senders_spaced_by_strip_width(self):
+        s = MarchingMulticastSchedule(b=3)
+        senders = s.senders_in_phase(2, 20)
+        assert all(b2 - a == 4 for a, b2 in zip(senders, senders[1:]))
+
+
+class TestChainFabric:
+    @pytest.mark.parametrize("b", [1, 2, 3, 4, 7])
+    @pytest.mark.parametrize("vector_len", [1, 3])
+    def test_cycles_match_closed_form(self, b, vector_len):
+        n = 3 * (b + 1) + 2
+        res = ChainFabric(n, b, vector_len).run()
+        assert res.cycles == stage_cycles(vector_len, b)
+
+    @pytest.mark.parametrize("b", [1, 2, 4, 7])
+    def test_exactly_once_delivery(self, b):
+        n = 4 * (b + 1) + 1
+        res = ChainFabric(n, b, 3).run()
+        for t in range(n):
+            # every tile receives each of the b upstream tiles' vectors once
+            expect = list(range(max(0, t - b), t))
+            got = [src for src, _ in res.received[t]]
+            assert sorted(set(got)) == expect
+            assert len(got) == len(expect) * 3  # all words delivered
+
+    def test_words_arrive_in_order_per_source(self):
+        res = ChainFabric(12, 3, 4).run()
+        for t in range(12):
+            per_src = {}
+            for src, seq in res.received[t]:
+                per_src.setdefault(src, []).append(seq)
+            for seqs in per_src.values():
+                assert seqs == sorted(seqs) == list(range(4))
+
+    def test_link_busy_accounting(self):
+        # every tile's vector travels b hops: total link-cycles >= n*b*L
+        n, b, L = 14, 2, 3
+        res = ChainFabric(n, b, L).run()
+        interior_transfers = sum(
+            min(b, n - 1 - t) * L for t in range(n)
+        )
+        assert res.link_busy_cycles >= interior_transfers
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ChainFabric(1, 1, 3)
+        with pytest.raises(ValueError):
+            ChainFabric(10, 0, 3)
+        with pytest.raises(ValueError):
+            ChainFabric(5, 5, 3)
+        with pytest.raises(ValueError):
+            ChainFabric(10, 2, 0)
+
+    @given(b=st.integers(1, 6), L=st.integers(1, 8), chains=st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_schedule_always_clean(self, b, L, chains):
+        """No contention, full coverage, closed-form cycles — any config."""
+        n = chains * (b + 1) + 1
+        res = ChainFabric(n, b, L).run()  # raises on link contention
+        assert res.cycles == stage_cycles(L, b)
+        for t in range(n):
+            got = {src for src, _ in res.received[t]}
+            assert got == set(range(max(0, t - b), t))
+
+
+class TestBidirectional:
+    def test_sources_cover_both_directions(self):
+        cyc, sources = MulticastChainSim(15, 3, 3).run()
+        assert cyc == stage_cycles(3, 3)
+        assert sorted(sources[7]) == [4, 5, 6, 8, 9, 10]
+
+    def test_edge_tiles_have_truncated_neighborhoods(self):
+        _, sources = MulticastChainSim(10, 3, 1).run()
+        assert sorted(sources[0]) == [1, 2, 3]
+        assert sorted(sources[9]) == [6, 7, 8]
+
+
+class TestExchangeModel:
+    def test_exchange_is_two_stages(self):
+        for b in (2, 4, 7):
+            assert exchange_cycle_model(3, b) == (
+                stage_cycles(3, b) + stage_cycles((2 * b + 1) * 3, b)
+            )
+
+    def test_vertical_stage_carries_row_segment(self):
+        # the vertical stage's vector is (2b+1) x the horizontal one
+        assert exchange_cycle_model(1, 2) == stage_cycles(1, 2) + stage_cycles(5, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            stage_cycles(0, 2)
+        with pytest.raises(ValueError):
+            stage_cycles(3, 0)
