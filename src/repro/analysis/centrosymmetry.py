@@ -44,7 +44,8 @@ def centrosymmetry(
         span = np.ptp(positions, axis=0)
         cutoff = max(1.0, float(np.min(span[span > 0])) / 4.0) if n > 1 else 1.0
         cutoff = min(cutoff, 6.0)
-    pairs = NeighborList(box, cutoff, skin=0.0).pairs(positions)
+    # per-atom neighborhood indexing needs both (i, j) and (j, i)
+    pairs = NeighborList(box, cutoff, skin=0.0).pairs(positions).directed()
 
     csp = np.full(n, np.inf)
     order = np.lexsort((pairs.r, pairs.i))

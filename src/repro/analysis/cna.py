@@ -37,8 +37,10 @@ class StructureType(enum.IntEnum):
 def _neighbor_sets(positions: np.ndarray, box: Box, cutoff: float):
     pairs = NeighborList(box, cutoff, skin=0.0).pairs(positions)
     sets: list[set[int]] = [set() for _ in range(len(positions))]
+    # neighborhood is symmetric; works for half and directed tables alike
     for i, j in zip(pairs.i.tolist(), pairs.j.tolist()):
         sets[i].add(j)
+        sets[j].add(i)
     return sets
 
 

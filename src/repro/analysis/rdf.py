@@ -35,10 +35,12 @@ def radial_distribution(
         raise ValueError(f"bad r_max/n_bins: {r_max}, {n_bins}")
     pairs = NeighborList(box, r_max, skin=0.0).pairs(positions)
     counts, edges = np.histogram(pairs.r, bins=n_bins, range=(0.0, r_max))
+    if pairs.half:
+        # each undirected pair stored once; g(r) counts both directions
+        counts = counts * 2
     centers = 0.5 * (edges[:-1] + edges[1:])
     density = n / box.volume
     shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
-    # pairs are directed: counts already include both (i,j) and (j,i)
     ideal = density * shell_vol * n
     with np.errstate(divide="ignore", invalid="ignore"):
         g = np.where(ideal > 0, counts / ideal, 0.0)

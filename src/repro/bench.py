@@ -1,0 +1,256 @@
+"""Benchmark-regression harness: ``python -m repro bench``.
+
+Times the two engines on the standard Table-I elements and writes a
+machine-readable ``BENCH_kernels.json``:
+
+* reference engine (cell-list + fused half-pair EAM kernels) on bulk
+  Ta/Cu/W slabs — the workload the kernel layer is optimized for;
+* lockstep machine (:class:`repro.core.wse_md.WseMd`) on a thin Ta
+  slab — wall-clock of the *simulator* itself, not the modeled WSE-2
+  rate.
+
+Each case carries the steps/s measured on the pre-kernel-layer seed
+tree (:data:`SEED_BASELINE`) so the report shows ``speedup_vs_seed``
+directly.  ``--baseline`` compares against a previously written JSON
+and exits non-zero when any case regresses more than ``--max-drop``
+(fractional), which is how CI gates kernel changes.
+
+Benchmark numbers are machine-dependent: compare runs from the same
+host only.  The committed ``benchmarks/baseline_kernels.json`` is
+refreshed whenever the kernels intentionally change speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BenchCase",
+    "BenchResult",
+    "CASES",
+    "SEED_BASELINE",
+    "run_case",
+    "run_bench",
+    "compare_to_baseline",
+    "write_report",
+]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed workload.
+
+    ``steps``/``warmup`` are (full, quick) pairs; warmup steps run
+    untimed first so the cell-list build and first JIT/caching costs do
+    not pollute the steady-state rate.
+    """
+
+    name: str
+    engine: str  # "reference" | "wse"
+    element: str
+    reps: tuple[int, int, int]
+    steps: tuple[int, int]
+    warmup: tuple[int, int] = (2, 2)
+
+
+#: Standard workloads.  Reference slabs are bulk-like (the acceptance
+#: workload is the 16,000-atom Ta slab); the lockstep case is small
+#: because the simulator carries per-tile overhead in Python.
+CASES: tuple[BenchCase, ...] = (
+    BenchCase("ref-Ta", "reference", "Ta", (20, 20, 20), (10, 40), (2, 5)),
+    BenchCase("ref-Cu", "reference", "Cu", (16, 16, 16), (6, 40), (2, 5)),
+    BenchCase("ref-W", "reference", "W", (20, 20, 20), (6, 40), (2, 5)),
+    BenchCase("wse-Ta", "wse", "Ta", (8, 8, 3), (20, 30), (2, 5)),
+)
+
+#: Quick-mode replications (small slabs so CI finishes in seconds).
+QUICK_REPS: dict[str, tuple[int, int, int]] = {
+    "ref-Ta": (8, 8, 4),
+    "ref-Cu": (6, 6, 4),
+    "ref-W": (8, 8, 4),
+    "wse-Ta": (5, 5, 2),
+}
+
+#: steps/s measured on the seed tree (commit c12f1fa, this container)
+#: with the same workloads, before the kernel layer existed.  Keyed by
+#: ``(case name, mode)``.
+SEED_BASELINE: dict[str, dict[str, float]] = {
+    "ref-Ta": {"full": 4.875, "quick": 253.6},
+    "ref-Cu": {"full": 1.611, "quick": 96.4},
+    "ref-W": {"full": 1.396, "quick": 97.2},
+    "wse-Ta": {"full": 72.4, "quick": 132.7},
+}
+
+
+@dataclass
+class BenchResult:
+    """Timing + workload stats for one executed case."""
+
+    name: str
+    engine: str
+    element: str
+    n_atoms: int
+    steps: int
+    wall_s: float
+    steps_per_s: float
+    seed_steps_per_s: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def speedup_vs_seed(self) -> float | None:
+        if not self.seed_steps_per_s:
+            return None
+        return self.steps_per_s / self.seed_steps_per_s
+
+    def to_json(self) -> dict:
+        out = {
+            "name": self.name,
+            "engine": self.engine,
+            "element": self.element,
+            "n_atoms": self.n_atoms,
+            "steps": self.steps,
+            "wall_s": round(self.wall_s, 4),
+            "steps_per_s": round(self.steps_per_s, 3),
+            "seed_steps_per_s": self.seed_steps_per_s,
+            "speedup_vs_seed": (
+                round(self.speedup_vs_seed, 3)
+                if self.speedup_vs_seed is not None else None
+            ),
+        }
+        out.update(self.extra)
+        return out
+
+
+def _run_reference(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
+    import repro
+
+    from repro.md.simulation import SimStats
+
+    sim = repro.quick_reference_simulation(case.element, reps=reps)
+    sim.run(warmup)
+    sim.stats = SimStats()  # report steady-state phases, not warmup
+    t0 = time.perf_counter()
+    sim.run(steps)
+    wall = time.perf_counter() - t0
+    st = sim.stats
+    return BenchResult(
+        name=case.name,
+        engine="reference",
+        element=case.element,
+        n_atoms=sim.state.n_atoms,
+        steps=steps,
+        wall_s=wall,
+        steps_per_s=steps / wall,
+        extra={
+            "pairs_per_step": round(st.pairs_per_step, 1),
+            "neighbor_rebuilds": st.neighbor_rebuilds,
+            "time_neighbor_s": round(st.time_neighbor_s, 4),
+            "time_force_s": round(st.time_force_s, 4),
+            "time_integrate_s": round(st.time_integrate_s, 4),
+        },
+    )
+
+
+def _run_wse(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
+    import repro
+
+    sim = repro.quick_wse_simulation(case.element, reps=reps,
+                                     force_symmetry=True)
+    sim.step(warmup)
+    t0 = time.perf_counter()
+    sim.step(steps)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name=case.name,
+        engine="wse",
+        element=case.element,
+        n_atoms=sim.n_atoms,
+        steps=steps,
+        wall_s=wall,
+        steps_per_s=steps / wall,
+        extra={
+            "grid": [sim.grid.nx, sim.grid.ny],
+            "b": sim.b,
+            "modeled_wse2_steps_per_s": round(sim.measured_rate(), 1),
+        },
+    )
+
+
+def run_case(case: BenchCase, *, quick: bool = False,
+             steps: int | None = None) -> BenchResult:
+    """Execute one case and attach its seed baseline."""
+    mode = "quick" if quick else "full"
+    reps = QUICK_REPS[case.name] if quick else case.reps
+    n_steps = steps if steps is not None else case.steps[1 if quick else 0]
+    warmup = case.warmup[1 if quick else 0]
+    runner = _run_reference if case.engine == "reference" else _run_wse
+    result = runner(case, reps, n_steps, warmup)
+    result.seed_steps_per_s = SEED_BASELINE.get(case.name, {}).get(mode)
+    return result
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    elements: list[str] | None = None,
+    engines: list[str] | None = None,
+    steps: int | None = None,
+    progress=None,
+) -> list[BenchResult]:
+    """Run the selected cases in declaration order."""
+    results: list[BenchResult] = []
+    for case in CASES:
+        if elements and case.element not in elements:
+            continue
+        if engines and case.engine not in engines:
+            continue
+        if progress:
+            progress(f"  {case.name} ({case.engine}) ...")
+        results.append(run_case(case, quick=quick, steps=steps))
+    return results
+
+
+def write_report(path: str, results: list[BenchResult], *,
+                 quick: bool, backend: str) -> dict:
+    """Serialize results to ``path``; returns the report dict."""
+    report = {
+        "schema": "repro-bench/1",
+        "created_unix": round(time.time(), 1),
+        "mode": "quick" if quick else "full",
+        "backend": backend,
+        "numpy_version": np.__version__,
+        "results": [r.to_json() for r in results],
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+def compare_to_baseline(
+    results: list[BenchResult], baseline: dict, *, max_drop: float
+) -> list[str]:
+    """Regression check vs a previous report.
+
+    Returns human-readable failure lines (empty = pass).  Cases present
+    on only one side are skipped: the gate protects existing numbers,
+    it does not freeze the case list.
+    """
+    failures: list[str] = []
+    base = {r["name"]: r for r in baseline.get("results", [])}
+    for r in results:
+        ref = base.get(r.name)
+        if ref is None or not ref.get("steps_per_s"):
+            continue
+        floor = (1.0 - max_drop) * ref["steps_per_s"]
+        if r.steps_per_s < floor:
+            failures.append(
+                f"{r.name}: {r.steps_per_s:.2f} steps/s < "
+                f"{floor:.2f} (baseline {ref['steps_per_s']:.2f} "
+                f"- {max_drop:.0%} allowance)"
+            )
+    return failures

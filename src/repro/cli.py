@@ -10,6 +10,10 @@ Commands
 ``table1`` / ``table5`` / ``table6`` / ``fig1``
     Print quick reproductions of the corresponding paper artifacts
     (the full harness lives in ``benchmarks/``).
+``bench``
+    Time both engines on the standard Ta/Cu/W workloads, write
+    ``BENCH_kernels.json``, and optionally gate against a baseline
+    report (see ``repro.bench``).
 """
 
 from __future__ import annotations
@@ -45,9 +49,18 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _set_backend(name: str | None) -> str:
+    from repro.kernels import active_backend_name, set_backend
+
+    if name:
+        set_backend(name)
+    return active_backend_name()
+
+
 def _cmd_run(args) -> int:
     import repro
 
+    backend = _set_backend(args.backend)
     reps = tuple(args.reps)
     common = dict(reps=reps, temperature=args.temperature, seed=args.seed)
     if args.engine == "wse":
@@ -71,9 +84,59 @@ def _cmd_run(args) -> int:
         e0 = sim.potential_energy() + sim.state.kinetic_energy()
         sim.run(args.steps)
         e1 = sim.potential_energy() + sim.state.kinetic_energy()
-        print(f"{sim.state.n_atoms} {args.element} atoms, reference engine")
+        print(f"{sim.state.n_atoms} {args.element} atoms, reference engine "
+              f"({backend} kernels)")
         print(f"after {args.steps} steps: T={sim.state.temperature():.0f} K, "
               f"energy drift {abs(e1 - e0) / sim.state.n_atoms:.2e} eV/atom")
+        st = sim.stats
+        print(f"loop stats: {st.steps_per_s:.2f} steps/s, "
+              f"{st.neighbor_rebuilds} rebuilds, "
+              f"{st.pairs_per_step:,.0f} pairs/step; "
+              f"wall {st.wall_time_s:.2f} s = "
+              f"neighbor {st.time_neighbor_s:.2f} + "
+              f"force {st.time_force_s:.2f} + "
+              f"integrate {st.time_integrate_s:.2f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.bench import compare_to_baseline, run_bench, write_report
+
+    backend = _set_backend(args.backend)
+    mode = "quick" if args.quick else "full"
+    print(f"repro bench: {mode} mode, {backend} kernels")
+    results = run_bench(
+        quick=args.quick,
+        elements=args.elements,
+        engines=args.engines,
+        steps=args.steps,
+        progress=print,
+    )
+    if not results:
+        print("no cases selected")
+        return 2
+    for r in results:
+        speedup = (f", {r.speedup_vs_seed:.2f}x vs seed"
+                   if r.speedup_vs_seed is not None else "")
+        print(f"  {r.name}: {r.n_atoms} atoms, {r.steps} steps in "
+              f"{r.wall_s:.2f} s -> {r.steps_per_s:.2f} steps/s{speedup}")
+    report = write_report(args.out, results, quick=args.quick,
+                          backend=backend)
+    print(f"wrote {args.out} ({len(report['results'])} cases)")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = compare_to_baseline(results, baseline,
+                                       max_drop=args.max_drop)
+        if failures:
+            print(f"REGRESSION vs {args.baseline}:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(allowance {args.max_drop:.0%})")
     return 0
 
 
@@ -193,6 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=["wse", "reference"], default="wse")
     run.add_argument("--swap-interval", type=int, default=0)
     run.add_argument("--force-symmetry", action="store_true")
+    run.add_argument("--backend", default=None,
+                     help="kernel backend (numpy, numba); default: "
+                          "$REPRO_KERNEL_BACKEND or numpy")
+
+    bench = sub.add_parser(
+        "bench", help="time both engines, write BENCH_kernels.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small slabs (CI-sized, seconds not minutes)")
+    bench.add_argument("--out", default="BENCH_kernels.json")
+    bench.add_argument("--backend", default=None,
+                       help="kernel backend (numpy, numba)")
+    bench.add_argument("--baseline", default=None,
+                       help="previous report JSON to gate against")
+    bench.add_argument("--max-drop", type=float, default=0.30,
+                       help="max fractional steps/s drop vs baseline "
+                            "(default 0.30)")
+    bench.add_argument("--steps", type=int, default=None,
+                       help="override timed steps for every case")
+    bench.add_argument("--elements", nargs="*", default=None,
+                       choices=["Cu", "W", "Ta"])
+    bench.add_argument("--engines", nargs="*", default=None,
+                       choices=["reference", "wse"])
 
     for name in ("table1", "table5", "table6", "fig1"):
         sub.add_parser(name, help=f"print the {name} reproduction")
@@ -204,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "info": _cmd_info,
         "run": _cmd_run,
+        "bench": _cmd_bench,
         "table1": _cmd_table1,
         "table5": _cmd_table5,
         "table6": _cmd_table6,

@@ -23,17 +23,26 @@ import numpy as np
 
 from repro.wse.geometry import TileGrid
 
-__all__ = ["shift2d", "iter_neighborhood", "neighborhood_sources"]
+__all__ = [
+    "shift2d",
+    "shift2d_into",
+    "iter_neighborhood",
+    "neighborhood_sources",
+]
 
 
-def shift2d(grid: np.ndarray, dx: int, dy: int, fill=0) -> np.ndarray:
-    """Aligned shift: ``out[x, y] = grid[x + dx, y + dy]`` or ``fill``.
+def shift2d_into(
+    out: np.ndarray, grid: np.ndarray, dx: int, dy: int, fill=0
+) -> np.ndarray:
+    """Aligned shift written into a caller-owned buffer.
 
-    Works for (nx, ny) and (nx, ny, k) arrays; the shift applies to the
-    leading two axes.  Non-periodic fabric: out-of-range reads fill.
+    ``out[x, y] = grid[x + dx, y + dy]`` where the source exists,
+    ``fill`` elsewhere.  Semantics identical to :func:`shift2d`; lets
+    hot loops (one shift per neighborhood offset per step) reuse a
+    preallocated exchange buffer instead of allocating every call.
     """
     nx, ny = grid.shape[:2]
-    out = np.full_like(grid, fill)
+    out[...] = fill
     xs0, xs1 = max(dx, 0), nx + min(dx, 0)
     ys0, ys1 = max(dy, 0), ny + min(dy, 0)
     if xs0 >= xs1 or ys0 >= ys1:
@@ -42,6 +51,15 @@ def shift2d(grid: np.ndarray, dx: int, dy: int, fill=0) -> np.ndarray:
     yd0, yd1 = max(-dy, 0), ny + min(-dy, 0)
     out[xd0:xd1, yd0:yd1] = grid[xs0:xs1, ys0:ys1]
     return out
+
+
+def shift2d(grid: np.ndarray, dx: int, dy: int, fill=0) -> np.ndarray:
+    """Aligned shift: ``out[x, y] = grid[x + dx, y + dy]`` or ``fill``.
+
+    Works for (nx, ny) and (nx, ny, k) arrays; the shift applies to the
+    leading two axes.  Non-periodic fabric: out-of-range reads fill.
+    """
+    return shift2d_into(np.empty_like(grid), grid, dx, dy, fill=fill)
 
 
 def iter_neighborhood(

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.constants import MVV2E
 from repro.core.cycle_model import CycleCostModel
-from repro.core.exchange import iter_neighborhood, shift2d
+from repro.core.exchange import iter_neighborhood, shift2d, shift2d_into
 from repro.core.mapping import Mapping, build_mapping
 from repro.core.neighborhood import required_b
 from repro.core.swap import SwapEngine
@@ -197,6 +197,23 @@ class WseMd:
         self.last_interactions = np.zeros((nx, ny), dtype=np.int64)
         self._check_b_coverage_possible()
 
+        # Fast-path state: the (2b+1)^2 - 1 neighborhood offsets and
+        # their in-fabric masks depend only on the (fixed) grid and b,
+        # so they are computed once here instead of every step; the
+        # exchange buffers below are reused by every shift so the hot
+        # loop allocates nothing proportional to the grid.
+        self._offsets = list(iter_neighborhood(self.grid, self.b))
+        self._xbuf_pos = np.empty((nx, ny, 3), dtype=self.dtype)
+        self._xbuf_occ = np.empty((nx, ny), dtype=bool)
+        self._xbuf_d = np.empty((nx, ny, 3), dtype=self.dtype)
+        self._xbuf_r2 = np.empty((nx, ny), dtype=self.dtype)
+        self._xbuf_fder = np.empty((nx, ny), dtype=np.float64)
+        self._xbuf_typ = np.empty((nx, ny), dtype=np.int64)
+        self._xbuf_vec = np.empty((nx, ny, 3), dtype=np.float64)
+        self._xbuf_vec_shift = np.empty((nx, ny, 3), dtype=np.float64)
+        self._xbuf_scal = np.empty((nx, ny), dtype=np.float64)
+        self._xbuf_scal_shift = np.empty((nx, ny), dtype=np.float64)
+
     # -- helpers ---------------------------------------------------------------
 
     def _check_b_coverage_possible(self) -> None:
@@ -219,14 +236,18 @@ class WseMd:
         return d
 
     def _pair_quantities(self, dx: int, dy: int):
-        """Shifted neighbor state and pair distances for one offset."""
-        opos = shift2d(self.pos, dx, dy, fill=_FAR)
-        oocc = shift2d(self.occ, dx, dy, fill=False)
-        d = opos - self.pos
+        """Shifted neighbor state and pair distances for one offset.
+
+        The returned ``opos``/``d``/``r2`` arrays are reused exchange
+        buffers — valid only until the next offset is processed.
+        """
+        opos = shift2d_into(self._xbuf_pos, self.pos, dx, dy, fill=_FAR)
+        oocc = shift2d_into(self._xbuf_occ, self.occ, dx, dy, fill=False)
+        d = np.subtract(opos, self.pos, out=self._xbuf_d)
         both = self.occ & oocc
-        d = np.where(both[:, :, None], d, 0.0)
+        np.copyto(d, 0.0, where=~both[:, :, None])
         d = self._minimum_image(d)
-        r2 = np.einsum("xyk,xyk->xy", d, d)
+        r2 = np.einsum("xyk,xyk->xy", d, d, out=self._xbuf_r2)
         rc2 = self.potential.cutoff**2
         within = both & (r2 < rc2) & (r2 > 0.0)
         return opos, oocc, d, r2, within
@@ -262,7 +283,7 @@ class WseMd:
         reduction, which the lockstep machine realizes as a scatter
         through the opposite offset.
         """
-        for dx, dy, fabric in iter_neighborhood(self.grid, self.b):
+        for dx, dy, fabric in self._offsets:
             if self.force_symmetry and not (dy > 0 or (dy == 0 and dx > 0)):
                 continue
             yield dx, dy, fabric
@@ -294,15 +315,18 @@ class WseMd:
             if tables.n_types == 1:
                 src_t = ctr_t = np.zeros(len(r), dtype=np.int64)
             else:
-                otyp = shift2d(self.typ, dx, dy, fill=0)
+                otyp = shift2d_into(self._xbuf_typ, self.typ, dx, dy, fill=0)
                 src_t = otyp[within]
                 ctr_t = self.typ[within]
             rho_bar[within] += self._rho_values(r, src_t)
             if self.force_symmetry:
                 # reverse reduction: the partner's density share
-                contrib = np.zeros((nx, ny))
+                contrib = self._xbuf_scal
+                contrib[...] = 0.0
                 contrib[within] = self._rho_values(r, ctr_t)
-                rho_bar += shift2d(contrib, -dx, -dy, fill=0.0)
+                rho_bar += shift2d_into(
+                    self._xbuf_scal_shift, contrib, -dx, -dy, fill=0.0
+                )
         self.last_candidates = n_cand
         self.last_interactions = n_int
         return rho_bar, n_cand, n_int
@@ -336,14 +360,14 @@ class WseMd:
         for dx, dy, _fabric, within, r, unit in records:
             if len(r) == 0:
                 continue
-            ofder = shift2d(f_der, dx, dy, fill=0.0)
+            ofder = shift2d_into(self._xbuf_fder, f_der, dx, dy, fill=0.0)
             if tables.n_types == 1:
                 rho_d = tables.rho[0].evaluate(r)[1]
                 rho_d_src = rho_d
                 rho_d_ctr = rho_d
                 phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
             else:
-                otyp = shift2d(self.typ, dx, dy, fill=0)
+                otyp = shift2d_into(self._xbuf_typ, self.typ, dx, dy, fill=0)
                 t_src = otyp[within]
                 t_ctr = self.typ[within]
                 rho_d_src = np.zeros(len(r))
@@ -368,13 +392,19 @@ class WseMd:
             if self.force_symmetry:
                 # compute once, return the partner's (negated) share via
                 # the reverse reduction
-                fvec = np.zeros((nx, ny, 3))
+                fvec = self._xbuf_vec
+                fvec[...] = 0.0
                 fvec[within] = s[:, None] * unit
                 force += fvec
-                force -= shift2d(fvec, -dx, -dy, fill=0.0)
-                e_half = np.zeros((nx, ny))
+                force -= shift2d_into(
+                    self._xbuf_vec_shift, fvec, -dx, -dy, fill=0.0
+                )
+                e_half = self._xbuf_scal
+                e_half[...] = 0.0
                 e_half[within] = 0.5 * phi_v
-                e_pair += e_half + shift2d(e_half, -dx, -dy, fill=0.0)
+                e_pair += e_half + shift2d_into(
+                    self._xbuf_scal_shift, e_half, -dx, -dy, fill=0.0
+                )
             else:
                 force[within] += s[:, None] * unit
                 e_pair[within] += 0.5 * phi_v

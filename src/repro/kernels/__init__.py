@@ -1,0 +1,146 @@
+"""Pluggable compute backends for the hot-path kernels.
+
+The physics modules (:mod:`repro.potentials`, :mod:`repro.md`) describe
+*what* is computed; the kernels layer owns *how* the inner loops run.
+Each backend is a module exposing the same small kernel interface
+(:data:`KERNEL_FUNCTIONS`), so a compiled implementation can slot in
+without touching any physics code:
+
+``numpy``
+    The baseline: fused vectorized NumPy kernels.  Always available.
+``numba``
+    JIT-compiled loops via :mod:`numba`.  Optional — when the import
+    fails the registry falls back to ``numpy`` and records why.
+
+Selection order: an explicit :func:`set_backend` call, else the
+``REPRO_KERNEL_BACKEND`` environment variable, else ``numpy``.  Unknown
+or unavailable backends degrade to ``numpy`` with a warning rather than
+failing: a missing JIT must never change whether a simulation runs,
+only how fast.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from types import ModuleType
+
+__all__ = [
+    "KERNEL_FUNCTIONS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "register_backend",
+    "set_backend",
+    "active_backend",
+    "active_backend_name",
+    "backend_status",
+]
+
+#: The functions every backend module must provide.
+KERNEL_FUNCTIONS = (
+    "spline_eval",       # (coeffs, k, dx) -> (value, derivative)
+    "accumulate_scalar",  # (idx, weights, n) -> (n,) scatter-add
+    "accumulate_vec3",   # (idx, vectors, n) -> (n, 3) scatter-add
+)
+
+DEFAULT_BACKEND = "numpy"
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_loaders: dict[str, object] = {}
+_active: ModuleType | None = None
+_active_name: str | None = None
+_failures: dict[str, str] = {}
+
+
+def register_backend(name: str, loader) -> None:
+    """Register ``loader`` (a zero-arg callable returning a module-like
+    object with the :data:`KERNEL_FUNCTIONS` attributes) under ``name``."""
+    _loaders[name] = loader
+
+
+def _load(name: str) -> ModuleType | None:
+    loader = _loaders.get(name)
+    if loader is None:
+        return None
+    try:
+        backend = loader()
+    except ImportError as exc:  # optional dependency missing
+        _failures[name] = str(exc)
+        return None
+    missing = [f for f in KERNEL_FUNCTIONS if not hasattr(backend, f)]
+    if missing:
+        raise TypeError(f"backend {name!r} is missing kernels: {missing}")
+    return backend
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that import successfully right now."""
+    return [name for name in _loaders if _load(name) is not None]
+
+
+def backend_status() -> dict[str, str]:
+    """Per-backend availability: ``"ok"`` or the import failure reason."""
+    out = {}
+    for name in _loaders:
+        out[name] = "ok" if _load(name) is not None else _failures.get(
+            name, "unavailable"
+        )
+    return out
+
+
+def set_backend(name: str) -> str:
+    """Select the active backend; returns the name actually activated.
+
+    Unknown or unavailable names fall back to :data:`DEFAULT_BACKEND`
+    with a warning — performance degrades gracefully, physics never
+    depends on the choice.
+    """
+    global _active, _active_name
+    backend = _load(name)
+    if backend is None:
+        reason = _failures.get(name, "not registered")
+        if name != DEFAULT_BACKEND:
+            warnings.warn(
+                f"kernel backend {name!r} unavailable ({reason}); "
+                f"falling back to {DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        backend = _load(DEFAULT_BACKEND)
+        name = DEFAULT_BACKEND
+        if backend is None:  # pragma: no cover - numpy always present
+            raise RuntimeError("default numpy backend failed to load")
+    _active = backend
+    _active_name = name
+    return name
+
+
+def active_backend() -> ModuleType:
+    """The active backend module (resolving env/default on first use)."""
+    global _active
+    if _active is None:
+        set_backend(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+    return _active
+
+
+def active_backend_name() -> str:
+    """Name of the active backend (resolving on first use)."""
+    active_backend()
+    return _active_name  # type: ignore[return-value]
+
+
+def _numpy_loader():
+    from repro.kernels import numpy_backend
+
+    return numpy_backend
+
+
+def _numba_loader():
+    from repro.kernels import numba_backend  # raises ImportError w/o numba
+
+    return numba_backend
+
+
+register_backend("numpy", _numpy_loader)
+register_backend("numba", _numba_loader)

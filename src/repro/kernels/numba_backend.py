@@ -1,0 +1,75 @@
+"""Optional numba-JIT kernels.
+
+Importing this module raises :class:`ImportError` when :mod:`numba` is
+not installed; the registry catches that and falls back to the numpy
+backend.  The kernels are numerically identical to the numpy ones —
+same Horner ordering, same accumulation order — so switching backends
+never changes physics, only speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import numba  # noqa: F401  (ImportError here triggers the registry fallback)
+from numba import njit
+
+name = "numba"
+
+
+@njit(cache=True)
+def _spline_eval(coeffs, k, dx):
+    p = k.shape[0]
+    val = np.empty(p, dtype=np.float64)
+    der = np.empty(p, dtype=np.float64)
+    for idx in range(p):
+        row = coeffs[k[idx]]
+        c1 = row[1]
+        c2 = row[2]
+        c3 = row[3]
+        d = dx[idx]
+        val[idx] = row[0] + d * (c1 + d * (c2 + d * c3))
+        der[idx] = c1 + d * (2.0 * c2 + d * 3.0 * c3)
+    return val, der
+
+
+def spline_eval(coeffs, k, dx):
+    """Cubic value and derivative from packed per-segment coefficients."""
+    return _spline_eval(
+        np.ascontiguousarray(coeffs),
+        np.ascontiguousarray(k),
+        np.ascontiguousarray(dx),
+    )
+
+
+@njit(cache=True)
+def _accumulate_scalar(idx, weights, n):
+    out = np.zeros(n, dtype=np.float64)
+    for p in range(idx.shape[0]):
+        out[idx[p]] += weights[p]
+    return out
+
+
+def accumulate_scalar(idx, weights, n):
+    """Scatter-add scalar weights: ``out[idx[p]] += weights[p]``."""
+    return _accumulate_scalar(
+        np.ascontiguousarray(idx), np.ascontiguousarray(weights), n
+    )
+
+
+@njit(cache=True)
+def _accumulate_vec3(idx, vectors, n):
+    out = np.zeros((n, 3), dtype=np.float64)
+    for p in range(idx.shape[0]):
+        tgt = idx[p]
+        out[tgt, 0] += vectors[p, 0]
+        out[tgt, 1] += vectors[p, 1]
+        out[tgt, 2] += vectors[p, 2]
+    return out
+
+
+def accumulate_vec3(idx, vectors, n):
+    """Scatter-add (P, 3) vectors into an (n, 3) accumulator."""
+    return _accumulate_vec3(
+        np.ascontiguousarray(idx), np.ascontiguousarray(vectors), n
+    )

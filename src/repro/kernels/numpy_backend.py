@@ -1,0 +1,45 @@
+"""Baseline NumPy kernels (always available).
+
+The fused spline evaluation is the hot loop of the whole EAM stack: one
+gather of the packed ``(nseg, 4)`` coefficient rows, then a Horner
+polynomial for value and derivative together.  The packed layout
+replaces the seed's four scattered per-coefficient gathers and the
+separate value/derivative passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+name = "numpy"
+
+
+def spline_eval(
+    coeffs: np.ndarray, k: np.ndarray, dx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cubic value and derivative from packed per-segment coefficients.
+
+    ``coeffs`` is the C-contiguous ``(nseg, 4)`` array of
+    ``(c0, c1, c2, c3)`` rows; ``k`` the segment index per point and
+    ``dx`` the local offset from the segment's left knot.
+    """
+    rows = coeffs[k]  # single fused gather of all four coefficients
+    c1 = rows[:, 1]
+    c2 = rows[:, 2]
+    c3 = rows[:, 3]
+    val = rows[:, 0] + dx * (c1 + dx * (c2 + dx * c3))
+    der = c1 + dx * (2.0 * c2 + dx * 3.0 * c3)
+    return val, der
+
+
+def accumulate_scalar(idx: np.ndarray, weights: np.ndarray, n: int) -> np.ndarray:
+    """Scatter-add scalar weights: ``out[idx[p]] += weights[p]``."""
+    return np.bincount(idx, weights=weights, minlength=n)
+
+
+def accumulate_vec3(idx: np.ndarray, vectors: np.ndarray, n: int) -> np.ndarray:
+    """Scatter-add (P, 3) vectors into an (n, 3) accumulator."""
+    out = np.empty((n, 3), dtype=np.float64)
+    for axis in range(3):
+        out[:, axis] = np.bincount(idx, weights=vectors[:, axis], minlength=n)
+    return out

@@ -2,8 +2,10 @@
 
 The reference engine's neighbor search: atoms are binned into cells of
 edge >= cutoff, and candidate pairs are drawn from each atom's 27-cell
-stencil.  All stages are vectorized; the only Python-level loop is over
-the 27 stencil offsets.
+stencil.  Each undirected pair is generated exactly *once* (the half
+stencil plus ordered same-cell pairs), halving the candidate stream the
+distance filter and force kernels consume.  All stages are vectorized;
+the only Python-level loop is over the 13 half-stencil offsets.
 
 For periodic dimensions the box must span at least three cells
 (= 3 x cutoff) for the stencil to be alias-free; smaller periodic
@@ -20,6 +22,14 @@ import numpy as np
 from repro.md.boundary import Box
 
 __all__ = ["CellList", "all_pairs", "concatenated_ranges"]
+
+#: Half stencil: one offset per unordered offset pair (+o covers -o).
+#: (0, 0, 0) is excluded — same-cell pairs are generated with i < j.
+_HALF_STENCIL = [
+    (dx, dy, dz)
+    for dx, dy, dz in itertools.product((-1, 0, 1), repeat=3)
+    if dz > 0 or (dz == 0 and dy > 0) or (dz == 0 and dy == 0 and dx > 0)
+]
 
 
 def concatenated_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -59,7 +69,7 @@ class CellList:
     """Spatial binning for one configuration.
 
     Build once per neighbor-list rebuild; ``candidate_pairs`` then
-    produces every directed pair within the bin cutoff.
+    produces every undirected pair within the bin cutoff exactly once.
     """
 
     def __init__(self, box: Box, cutoff: float) -> None:
@@ -129,49 +139,73 @@ class CellList:
         return (coords[:, 0] * ny + coords[:, 1]) * nz + coords[:, 2]
 
     def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
-        """All directed pairs (i, j) whose cells are stencil-adjacent.
+        """Each undirected candidate pair (i, j) exactly once (half list).
+
+        This is the software analogue of the paper's Force Symmetry
+        optimization (Sec. VI-A): every pair is visited once, and force
+        kernels scatter both halves.  Same-cell pairs are emitted with
+        ``i < j``; cross-cell pairs use the 13-offset half stencil (the
+        opposite offset is covered from the partner cell).
 
         Pairs are a superset of interacting pairs: distance filtering is
         the caller's job (it belongs with the positions used for forces,
         which may have moved since the build when a skin is in use).
+        Callers that need both directions expand via
+        :meth:`directed_candidate_pairs`.
         """
         if self._use_brute:
             n = len(self._positions)
-            ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-            mask = ii != jj
-            return ii[mask].ravel(), jj[mask].ravel()
+            ii, jj = np.triu_indices(n, k=1)
+            return ii.astype(np.int64), jj.astype(np.int64)
         if self._cid is None:
             raise RuntimeError("candidate_pairs before build()")
         n = len(self._positions)
         atom_idx = np.arange(n, dtype=np.int64)
         out_i: list[np.ndarray] = []
         out_j: list[np.ndarray] = []
-        nx, ny, nz = self._ncell
-        for dx, dy, dz in itertools.product((-1, 0, 1), repeat=3):
-            nb = self._coords + np.array([dx, dy, dz])
-            valid = np.ones(n, dtype=bool)
-            for d, delta in enumerate((dx, dy, dz)):
-                if self.box.periodic[d]:
-                    nb[:, d] = np.mod(nb[:, d], self._ncell[d])
-                else:
-                    valid &= (nb[:, d] >= 0) & (nb[:, d] < self._ncell[d])
-            if not np.any(valid):
-                continue
-            src = atom_idx[valid]
-            ncid = self._flatten(nb[valid])
-            counts = self._counts[ncid]
-            nonempty = counts > 0
-            src = src[nonempty]
-            ncid = ncid[nonempty]
-            counts = counts[nonempty]
-            j = self._order[
-                concatenated_ranges(self._starts[ncid], counts)
-            ]
-            i = np.repeat(src, counts)
-            keep = i != j
-            out_i.append(i[keep])
-            out_j.append(j[keep])
-        if not out_i:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
+        # Same-cell pairs: both atoms share a cell, keep i < j.
+        i, j = self._pairs_at_offset(atom_idx, (0, 0, 0))
+        keep = i < j
+        out_i.append(i[keep])
+        out_j.append(j[keep])
+        # Cross-cell pairs: each unordered cell pair visited from one
+        # side only (>= 3 cells along periodic dims guarantees +o and -o
+        # never wrap to the same neighbor, see build()).
+        for offset in _HALF_STENCIL:
+            i, j = self._pairs_at_offset(atom_idx, offset)
+            out_i.append(i)
+            out_j.append(j)
         return np.concatenate(out_i), np.concatenate(out_j)
+
+    def _pairs_at_offset(
+        self, atom_idx: np.ndarray, offset: tuple[int, int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All (i, j) with j in the cell at ``offset`` from i's cell."""
+        n = len(atom_idx)
+        nb = self._coords + np.array(offset)
+        valid = np.ones(n, dtype=bool)
+        for d, delta in enumerate(offset):
+            if self.box.periodic[d]:
+                nb[:, d] = np.mod(nb[:, d], self._ncell[d])
+            else:
+                valid &= (nb[:, d] >= 0) & (nb[:, d] < self._ncell[d])
+        empty = np.empty(0, dtype=np.int64)
+        if not np.any(valid):
+            return empty, empty
+        src = atom_idx[valid]
+        ncid = self._flatten(nb[valid])
+        counts = self._counts[ncid]
+        nonempty = counts > 0
+        src = src[nonempty]
+        ncid = ncid[nonempty]
+        counts = counts[nonempty]
+        if len(src) == 0:
+            return empty, empty
+        j = self._order[concatenated_ranges(self._starts[ncid], counts)]
+        i = np.repeat(src, counts)
+        return i, j
+
+    def directed_candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Directed (double-counted) view of :meth:`candidate_pairs`."""
+        i, j = self.candidate_pairs()
+        return np.concatenate([i, j]), np.concatenate([j, i])

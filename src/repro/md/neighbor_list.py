@@ -5,6 +5,11 @@ and reused until any atom has moved more than ``skin / 2`` since the
 build — the standard LAMMPS policy the paper contrasts against (the
 WSE implementation rebuilds every step; neighbor-list *reuse* is one of
 its projected future optimizations, Table V row "Neighbor list").
+
+Candidates and the resulting :class:`~repro.potentials.base.PairTable`
+are *half* lists — each undirected pair stored once, the software
+analogue of the paper's Force Symmetry (Sec. VI-A).  Callers that need
+the double-counted view expand with ``PairTable.directed()``.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ __all__ = ["NeighborList"]
 
 
 class NeighborList:
-    """Reusable candidate pair list.
+    """Reusable half candidate pair list.
 
     Parameters
     ----------
@@ -40,6 +45,7 @@ class NeighborList:
         self._cand_j: np.ndarray | None = None
         self._ref_positions: np.ndarray | None = None
         self.n_builds = 0
+        self.last_pair_count = 0
 
     def needs_rebuild(self, positions: np.ndarray) -> bool:
         """True if any atom moved more than skin/2 since the last build."""
@@ -63,10 +69,12 @@ class NeighborList:
         self.n_builds += 1
 
     def pairs(self, positions: np.ndarray) -> PairTable:
-        """Directed interacting pairs at the *current* positions.
+        """Half interacting pairs at the *current* positions.
 
         Rebuilds the candidate set first if the skin criterion demands
-        it, then distance-filters candidates to the true cutoff.
+        it, then distance-filters candidates to the true cutoff.  Each
+        undirected pair appears once (``half=True``); kernels scatter
+        both halves, so no physics is lost.
         """
         positions = np.asarray(positions, dtype=np.float64)
         if self.needs_rebuild(positions):
@@ -76,15 +84,17 @@ class NeighborList:
         rij = self.box.minimum_image(rij)
         r2 = np.einsum("ij,ij->i", rij, rij)
         keep = r2 < self.cutoff * self.cutoff
-        return PairTable(
+        table = PairTable(
             i=i[keep],
             j=j[keep],
             rij=rij[keep],
             r=np.sqrt(r2[keep]),
-            half=False,
+            half=True,
         )
+        self.last_pair_count = table.n_pairs
+        return table
 
     @property
     def n_candidates(self) -> int:
-        """Size of the current candidate set (directed)."""
+        """Size of the current candidate set (half pairs)."""
         return 0 if self._cand_i is None else len(self._cand_i)

@@ -3,12 +3,15 @@
 Composes neighbor search, potential evaluation and leap-frog
 integration into the Verlet loop the paper times ("Loop time" in the
 LAMMPS log, Sec. IV-B).  Observers may be attached to sample state at
-an interval without cluttering the loop.
+an interval without cluttering the loop.  The driver keeps per-phase
+wall-time and neighbor-list statistics (:class:`SimStats`) — the
+observability hook the ``repro bench`` harness reads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -20,7 +23,45 @@ from repro.md.state import AtomsState
 from repro.md.thermostat import BerendsenThermostat
 from repro.potentials.base import Potential
 
-__all__ = ["Simulation", "StepRecord"]
+__all__ = ["Simulation", "SimStats", "StepRecord"]
+
+
+@dataclass
+class SimStats:
+    """Accumulated loop statistics since construction.
+
+    Wall times split the Verlet loop into its three phases: neighbor
+    search (cell-list rebuild + distance filter), force evaluation
+    (the potential kernels), and integration (leap-frog + thermostat).
+    """
+
+    steps: int = 0
+    force_evaluations: int = 0
+    neighbor_rebuilds: int = 0
+    pairs_last: int = 0
+    pairs_total: int = 0
+    time_neighbor_s: float = 0.0
+    time_force_s: float = 0.0
+    time_integrate_s: float = 0.0
+
+    @property
+    def wall_time_s(self) -> float:
+        """Total accounted wall time across the three phases."""
+        return self.time_neighbor_s + self.time_force_s + self.time_integrate_s
+
+    @property
+    def pairs_per_step(self) -> float:
+        """Mean stored (half) pairs per force evaluation."""
+        if self.force_evaluations == 0:
+            return 0.0
+        return self.pairs_total / self.force_evaluations
+
+    @property
+    def steps_per_s(self) -> float:
+        """Throughput implied by the accounted wall time."""
+        if self.steps == 0 or self.wall_time_s == 0.0:
+            return 0.0
+        return self.steps / self.wall_time_s
 
 
 @dataclass
@@ -30,6 +71,7 @@ class StepRecord:
     step: int
     energies: EnergyReport
     max_force: float
+    stats: SimStats | None = None
 
 
 class Simulation:
@@ -65,6 +107,7 @@ class Simulation:
         self.neighbors = NeighborList(state.box, potential.cutoff, skin=skin)
         self.thermostat = thermostat
         self.step_count = 0
+        self.stats = SimStats()
         self._observers: list[tuple[int, Callable[[StepRecord], None]]] = []
 
     def add_observer(
@@ -77,10 +120,20 @@ class Simulation:
 
     def compute_forces(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-atom energies and forces at the current positions."""
+        builds_before = self.neighbors.n_builds
+        t0 = time.perf_counter()
         pairs = self.neighbors.pairs(self.state.positions)
-        return self.potential.compute(
-            self.state.n_atoms, pairs, self.state.types
-        )
+        t1 = time.perf_counter()
+        out = self.potential.compute(self.state.n_atoms, pairs, self.state.types)
+        t2 = time.perf_counter()
+        st = self.stats
+        st.force_evaluations += 1
+        st.neighbor_rebuilds += self.neighbors.n_builds - builds_before
+        st.pairs_last = pairs.n_pairs
+        st.pairs_total += pairs.n_pairs
+        st.time_neighbor_s += t1 - t0
+        st.time_force_s += t2 - t1
+        return out
 
     def potential_energy(self) -> float:
         """Total potential energy at the current positions (eV)."""
@@ -93,10 +146,13 @@ class Simulation:
             raise ValueError(f"n_steps must be non-negative, got {n_steps}")
         for _ in range(n_steps):
             energies, forces = self.compute_forces()
+            t0 = time.perf_counter()
             self.integrator.step(self.state, forces)
             if self.thermostat is not None:
                 self.thermostat.apply(self.state, self.dt_fs)
+            self.stats.time_integrate_s += time.perf_counter() - t0
             self.step_count += 1
+            self.stats.steps += 1
             if self._observers:
                 self._notify(energies, forces)
 
@@ -108,6 +164,7 @@ class Simulation:
             step=self.step_count,
             energies=energy_report(self.state, float(np.sum(energies))),
             max_force=float(np.max(np.abs(forces))) if len(forces) else 0.0,
+            stats=replace(self.stats),
         )
         for fn in due:
             fn(record)

@@ -45,23 +45,29 @@ def pair_virial(
         return w
     tables = potential.tables
     p = pairs.n_pairs
-    rho_d_i = np.empty(p)
-    rho_d_j = np.empty(p)
-    phi_d = np.empty(p)
-    ti = types[pairs.i]
-    tj = types[pairs.j]
-    for t in range(tables.n_types):
-        m = ti == t
-        if np.any(m):
-            rho_d_i[m] = tables.rho[t].evaluate(pairs.r[m])[1]
-        m = tj == t
-        if np.any(m):
-            rho_d_j[m] = tables.rho[t].evaluate(pairs.r[m])[1]
-    for t1 in range(tables.n_types):
-        for t2 in range(tables.n_types):
-            m = (ti == t1) & (tj == t2)
+    if tables.n_types == 1:
+        # fused single pass: one rho' and one phi' evaluation per pair
+        rho_d = tables.rho[0].evaluate(pairs.r)[1]
+        rho_d_i = rho_d_j = rho_d
+        phi_d = tables.phi_for(0, 0).evaluate(pairs.r)[1]
+    else:
+        rho_d_i = np.empty(p)
+        rho_d_j = np.empty(p)
+        phi_d = np.empty(p)
+        ti = types[pairs.i]
+        tj = types[pairs.j]
+        for t in range(tables.n_types):
+            m = ti == t
             if np.any(m):
-                phi_d[m] = tables.phi_for(t1, t2).evaluate(pairs.r[m])[1]
+                rho_d_i[m] = tables.rho[t].evaluate(pairs.r[m])[1]
+            m = tj == t
+            if np.any(m):
+                rho_d_j[m] = tables.rho[t].evaluate(pairs.r[m])[1]
+        for t1 in range(tables.n_types):
+            for t2 in range(tables.n_types):
+                m = (ti == t1) & (tj == t2)
+                if np.any(m):
+                    phi_d[m] = tables.phi_for(t1, t2).evaluate(pairs.r[m])[1]
     s = f_der[pairs.i] * rho_d_j + f_der[pairs.j] * rho_d_i + phi_d
     # f_ij on atom i is s * rij / r; virial_i -= 1/2 rij (x) f_ij
     f = s[:, None] * pairs.rij / pairs.r[:, None]

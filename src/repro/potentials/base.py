@@ -56,6 +56,24 @@ class PairTable:
         """Number of stored (directed or half) pairs."""
         return len(self.i)
 
+    def directed(self) -> "PairTable":
+        """A directed (double-counted) view of this table.
+
+        The hot paths store each undirected pair once; consumers that
+        index per-atom neighborhoods directly (RDF histograms,
+        centro-symmetry sorting) still want both (i, j) and (j, i).
+        Returns ``self`` unchanged when already directed.
+        """
+        if not self.half:
+            return self
+        return PairTable(
+            i=np.concatenate([self.i, self.j]),
+            j=np.concatenate([self.j, self.i]),
+            rij=np.concatenate([self.rij, -self.rij]),
+            r=np.concatenate([self.r, self.r]),
+            half=False,
+        )
+
 
 @dataclass
 class PairDistanceCap:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import active_backend
 from repro.potentials.base import PairDistanceCap, PairTable, Potential
 from repro.potentials.spline import UniformCubicSpline
 
@@ -67,6 +68,11 @@ class EAMTables:
                     raise ValueError(f"missing phi table for type pair {(t1, t2)}")
         if self.cutoff <= 0:
             raise ValueError(f"cutoff must be positive, got {self.cutoff}")
+        # Fused-kernel contract: every spline holds its per-segment cubic
+        # coefficients packed row-contiguous, one gather per evaluation.
+        for spline in (*self.rho, *self.embed, *self.phi.values()):
+            if not spline.coeffs.flags["C_CONTIGUOUS"]:
+                spline.coeffs = np.ascontiguousarray(spline.coeffs)
 
     @property
     def n_types(self) -> int:
@@ -167,28 +173,38 @@ class EAMPotential(Potential):
         if p == 0:
             return e_pair, forces
 
-        phi_v = np.empty(p, dtype=np.float64)
-        phi_d = np.empty(p, dtype=np.float64)
-        rho_d_j = np.empty(p, dtype=np.float64)  # rho'_{type(j)}(r)
-        rho_d_i = np.empty(p, dtype=np.float64)  # rho'_{type(i)}(r)
-        ti_arr = types[pairs.i]
-        tj_arr = types[pairs.j]
-        for t1 in range(self.tables.n_types):
-            m_i = ti_arr == t1
-            if np.any(m_i):
-                _, d = self.tables.rho[t1].evaluate(pairs.r[m_i])
-                rho_d_i[m_i] = d
-            m_j = tj_arr == t1
-            if np.any(m_j):
-                _, d = self.tables.rho[t1].evaluate(pairs.r[m_j])
-                rho_d_j[m_j] = d
-            for t2 in range(self.tables.n_types):
-                m = (ti_arr == t1) & (tj_arr == t2)
-                if not np.any(m):
-                    continue
-                v, d = self.tables.phi_for(t1, t2).evaluate(pairs.r[m])
-                phi_v[m] = v
-                phi_d[m] = d
+        if self.tables.n_types == 1:
+            # one fused pass: rho' and (phi, phi') each evaluated once
+            _, rho_d = self.tables.rho[0].evaluate(pairs.r)
+            rho_d_i = rho_d_j = rho_d
+            phi_v, phi_d = self.tables.phi_for(0, 0).evaluate(pairs.r)
+        else:
+            phi_v = np.empty(p, dtype=np.float64)
+            phi_d = np.empty(p, dtype=np.float64)
+            rho_d_j = np.empty(p, dtype=np.float64)  # rho'_{type(j)}(r)
+            rho_d_i = np.empty(p, dtype=np.float64)  # rho'_{type(i)}(r)
+            ti_arr = types[pairs.i]
+            tj_arr = types[pairs.j]
+            for t1 in range(self.tables.n_types):
+                m_i = ti_arr == t1
+                m_j = tj_arr == t1
+                m_any = m_i | m_j
+                if np.any(m_any):
+                    d_any = np.empty(p, dtype=np.float64)
+                    _, d_any[m_any] = self.tables.rho[t1].evaluate(
+                        pairs.r[m_any]
+                    )
+                    rho_d_i[m_i] = d_any[m_i]
+                    rho_d_j[m_j] = d_any[m_j]
+                for t2 in range(t1, self.tables.n_types):
+                    m = (ti_arr == t1) & (tj_arr == t2)
+                    if t1 != t2:
+                        m |= (ti_arr == t2) & (tj_arr == t1)
+                    if not np.any(m):
+                        continue
+                    v, d = self.tables.phi_for(t1, t2).evaluate(pairs.r[m])
+                    phi_v[m] = v
+                    phi_d[m] = d
 
         # Radial scalar of Eq. 4, per directed pair.
         s = f_der[pairs.i] * rho_d_j + f_der[pairs.j] * rho_d_i + phi_d
@@ -219,11 +235,86 @@ class EAMPotential(Potential):
         pairs: PairTable,
         types: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-atom energies and forces (composition of the three stages)."""
+        """Per-atom energies and forces.
+
+        Half pair tables take the fused fast path: per stored pair, one
+        spline pass yields rho value *and* derivative, one yields phi
+        value and derivative, and every scatter feeds both atoms — four
+        table evaluations per undirected pair in the seed become two
+        per half pair.  Directed tables compose the three staged
+        methods unchanged (the oracle path).
+        """
         types = self._types(n_atoms, types)
+        if pairs.half:
+            return self._compute_half_fused(n_atoms, pairs, types)
         rho_bar = self.accumulate_density(n_atoms, pairs, types)
         f_val, f_der = self.embed(rho_bar, types)
         e_pair, forces = self.pair_energy_forces(n_atoms, pairs, f_der, types)
+        return e_pair + f_val, forces
+
+    def _compute_half_fused(
+        self, n_atoms: int, pairs: PairTable, types: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused EAM evaluation over a half pair list."""
+        self.cap.check(pairs.r)
+        backend = active_backend()
+        p = pairs.n_pairs
+        if p == 0:
+            f_val, _ = self.embed(np.zeros(n_atoms), types)
+            return f_val, np.zeros((n_atoms, 3), dtype=np.float64)
+        tables = self.tables
+        i, j, r = pairs.i, pairs.j, pairs.r
+        if tables.n_types == 1:
+            # rho value + derivative in one fused segment-lookup pass
+            rho_v, rho_d = tables.rho[0].evaluate(r)
+            rho_ji_v = rho_ij_v = rho_v  # j's density at i / i's at j
+            rho_ji_d = rho_ij_d = rho_d
+            phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
+        else:
+            ti = types[i]
+            tj = types[j]
+            rho_ji_v = np.empty(p)  # rho_{type(j)}(r): j's density at i
+            rho_ji_d = np.empty(p)
+            rho_ij_v = np.empty(p)  # rho_{type(i)}(r): i's density at j
+            rho_ij_d = np.empty(p)
+            for t in range(tables.n_types):
+                m_i = ti == t
+                m_j = tj == t
+                m_any = m_i | m_j
+                if not np.any(m_any):
+                    continue
+                v_any = np.empty(p)
+                d_any = np.empty(p)
+                v_any[m_any], d_any[m_any] = tables.rho[t].evaluate(r[m_any])
+                rho_ji_v[m_j] = v_any[m_j]
+                rho_ji_d[m_j] = d_any[m_j]
+                rho_ij_v[m_i] = v_any[m_i]
+                rho_ij_d[m_i] = d_any[m_i]
+            phi_v = np.empty(p)
+            phi_d = np.empty(p)
+            for t1 in range(tables.n_types):
+                for t2 in range(t1, tables.n_types):
+                    m = (ti == t1) & (tj == t2)
+                    if t1 != t2:
+                        m |= (ti == t2) & (tj == t1)
+                    if not np.any(m):
+                        continue
+                    phi_v[m], phi_d[m] = tables.phi[(t1, t2)].evaluate(r[m])
+
+        rho_bar = backend.accumulate_scalar(i, rho_ji_v, n_atoms)
+        rho_bar += backend.accumulate_scalar(j, rho_ij_v, n_atoms)
+        f_val, f_der = self.embed(rho_bar, types)
+
+        # Eq. 4 radial scalar, one term per undirected pair.
+        s = f_der[i] * rho_ji_d + f_der[j] * rho_ij_d + phi_d
+        with np.errstate(invalid="raise", divide="raise"):
+            unit = pairs.rij / r[:, None]
+        fvec = s[:, None] * unit
+        forces = backend.accumulate_vec3(i, fvec, n_atoms)
+        forces -= backend.accumulate_vec3(j, fvec, n_atoms)
+
+        e_pair = backend.accumulate_scalar(i, 0.5 * phi_v, n_atoms)
+        e_pair += backend.accumulate_scalar(j, 0.5 * phi_v, n_atoms)
         return e_pair + f_val, forces
 
     def _types(self, n_atoms: int, types: np.ndarray | None) -> np.ndarray:

@@ -57,6 +57,20 @@ class LennardJones(Potential):
         d = -24.0 * self.epsilon * (2.0 * sr6 * sr6 - sr6) / r
         return np.where(r < self._cutoff, d, 0.0)
 
+    def pair_energy_force(
+        self, r: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused shifted energy and dU/dr from a single ``(sigma/r)^6``."""
+        r = np.asarray(r, dtype=np.float64)
+        sr6 = (self.sigma / r) ** 6
+        sr12 = sr6 * sr6
+        within = r < self._cutoff
+        e = np.where(within, 4.0 * self.epsilon * (sr12 - sr6) - self.shift, 0.0)
+        d = np.where(
+            within, -24.0 * self.epsilon * (2.0 * sr12 - sr6) / r, 0.0
+        )
+        return e, d
+
     def compute(
         self,
         n_atoms: int,
@@ -68,8 +82,7 @@ class LennardJones(Potential):
         forces = np.zeros((n_atoms, 3), dtype=np.float64)
         if pairs.n_pairs == 0:
             return energies, forces
-        e = self.pair_energy(pairs.r)
-        s = self.pair_force_scalar(pairs.r)
+        e, s = self.pair_energy_force(pairs.r)
         unit = pairs.rij / pairs.r[:, None]
         fvec = s[:, None] * unit
         for axis in range(3):

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import active_backend
+
 __all__ = ["UniformCubicSpline", "natural_cubic_second_derivatives"]
 
 
@@ -99,12 +101,17 @@ class UniformCubicSpline:
         self.zero_above = zero_above
         m = natural_cubic_second_derivatives(y, self.h)
         # Per-segment polynomial coefficients in the local variable
-        # t = (x - x_k),   s(t) = c0 + c1 t + c2 t^2 + c3 t^3
+        # t = (x - x_k),   s(t) = c0 + c1 t + c2 t^2 + c3 t^3,
+        # packed row-contiguous so evaluation is one gather per point
+        # (the layout a WSE tile would hold per spline segment).
         hh = self.h
-        self._c0 = y[:-1].copy()
-        self._c1 = (y[1:] - y[:-1]) / hh - hh * (2.0 * m[:-1] + m[1:]) / 6.0
-        self._c2 = m[:-1] / 2.0
-        self._c3 = (m[1:] - m[:-1]) / (6.0 * hh)
+        self.coeffs = np.empty((self.n - 1, 4), dtype=np.float64)
+        self.coeffs[:, 0] = y[:-1]
+        self.coeffs[:, 1] = (
+            (y[1:] - y[:-1]) / hh - hh * (2.0 * m[:-1] + m[1:]) / 6.0
+        )
+        self.coeffs[:, 2] = m[:-1] / 2.0
+        self.coeffs[:, 3] = (m[1:] - m[:-1]) / (6.0 * hh)
 
     @property
     def x_max(self) -> float:
@@ -138,12 +145,7 @@ class UniformCubicSpline:
         k, dx = self.segment(x)
         if self.extrapolate_low == "clamp":
             dx = np.where(x < self.x0, 0.0, dx)
-        c0 = self._c0[k]
-        c1 = self._c1[k]
-        c2 = self._c2[k]
-        c3 = self._c3[k]
-        val = c0 + dx * (c1 + dx * (c2 + dx * c3))
-        der = c1 + dx * (2.0 * c2 + dx * 3.0 * c3)
+        val, der = active_backend().spline_eval(self.coeffs, k, dx)
         if self.zero_above:
             above = x >= self.x_max
             val = np.where(above, 0.0, val)

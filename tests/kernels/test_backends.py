@@ -1,0 +1,140 @@
+"""Backend registry + numpy kernel correctness tests."""
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    KERNEL_FUNCTIONS,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    backend_status,
+    register_backend,
+    set_backend,
+)
+from repro.kernels import numpy_backend
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    """Every test leaves the process-wide registry back on numpy."""
+    yield
+    set_backend(DEFAULT_BACKEND)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_default_active(self):
+        set_backend(DEFAULT_BACKEND)
+        assert active_backend_name() == "numpy"
+        assert active_backend() is numpy_backend
+
+    def test_unknown_backend_falls_back_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            name = set_backend("no-such-backend")
+        assert name == "numpy"
+        assert active_backend_name() == "numpy"
+
+    def test_numba_degrades_gracefully_when_missing(self):
+        # container may or may not have numba; either way this must
+        # activate *some* working backend without raising
+        if "numba" in available_backends():
+            assert set_backend("numba") == "numba"
+        else:
+            with pytest.warns(RuntimeWarning):
+                assert set_backend("numba") == "numpy"
+            assert "numba" in backend_status()
+            assert backend_status()["numba"] != "ok"
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        monkeypatch.setattr(kernels, "_active", None)
+        monkeypatch.setattr(kernels, "_active_name", None)
+        assert active_backend_name() == "numpy"
+
+    def test_incomplete_backend_rejected(self):
+        class Partial:
+            def spline_eval(self):  # pragma: no cover - never called
+                pass
+
+        register_backend("partial", lambda: Partial())
+        try:
+            with pytest.raises(TypeError, match="missing kernels"):
+                set_backend("partial")
+        finally:
+            kernels._loaders.pop("partial", None)
+
+    def test_status_reports_ok_for_numpy(self):
+        assert backend_status()["numpy"] == "ok"
+
+
+def _random_spline_inputs(seed, n_points=200, n_seg=17):
+    rng = np.random.default_rng(seed)
+    coeffs = rng.normal(size=(n_seg, 4))
+    k = rng.integers(0, n_seg, size=n_points)
+    dx = rng.uniform(0.0, 0.5, size=n_points)
+    return coeffs, k, dx
+
+
+class TestKernelContracts:
+    """Every available backend must agree with the literal definition."""
+
+    @pytest.fixture(params=sorted(set(available_backends())))
+    def backend(self, request):
+        return set_backend(request.param) and active_backend()
+
+    def test_interface_complete(self, backend):
+        for fn in KERNEL_FUNCTIONS:
+            assert callable(getattr(backend, fn))
+
+    def test_spline_eval_matches_horner(self, backend):
+        coeffs, k, dx = _random_spline_inputs(0)
+        val, der = backend.spline_eval(coeffs, k, dx)
+        c = coeffs[k]
+        expect_v = c[:, 0] + dx * (c[:, 1] + dx * (c[:, 2] + dx * c[:, 3]))
+        expect_d = c[:, 1] + 2.0 * c[:, 2] * dx + 3.0 * c[:, 3] * dx * dx
+        assert np.allclose(val, expect_v, rtol=1e-14, atol=1e-14)
+        assert np.allclose(der, expect_d, rtol=1e-13, atol=1e-13)
+
+    def test_spline_eval_empty(self, backend):
+        coeffs = np.zeros((3, 4))
+        val, der = backend.spline_eval(
+            coeffs, np.array([], dtype=np.int64), np.array([])
+        )
+        assert len(val) == 0 and len(der) == 0
+
+    def test_accumulate_scalar_is_scatter_add(self, backend):
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, 10, size=300)
+        w = rng.normal(size=300)
+        out = backend.accumulate_scalar(idx, w, 10)
+        expect = np.zeros(10)
+        np.add.at(expect, idx, w)
+        assert out.shape == (10,)
+        assert np.allclose(out, expect, atol=1e-12)
+
+    def test_accumulate_scalar_handles_untouched_bins(self, backend):
+        out = backend.accumulate_scalar(np.array([2]), np.array([1.5]), 5)
+        assert out.tolist() == [0.0, 0.0, 1.5, 0.0, 0.0]
+
+    def test_accumulate_vec3_is_scatter_add(self, backend):
+        rng = np.random.default_rng(2)
+        idx = rng.integers(0, 7, size=120)
+        vec = rng.normal(size=(120, 3))
+        out = backend.accumulate_vec3(idx, vec, 7)
+        expect = np.zeros((7, 3))
+        np.add.at(expect, idx, vec)
+        assert out.shape == (7, 3)
+        assert np.allclose(out, expect, atol=1e-12)
+
+    def test_accumulate_empty(self, backend):
+        empty_i = np.array([], dtype=np.int64)
+        assert backend.accumulate_scalar(empty_i, np.array([]), 4).shape == (4,)
+        out = backend.accumulate_vec3(empty_i, np.zeros((0, 3)), 4)
+        assert out.shape == (4, 3)
+        assert np.all(out == 0.0)

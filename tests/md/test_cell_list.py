@@ -1,4 +1,10 @@
-"""Cell-list pair search vs brute force (property-based)."""
+"""Cell-list pair search vs brute force (property-based).
+
+``candidate_pairs`` is a *half* list: each undirected pair appears
+exactly once.  The brute-force ``all_pairs`` oracle stays directed, so
+comparisons normalize both sides to unordered pair sets and separately
+assert the half list carries no duplicates.
+"""
 
 import numpy as np
 import pytest
@@ -9,8 +15,8 @@ from repro.md.boundary import Box
 from repro.md.cell_list import CellList, all_pairs, concatenated_ranges
 
 
-def pair_set(i, j):
-    return set(zip(i.tolist(), j.tolist()))
+def undirected_set(i, j):
+    return {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
 
 
 def cell_list_pairs(positions, cutoff, box):
@@ -22,6 +28,14 @@ def cell_list_pairs(positions, cutoff, box):
     r2 = np.einsum("ij,ij->i", d, d)
     keep = r2 < cutoff * cutoff
     return i[keep], j[keep]
+
+
+def assert_half_matches_brute(positions, cutoff, box):
+    bi, bj, _, _ = all_pairs(positions, cutoff, box)
+    ci, cj = cell_list_pairs(positions, cutoff, box)
+    # every undirected pair present, and present exactly once
+    assert undirected_set(bi, bj) == undirected_set(ci, cj)
+    assert len(ci) == len(undirected_set(ci, cj))
 
 
 class TestConcatenatedRanges:
@@ -49,9 +63,7 @@ class TestAgainstBruteForce:
         rng = np.random.default_rng(seed)
         pos = rng.uniform(0, 10.0, size=(n, 3))
         box = Box.open([20.0, 20.0, 20.0])
-        bi, bj, _, _ = all_pairs(pos, cutoff, box)
-        ci, cj = cell_list_pairs(pos, cutoff, box)
-        assert pair_set(bi, bj) == pair_set(ci, cj)
+        assert_half_matches_brute(pos, cutoff, box)
 
     @given(n=st.integers(2, 30), seed=st.integers(0, 1000))
     @settings(max_examples=50, deadline=None)
@@ -60,10 +72,7 @@ class TestAgainstBruteForce:
         box = Box(np.array([9.0, 9.0, 9.0]), periodic=[True] * 3,
                   origin=np.zeros(3))
         pos = rng.uniform(0, 9.0, size=(n, 3))
-        cutoff = 2.5
-        bi, bj, _, _ = all_pairs(pos, cutoff, box)
-        ci, cj = cell_list_pairs(pos, cutoff, box)
-        assert pair_set(bi, bj) == pair_set(ci, cj)
+        assert_half_matches_brute(pos, 2.5, box)
 
     @given(seed=st.integers(0, 500))
     @settings(max_examples=30, deadline=None)
@@ -73,30 +82,50 @@ class TestAgainstBruteForce:
         box = Box(np.array([6.0, 6.0, 6.0]), periodic=[True] * 3,
                   origin=np.zeros(3))
         pos = rng.uniform(0, 6.0, size=(12, 3))
-        cutoff = 2.5
-        bi, bj, _, _ = all_pairs(pos, cutoff, box)
-        ci, cj = cell_list_pairs(pos, cutoff, box)
-        assert pair_set(bi, bj) == pair_set(ci, cj)
+        assert_half_matches_brute(pos, 2.5, box)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_three_cell_periodic_wrap_no_duplicates(self, seed):
+        # exactly 3 cells per periodic dim: +1 and -1 stencil neighbors
+        # are distinct but adjacent both ways — the duplication trap
+        rng = np.random.default_rng(seed)
+        box = Box(np.array([7.5, 7.5, 7.5]), periodic=[True] * 3,
+                  origin=np.zeros(3))
+        pos = rng.uniform(0, 7.5, size=(20, 3))
+        assert_half_matches_brute(pos, 2.5, box)
 
     def test_mixed_boundaries(self):
         rng = np.random.default_rng(3)
         box = Box(np.array([12.0, 30.0, 30.0]), periodic=[True, False, False],
                   origin=np.zeros(3))
         pos = rng.uniform(0, 12.0, size=(40, 3)) * [1.0, 2.0, 2.0]
-        bi, bj, _, _ = all_pairs(pos, 3.0, box)
-        ci, cj = cell_list_pairs(pos, 3.0, box)
-        assert pair_set(bi, bj) == pair_set(ci, cj)
+        assert_half_matches_brute(pos, 3.0, box)
 
 
 class TestStructure:
-    def test_pairs_are_directed_and_symmetric(self):
+    def test_pairs_are_half_and_unique(self):
         rng = np.random.default_rng(0)
         pos = rng.uniform(0, 8, size=(25, 3))
         box = Box.open([20, 20, 20])
         i, j = cell_list_pairs(pos, 3.0, box)
-        s = pair_set(i, j)
+        seen = set(zip(i.tolist(), j.tolist()))
+        assert len(seen) == len(i)
+        # each unordered pair once: never both (a, b) and (b, a)
+        assert all((b, a) not in seen for a, b in seen)
+        assert all(a != b for a, b in seen)
+
+    def test_directed_view_doubles(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 8, size=(20, 3))
+        box = Box.open([20, 20, 20])
+        cl = CellList(box, 3.0)
+        cl.build(pos)
+        hi, hj = cl.candidate_pairs()
+        di, dj = cl.directed_candidate_pairs()
+        assert len(di) == 2 * len(hi)
+        s = set(zip(di.tolist(), dj.tolist()))
         assert all((b, a) in s for a, b in s)
-        assert all(a != b for a, b in s)
 
     def test_no_self_pairs_with_duplicated_positions(self):
         # two atoms at identical positions: pair appears, but no (i, i)
@@ -106,7 +135,7 @@ class TestStructure:
         cl.build(pos)
         i, j = cl.candidate_pairs()
         assert np.all(i != j)
-        assert (0, 1) in pair_set(i, j)
+        assert (0, 1) in undirected_set(i, j)
 
     def test_rejects_nonfinite_positions(self):
         box = Box.open([10, 10, 10])

@@ -14,12 +14,25 @@ def cluster():
     return rng.uniform(0, 10.0, size=(30, 3))
 
 
+def undirected_set(i, j):
+    return {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
+
+
 class TestCorrectness:
     def test_pairs_match_brute_force(self, cluster):
         box = Box.open([25, 25, 25])
         nl = NeighborList(box, 3.0, skin=0.5)
         pairs = nl.pairs(cluster)
         bi, bj, _, _ = all_pairs(cluster, 3.0, box)
+        assert pairs.half
+        assert pairs.n_pairs == len(bi) // 2
+        assert undirected_set(pairs.i, pairs.j) == undirected_set(bi, bj)
+
+    def test_directed_view_matches_brute_force(self, cluster):
+        box = Box.open([25, 25, 25])
+        pairs = NeighborList(box, 3.0, skin=0.5).pairs(cluster).directed()
+        bi, bj, _, _ = all_pairs(cluster, 3.0, box)
+        assert not pairs.half
         assert set(zip(pairs.i.tolist(), pairs.j.tolist())) == set(
             zip(bi.tolist(), bj.tolist())
         )
@@ -33,9 +46,7 @@ class TestCorrectness:
         pairs = nl.pairs(moved)
         assert nl.n_builds == builds  # reused
         bi, bj, _, _ = all_pairs(moved, 3.0, box)
-        assert set(zip(pairs.i.tolist(), pairs.j.tolist())) == set(
-            zip(bi.tolist(), bj.tolist())
-        )
+        assert undirected_set(pairs.i, pairs.j) == undirected_set(bi, bj)
 
     def test_distances_always_current(self, cluster):
         box = Box.open([25, 25, 25])

@@ -1,0 +1,85 @@
+"""Simulation loop statistics (:class:`repro.md.simulation.SimStats`)."""
+
+import numpy as np
+import pytest
+
+from repro.md.boundary import Box
+from repro.md.simulation import Simulation, SimStats
+from repro.md.state import AtomsState
+from repro.potentials.lennard_jones import LennardJones
+
+
+@pytest.fixture()
+def lj_sim():
+    rng = np.random.default_rng(11)
+    # jittered 4x4x3 lattice near the LJ minimum spacing: cheap and
+    # well-separated (random overlaps would blow the integrator up),
+    # with enough thermal motion to trigger skin rebuilds
+    grid = np.stack(
+        np.meshgrid(np.arange(4), np.arange(4), np.arange(3),
+                    indexing="ij"), axis=-1,
+    ).reshape(-1, 3)
+    pos = grid * 3.0 + rng.uniform(-0.15, 0.15, size=(48, 3))
+    box = Box.open([30.0, 30.0, 30.0])
+    state = AtomsState.from_positions(pos, box, mass=40.0)
+    state.velocities[:] = rng.normal(scale=0.08, size=(48, 3))
+    pot = LennardJones(epsilon=0.01, sigma=2.5, cutoff=6.0)
+    return Simulation(state, pot, dt_fs=1.0, skin=0.5)
+
+
+class TestAccumulation:
+    def test_starts_empty(self, lj_sim):
+        st = lj_sim.stats
+        assert st.steps == 0
+        assert st.force_evaluations == 0
+        assert st.wall_time_s == 0.0
+        assert st.pairs_per_step == 0.0
+        assert st.steps_per_s == 0.0
+
+    def test_counts_steps_and_evaluations(self, lj_sim):
+        lj_sim.run(5)
+        st = lj_sim.stats
+        assert st.steps == 5
+        assert st.force_evaluations == 5
+        assert st.neighbor_rebuilds >= 1  # first call always builds
+        assert st.pairs_total >= st.pairs_last
+        assert st.time_force_s > 0.0
+        assert st.time_neighbor_s > 0.0
+        assert st.time_integrate_s > 0.0
+
+    def test_pairs_per_step_is_mean(self, lj_sim):
+        lj_sim.run(4)
+        st = lj_sim.stats
+        assert st.pairs_per_step == pytest.approx(
+            st.pairs_total / st.force_evaluations
+        )
+
+    def test_potential_energy_counts_as_evaluation_not_step(self, lj_sim):
+        lj_sim.potential_energy()
+        st = lj_sim.stats
+        assert st.force_evaluations == 1
+        assert st.steps == 0
+
+    def test_steps_per_s_consistent(self, lj_sim):
+        lj_sim.run(3)
+        st = lj_sim.stats
+        assert st.steps_per_s == pytest.approx(st.steps / st.wall_time_s)
+
+
+class TestObserverSnapshot:
+    def test_records_carry_stats_snapshots(self, lj_sim):
+        seen = []
+        lj_sim.add_observer(2, lambda rec: seen.append(rec))
+        lj_sim.run(6)
+        assert [rec.step for rec in seen] == [2, 4, 6]
+        assert all(isinstance(rec.stats, SimStats) for rec in seen)
+        assert [rec.stats.steps for rec in seen] == [2, 4, 6]
+
+    def test_snapshot_is_detached_from_live_stats(self, lj_sim):
+        seen = []
+        lj_sim.add_observer(1, lambda rec: seen.append(rec))
+        lj_sim.run(1)
+        first = seen[0].stats
+        lj_sim.run(4)
+        assert first.steps == 1  # later steps must not mutate the snapshot
+        assert lj_sim.stats.steps == 5

@@ -1,0 +1,95 @@
+"""Half-pair vs directed-pair EAM agreement (property-based).
+
+The fused half-pair path (:meth:`EAMPotential._compute_half_fused`) and
+the staged directed path are independent implementations of the same
+physics; on matching pair tables they must agree to near machine
+precision.  This pins the Force Symmetry optimization (paper Sec. VI-A):
+halving the pair list may reorder floating-point sums but must not
+change the model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.boundary import Box
+from repro.md.neighbor_list import NeighborList
+from repro.potentials.alloy import mix_tables
+from repro.potentials.eam import EAMPotential
+from repro.potentials.elements import make_element_tables
+
+
+@pytest.fixture(scope="module")
+def wta_potential():
+    return EAMPotential(
+        mix_tables(make_element_tables("W"), make_element_tables("Ta"))
+    )
+
+
+def liquid_like(seed, n, spread, min_sep=1.8):
+    """Random positions with a hard floor on pair distance.
+
+    Rejection-free: start from a jittered grid so the configuration is
+    disordered but never inside the steep core where F'/phi' explode.
+    """
+    rng = np.random.default_rng(seed)
+    side = int(np.ceil(n ** (1 / 3)))
+    grid = np.stack(np.meshgrid(*[np.arange(side)] * 3, indexing="ij"),
+                    axis=-1).reshape(-1, 3)[:n]
+    pos = grid * spread + rng.uniform(-0.3, 0.3, size=(n, 3)) * spread
+    return pos - pos.mean(axis=0)
+
+
+def both_paths(potential, positions, types=None):
+    n = len(positions)
+    box = Box.open(np.ptp(positions, axis=0) + 4 * potential.cutoff)
+    half = NeighborList(box, potential.cutoff, skin=0.4).pairs(positions)
+    assert half.half
+    e_half, f_half = potential.compute(n, half, types)
+    e_dir, f_dir = potential.compute(n, half.directed(), types)
+    return (e_half, f_half), (e_dir, f_dir)
+
+
+class TestSingleType:
+    @given(seed=st.integers(0, 10_000), n=st.integers(20, 120))
+    @settings(max_examples=25, deadline=None)
+    def test_energy_and_forces_agree(self, ta_potential, seed, n):
+        pos = liquid_like(seed, n, spread=3.1)
+        (e_h, f_h), (e_d, f_d) = both_paths(ta_potential, pos)
+        scale = max(1.0, float(np.max(np.abs(e_d))))
+        assert np.allclose(e_h, e_d, atol=1e-12 * scale)
+        fscale = max(1.0, float(np.max(np.abs(f_d))))
+        assert np.allclose(f_h, f_d, atol=1e-12 * fscale)
+
+    def test_total_energy_identical_to_tolerance(self, ta_potential):
+        pos = liquid_like(3, 80, spread=3.3)
+        (e_h, f_h), (e_d, _) = both_paths(ta_potential, pos)
+        assert float(np.sum(e_h)) == pytest.approx(float(np.sum(e_d)),
+                                                   abs=1e-10)
+        # isolated cluster: forces sum to ~zero (Newton's third law)
+        assert np.allclose(f_h.sum(axis=0), 0.0, atol=1e-9)
+
+
+class TestMultiType:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_alloy_agrees(self, wta_potential, seed):
+        rng = np.random.default_rng(seed)
+        pos = liquid_like(seed, 60, spread=3.2)
+        types = rng.integers(0, 2, size=60)
+        (e_h, f_h), (e_d, f_d) = both_paths(wta_potential, pos, types)
+        scale = max(1.0, float(np.max(np.abs(e_d))))
+        assert np.allclose(e_h, e_d, atol=1e-12 * scale)
+        fscale = max(1.0, float(np.max(np.abs(f_d))))
+        assert np.allclose(f_h, f_d, atol=1e-12 * fscale)
+
+    def test_unordered_phi_symmetric(self, wta_potential):
+        # type pattern (0,1) vs (1,0) across the same geometry: same energy
+        pos = np.array([[0.0, 0.0, 0.0], [2.6, 0.0, 0.0]])
+        box = Box.open([40.0, 40.0, 40.0])
+        pairs = NeighborList(box, wta_potential.cutoff).pairs(pos)
+        e01, _ = wta_potential.compute(2, pairs, np.array([0, 1]))
+        e10, _ = wta_potential.compute(2, pairs, np.array([1, 0]))
+        assert float(np.sum(e01)) == pytest.approx(float(np.sum(e10)),
+                                                   abs=1e-12)

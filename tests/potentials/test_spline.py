@@ -109,6 +109,90 @@ class TestBoundaries:
         assert v == pytest.approx(1.0)
 
 
+class TestEdgeCases:
+    """Knot boundaries, x_max, scalars — across extrapolation modes."""
+
+    @pytest.mark.parametrize("low", ["clamp", "linear"])
+    def test_exact_knot_hits_are_interpolated(self, low):
+        ys = np.array([1.0, 4.0, 2.0, 7.0, 3.0])
+        s = UniformCubicSpline(2.0, 0.5, ys, extrapolate_low=low,
+                               zero_above=False)
+        v, _ = s.evaluate(s.knots())
+        assert np.allclose(v, ys, atol=1e-12)
+
+    def test_x_max_exactly_returns_last_knot(self):
+        ys = np.array([0.0, 1.0, 4.0])
+        s = UniformCubicSpline(0.0, 1.0, ys, zero_above=False)
+        v, _ = s.evaluate(np.array([s.x_max]))
+        assert v[0] == pytest.approx(4.0, abs=1e-12)
+
+    def test_x_max_exactly_with_zero_above(self):
+        # zero_above cuts at >= x_max (the cutoff itself contributes 0)
+        s = UniformCubicSpline(0.0, 1.0, np.array([0.0, 1.0, 4.0]),
+                               zero_above=True)
+        v, d = s.evaluate(np.array([s.x_max]))
+        assert v[0] == 0.0
+        assert d[0] == 0.0
+
+    def test_first_knot_clamp_derivative_is_boundary_slope(self):
+        # clamp mode at x0 must report the boundary polynomial's slope,
+        # not zero: forces at the inner table edge stay continuous
+        s = UniformCubicSpline(1.0, 0.5, np.array([5.0, 3.0, 2.0, 1.5]),
+                               extrapolate_low="clamp", zero_above=False)
+        _, d_at = s.evaluate(np.array([1.0]))
+        eps = 1e-7
+        _, d_in = s.evaluate(np.array([1.0 + eps]))
+        assert d_at[0] == pytest.approx(d_in[0], abs=1e-5)
+        assert d_at[0] != 0.0
+
+    def test_below_first_knot_clamp_freezes_value(self):
+        s = UniformCubicSpline(1.0, 0.5, np.array([5.0, 3.0, 2.0]),
+                               extrapolate_low="clamp", zero_above=False)
+        v, _ = s.evaluate(np.array([0.2, 0.9]))
+        assert np.allclose(v, 5.0)
+
+    def test_linear_mode_continues_boundary_polynomial(self):
+        # "linear" continues the first segment's cubic below x0 (negative
+        # local offset) — value and derivative stay C1 through the knot
+        s = UniformCubicSpline(1.0, 0.5, np.array([2.0, 3.0, 4.5]),
+                               extrapolate_low="linear", zero_above=False)
+        xs = np.array([0.2, 0.5, 0.8])
+        v, d = s.evaluate(xs)
+        dx = xs - 1.0
+        c0, c1, c2, c3 = s.coeffs[0]
+        assert np.allclose(v, c0 + dx * (c1 + dx * (c2 + dx * c3)),
+                           atol=1e-12)
+        assert np.allclose(d, c1 + 2 * c2 * dx + 3 * c3 * dx * dx,
+                           atol=1e-12)
+
+    @pytest.mark.parametrize("x,mode", [(0.0, "clamp"), (0.0, "linear"),
+                                        (1.0, "clamp"), (2.0, "clamp"),
+                                        (9.0, "clamp")])
+    def test_scalar_input_returns_scalar_everywhere(self, x, mode):
+        s = UniformCubicSpline(1.0, 0.5, np.arange(5, dtype=float),
+                               extrapolate_low=mode)
+        v, d = s.evaluate(x)
+        assert np.ndim(v) == 0
+        assert np.ndim(d) == 0
+
+    def test_scalar_error_mode_raises_below(self):
+        s = UniformCubicSpline(1.0, 0.5, np.zeros(3),
+                               extrapolate_low="error")
+        with pytest.raises(ValueError, match="below first knot"):
+            s.evaluate(0.5)
+
+    def test_packed_coefficients_shape_and_layout(self):
+        # the kernel layer consumes coeffs[(nseg, 4)] = (c0, c1, c2, c3);
+        # row k evaluated at dx=0 must give the knot value and slope
+        ys = np.sin(np.linspace(0, 3, 12))
+        s = UniformCubicSpline(0.0, 3 / 11, ys, zero_above=False)
+        assert s.coeffs.shape == (11, 4)
+        assert s.coeffs.flags["C_CONTIGUOUS"]
+        assert np.allclose(s.coeffs[:, 0], ys[:-1], atol=1e-12)
+        v, d = s.evaluate(s.knots()[:-1])
+        assert np.allclose(s.coeffs[:, 1], d, atol=1e-12)
+
+
 class TestSecondDerivatives:
     def test_natural_boundary_conditions(self):
         m = natural_cubic_second_derivatives(np.sin(np.linspace(0, 3, 20)), 3 / 19)

@@ -1,0 +1,136 @@
+"""Benchmark harness unit + smoke tests (``repro.bench`` / CLI)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    CASES,
+    QUICK_REPS,
+    SEED_BASELINE,
+    BenchResult,
+    compare_to_baseline,
+    run_case,
+    write_report,
+)
+from repro.cli import main
+
+
+def fake_result(name="ref-Ta", steps_per_s=10.0):
+    return BenchResult(
+        name=name, engine="reference", element="Ta", n_atoms=100,
+        steps=5, wall_s=5 / steps_per_s, steps_per_s=steps_per_s,
+    )
+
+
+class TestCaseTable:
+    def test_every_case_has_quick_reps_and_seed_numbers(self):
+        for case in CASES:
+            assert case.name in QUICK_REPS
+            assert set(SEED_BASELINE[case.name]) == {"full", "quick"}
+
+    def test_acceptance_workload_present(self):
+        # the 2x-vs-seed criterion is defined on the full Ta slab
+        ta = next(c for c in CASES if c.name == "ref-Ta")
+        assert ta.reps == (20, 20, 20)
+        assert SEED_BASELINE["ref-Ta"]["full"] == pytest.approx(4.875)
+
+
+class TestCompare:
+    def test_within_allowance_passes(self):
+        baseline = {"results": [fake_result(steps_per_s=10.0).to_json()]}
+        assert compare_to_baseline(
+            [fake_result(steps_per_s=8.0)], baseline, max_drop=0.30
+        ) == []
+
+    def test_regression_reported(self):
+        baseline = {"results": [fake_result(steps_per_s=10.0).to_json()]}
+        failures = compare_to_baseline(
+            [fake_result(steps_per_s=5.0)], baseline, max_drop=0.30
+        )
+        assert len(failures) == 1
+        assert "ref-Ta" in failures[0]
+
+    def test_unknown_cases_skipped(self):
+        baseline = {"results": [fake_result(name="other").to_json()]}
+        assert compare_to_baseline(
+            [fake_result(steps_per_s=0.001)], baseline, max_drop=0.30
+        ) == []
+
+    def test_speedup_vs_seed(self):
+        r = fake_result(steps_per_s=10.0)
+        assert r.speedup_vs_seed is None
+        r.seed_steps_per_s = 4.0
+        assert r.speedup_vs_seed == pytest.approx(2.5)
+
+
+class TestExecution:
+    def test_run_case_quick_wse(self):
+        case = next(c for c in CASES if c.name == "wse-Ta")
+        result = run_case(case, quick=True, steps=2)
+        assert result.steps == 2
+        assert result.steps_per_s > 0
+        assert result.n_atoms == 100  # (5, 5, 2) BCC thin slab
+        assert result.seed_steps_per_s == SEED_BASELINE["wse-Ta"]["quick"]
+
+    def test_run_case_quick_reference_collects_stats(self):
+        case = next(c for c in CASES if c.name == "ref-Ta")
+        result = run_case(case, quick=True, steps=2)
+        assert result.extra["pairs_per_step"] > 0
+        # stats are reset after warmup: rebuilds may be 0 in steady state
+        assert result.extra["neighbor_rebuilds"] >= 0
+        assert result.extra["time_force_s"] > 0
+
+    def test_write_report_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        report = write_report(
+            str(path), [fake_result()], quick=True, backend="numpy"
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == report
+        assert on_disk["schema"] == "repro-bench/1"
+        assert on_disk["results"][0]["name"] == "ref-Ta"
+
+
+class TestCli:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernels.json"
+        rc = main(["bench", "--quick", "--steps", "2",
+                   "--engines", "wse", "--out", str(out)])
+        assert rc == 0
+        assert "steps/s" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["mode"] == "quick"
+        assert [r["name"] for r in report["results"]] == ["wse-Ta"]
+
+    def test_bench_gates_against_baseline(self, tmp_path, capsys):
+        out = tmp_path / "a.json"
+        assert main(["bench", "--quick", "--steps", "2", "--engines", "wse",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        # inflate the baseline so the rerun must trip the gate
+        report = json.loads(out.read_text())
+        for r in report["results"]:
+            r["steps_per_s"] *= 100
+        inflated = tmp_path / "inflated.json"
+        inflated.write_text(json.dumps(report))
+        rc = main(["bench", "--quick", "--steps", "2", "--engines", "wse",
+                   "--out", str(tmp_path / "b.json"),
+                   "--baseline", str(inflated)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_empty_selection_errors(self, tmp_path, capsys):
+        rc = main(["bench", "--quick", "--elements", "Cu",
+                   "--engines", "wse",
+                   "--out", str(tmp_path / "x.json")])
+        assert rc == 2
+
+    def test_run_reference_prints_loop_stats(self, capsys):
+        rc = main(["run", "--engine", "reference", "--reps", "4", "4", "2",
+                   "--steps", "5", "--backend", "numpy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loop stats" in out
+        assert "pairs/step" in out
+        assert "numpy kernels" in out
