@@ -14,7 +14,6 @@ import io
 import numpy as np
 
 from repro.analysis.centrosymmetry import centrosymmetry
-from repro.core import WseMd
 from repro.io.xyz import write_xyz
 from repro.lattice.cells import BCC
 from repro.lattice.crystals import replicate
@@ -25,6 +24,7 @@ from repro.md.thermostat import maxwell_boltzmann_velocities
 from repro.potentials.alloy import mix_tables
 from repro.potentials.eam import EAMPotential
 from repro.potentials.elements import ELEMENTS, make_element_tables
+from repro.runtime import RunSpec, Runner, seed_streams
 
 
 def main() -> None:
@@ -37,7 +37,8 @@ def main() -> None:
     a = 0.5 * (ELEMENTS["W"].lattice_constant
                + ELEMENTS["Ta"].lattice_constant)
     crystal = replicate(BCC, a, (8, 8, 3))
-    rng = np.random.default_rng(0)
+    streams = seed_streams(0)  # one seed, independent named streams
+    rng = streams["velocities"]
     types = (rng.random(crystal.n_atoms) < 0.5).astype(np.int64)
     box = Box.open(crystal.box + 25.0)
     state = AtomsState(
@@ -57,24 +58,33 @@ def main() -> None:
     from repro.md.langevin import LangevinThermostat
     print("\nEquilibrating 400 steps at 290 K (Langevin)...")
     eq = Simulation(state, pot, dt_fs=2.0, skin=0.8)
-    langevin = LangevinThermostat(290.0, damping_fs=100.0, seed=1)
+    langevin = LangevinThermostat(
+        290.0, damping_fs=100.0, rng=streams["thermostat"]
+    )
     for _ in range(40):
         eq.run(10)
         langevin.apply(state, dt_fs=2.0 * 10)
     print(f"  T = {state.temperature():.0f} K")
 
-    wse = WseMd(state.copy(), pot, dt_fs=2.0)
-    ref = Simulation(state.copy(), pot, dt_fs=2.0, skin=0.6)
-    print(f"\nRunning 60 steps on both engines "
+    # the comparison runs through the unified runtime: one spec, the
+    # custom alloy state/potential passed to the factory, both engines
+    # on the same Runner path (the skin override tightens the
+    # reference neighbor list for the equilibrated structure)
+    spec = RunSpec(element="Ta", reps=(8, 8, 3), temperature=0.0,
+                   engine="wse", steps=60, dt_fs=2.0, skin=0.6)
+    wse_runner = Runner.from_spec(spec, state=state.copy(), potential=pot)
+    ref_runner = Runner.from_spec(spec.with_engine("reference"),
+                                  state=state.copy(), potential=pot)
+    wse = wse_runner.engine.sim
+    print(f"\nRunning {spec.steps} steps on both engines "
           f"(grid {wse.grid.nx}x{wse.grid.ny}, b={wse.b})...")
     frames = io.StringIO()
-    for _ in range(3):
-        wse.step(20)
-        ref.run(20)
-        write_xyz(wse.gather_state(), frames, symbols=["W", "Ta"],
-                  append=True)
-    out = wse.gather_state()
-    err = np.abs(out.positions - ref.state.positions).max()
+    wse_runner.add_observer(20, lambda ev: write_xyz(
+        ev.state, frames, symbols=["W", "Ta"], append=True))
+    wse_runner.run()
+    ref_runner.run()
+    out = wse_runner.engine.state
+    err = np.abs(out.positions - ref_runner.engine.state.positions).max()
     print(f"  engines agree to {err:.2e} A; T = {out.temperature():.0f} K")
     print(f"  trajectory: 3 frames, {len(frames.getvalue().splitlines())} "
           f"lines of extended-XYZ")

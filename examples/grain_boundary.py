@@ -11,12 +11,12 @@ Run:  python examples/grain_boundary.py
 import numpy as np
 
 from repro.analysis.displacement import DisplacementTracker
-from repro.core import WseMd
 from repro.lattice.grain_boundary import make_grain_boundary_slab
 from repro.md.boundary import Box
 from repro.md.state import AtomsState
 from repro.md.thermostat import maxwell_boltzmann_velocities
 from repro.potentials.elements import ELEMENTS, make_element_potential
+from repro.runtime import RunSpec, Runner, seed_streams
 
 
 def main() -> None:
@@ -30,26 +30,33 @@ def main() -> None:
     )
     box = Box.open(gb.box + 4.0 * el.cutoff)
     state = AtomsState.from_positions(gb.positions, box, mass=el.mass)
-    maxwell_boltzmann_velocities(state, 290.0, np.random.default_rng(0))
+    maxwell_boltzmann_velocities(state, 290.0, seed_streams(0)["velocities"])
     print(f"  atoms: {state.n_atoms}")
 
     for swap_interval, label in ((0, "no swaps"), (25, "swap every 25 steps")):
-        sim = WseMd(
-            state.copy(), pot, dt_fs=2.0, swap_interval=swap_interval,
-            b_margin=2.5,
-        )
+        # same bicrystal state through the runtime factory; the swap
+        # interval is part of the declarative spec, b_margin is an
+        # engine-level override for the diffusing boundary
+        spec = RunSpec(element="W", reps=(1, 1, 1), temperature=0.0,
+                       engine="wse", steps=200, dt_fs=2.0,
+                       swap_interval=swap_interval)
+        runner = Runner.from_spec(spec, state=state.copy(), potential=pot,
+                                  b_margin=2.5)
+        sim = runner.engine.sim
         tracker = DisplacementTracker(state.positions.copy())
         print(f"\n[{label}]  grid {sim.grid.nx}x{sim.grid.ny}, b={sim.b}, "
               f"initial C(g) = {sim.assignment_cost():.2f} A")
         print(f"  {'step':>6} {'time/ps':>8} {'max XY disp/A':>14} "
               f"{'C(g)/A':>8} {'swaps':>6}")
-        for chunk in range(4):
-            sim.step(50)
-            out = sim.gather_state()
-            disp = tracker.record(sim.step_count * 0.002, out.positions)
-            print(f"  {sim.step_count:>6} {sim.step_count * 0.002:>8.2f} "
+
+        def report(ev, sim=sim, tracker=tracker):
+            disp = tracker.record(ev.step * 0.002, ev.state.positions)
+            print(f"  {ev.step:>6} {ev.step * 0.002:>8.2f} "
                   f"{disp:>14.2f} {sim.assignment_cost():>8.2f} "
                   f"{sim.swap_count:>6}")
+
+        runner.add_observer(50, report)
+        runner.run()
 
     print(
         "\nWith swapping enabled the assignment cost tracks the EAM cutoff"

@@ -1,29 +1,33 @@
 """Quickstart: run wafer-scale MD on a tantalum slab and check physics.
 
-Builds a thin tantalum slab (the paper's benchmark geometry, scaled
-down), maps it one-atom-per-core onto a simulated WSE, runs 100
-timesteps, and compares against the reference MD engine — then reports
-the modeled full-wafer timestep rate.
+One declarative ``RunSpec`` describes the workload (the paper's
+benchmark geometry, scaled down); the runtime factory builds it on the
+simulated WSE *and* the reference MD engine, both engines run 100
+timesteps through the same ``Runner``, and the trajectories are
+compared — then the modeled full-wafer timestep rate is reported.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-import repro
 from repro.core import CycleCostModel
 from repro.potentials.elements import ELEMENTS
+from repro.runtime import RunSpec, Runner
 from repro.units import simulated_time_per_day_us
 
 
 def main() -> None:
-    element = "Ta"
-    reps = (10, 10, 3)
+    spec = RunSpec(
+        element="Ta", reps=(10, 10, 3), temperature=290.0,
+        engine="wse", steps=100, seed=0,
+    )
 
-    print(f"Building {element} thin slab {reps} and mapping it to the wafer...")
-    wse = repro.quick_wse_simulation(element, reps=reps, temperature=290.0)
-    ref = repro.quick_reference_simulation(element, reps=reps,
-                                           temperature=290.0)
+    print(f"Building {spec.element} thin slab {spec.reps} and mapping it "
+          "to the wafer...")
+    wse_runner = Runner.from_spec(spec)
+    ref_runner = Runner.from_spec(spec.with_engine("reference"))
+    wse = wse_runner.engine.sim
     print(f"  atoms: {wse.n_atoms}")
     print(f"  core grid: {wse.grid.nx} x {wse.grid.ny} "
           f"({wse.n_atoms / wse.grid.n_tiles:.0%} occupied)")
@@ -31,13 +35,14 @@ def main() -> None:
     print(f"  neighborhood half-width b: {wse.b} "
           f"({(2 * wse.b + 1) ** 2 - 1} candidates)")
 
-    n_steps = 100
-    print(f"\nRunning {n_steps} timesteps on both engines (dt = 2 fs)...")
-    wse.step(n_steps)
-    ref.run(n_steps)
+    print(f"\nRunning {spec.steps} timesteps on both engines "
+          f"(dt = {spec.dt_fs:.0f} fs, one Runner path)...")
+    wse_runner.run()
+    ref_runner.run()
 
-    out = wse.gather_state()
-    err = np.abs(out.positions - ref.state.positions).max()
+    out = wse_runner.engine.state
+    ref = ref_runner.engine.state
+    err = np.abs(out.positions - ref.positions).max()
     print(f"  max |WSE - reference| position deviation: {err:.2e} A")
     print(f"  temperature: {out.temperature():.0f} K")
 
@@ -48,7 +53,7 @@ def main() -> None:
           f"{wse.measured_rate():,.0f} timesteps/s")
 
     # the paper's full 801,792-atom benchmark, through the same model
-    el = ELEMENTS[element]
+    el = ELEMENTS[spec.element]
     model = CycleCostModel()
     rate = model.steps_per_second(el.candidates, el.interactions,
                                   el.neighborhood_b)

@@ -125,58 +125,51 @@ class BenchResult:
         return out
 
 
-def _run_reference(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
-    import repro
+def _case_extra(case: BenchCase, telemetry) -> dict:
+    """Engine-shaped report extras, from the unified telemetry record."""
+    c = telemetry.counters
+    if case.engine == "reference":
+        ph = telemetry.phase_seconds
+        return {
+            "pairs_per_step": round(c["pairs_per_step"], 1),
+            "neighbor_rebuilds": c["neighbor_rebuilds"],
+            "time_neighbor_s": round(ph["neighbor"], 4),
+            "time_force_s": round(ph["force"], 4),
+            "time_integrate_s": round(ph["integrate"], 4),
+        }
+    return {
+        "grid": [c["grid_nx"], c["grid_ny"]],
+        "b": c["b"],
+        "modeled_wse2_steps_per_s": round(c["modeled_steps_per_s"], 1),
+    }
 
-    from repro.md.simulation import SimStats
 
-    sim = repro.quick_reference_simulation(case.element, reps=reps)
-    sim.run(warmup)
-    sim.stats = SimStats()  # report steady-state phases, not warmup
-    t0 = time.perf_counter()
-    sim.run(steps)
-    wall = time.perf_counter() - t0
-    st = sim.stats
-    return BenchResult(
-        name=case.name,
-        engine="reference",
+def _execute(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
+    """One timed case through the runtime factory — engine-agnostic."""
+    from repro.runtime import RunSpec, build_engine
+
+    spec = RunSpec(
         element=case.element,
-        n_atoms=sim.state.n_atoms,
+        reps=reps,
+        engine=case.engine,
         steps=steps,
-        wall_s=wall,
-        steps_per_s=steps / wall,
-        extra={
-            "pairs_per_step": round(st.pairs_per_step, 1),
-            "neighbor_rebuilds": st.neighbor_rebuilds,
-            "time_neighbor_s": round(st.time_neighbor_s, 4),
-            "time_force_s": round(st.time_force_s, 4),
-            "time_integrate_s": round(st.time_integrate_s, 4),
-        },
+        # the lockstep case benches the paper's force-symmetry path
+        force_symmetry=(case.engine == "wse"),
     )
-
-
-def _run_wse(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
-    import repro
-
-    sim = repro.quick_wse_simulation(case.element, reps=reps,
-                                     force_symmetry=True)
-    sim.step(warmup)
-    t0 = time.perf_counter()
-    sim.step(steps)
-    wall = time.perf_counter() - t0
+    engine = build_engine(spec)
+    engine.step(warmup)
+    engine.reset_telemetry()  # report steady state, not warmup
+    engine.step(steps)
+    telemetry = engine.telemetry()
     return BenchResult(
         name=case.name,
-        engine="wse",
+        engine=case.engine,
         element=case.element,
-        n_atoms=sim.n_atoms,
+        n_atoms=int(telemetry.counters["n_atoms"]),
         steps=steps,
-        wall_s=wall,
-        steps_per_s=steps / wall,
-        extra={
-            "grid": [sim.grid.nx, sim.grid.ny],
-            "b": sim.b,
-            "modeled_wse2_steps_per_s": round(sim.measured_rate(), 1),
-        },
+        wall_s=telemetry.wall_time_s,
+        steps_per_s=telemetry.steps_per_s,
+        extra=_case_extra(case, telemetry),
     )
 
 
@@ -187,8 +180,7 @@ def run_case(case: BenchCase, *, quick: bool = False,
     reps = QUICK_REPS[case.name] if quick else case.reps
     n_steps = steps if steps is not None else case.steps[1 if quick else 0]
     warmup = case.warmup[1 if quick else 0]
-    runner = _run_reference if case.engine == "reference" else _run_wse
-    result = runner(case, reps, n_steps, warmup)
+    result = _execute(case, reps, n_steps, warmup)
     result.seed_steps_per_s = SEED_BASELINE.get(case.name, {}).get(mode)
     return result
 

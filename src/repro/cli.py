@@ -5,8 +5,12 @@ Commands
 ``info``
     Machine configuration and benchmark-element summary.
 ``run``
-    Run a thin-slab simulation on the lockstep WSE machine (or the
-    reference engine) and report physics + modeled performance.
+    Run a thin-slab simulation through the unified runtime — from CLI
+    flags or a declarative ``--spec`` TOML/JSON file — with optional
+    checkpointing (``--checkpoint``) and resume (``--resume``).
+``validate``
+    Run the same workload through both engines and report trajectory
+    equivalence with a pass/fail exit code.
 ``table1`` / ``table5`` / ``table6`` / ``fig1``
     Print quick reproductions of the corresponding paper artifacts
     (the full harness lives in ``benchmarks/``).
@@ -14,6 +18,9 @@ Commands
     Time both engines on the standard Ta/Cu/W workloads, write
     ``BENCH_kernels.json``, and optionally gate against a baseline
     report (see ``repro.bench``).
+
+Exit codes: 0 success, :data:`EXIT_RUN_FAILED` (1) for a run/validation
+failure, :data:`EXIT_BAD_SPEC` (2) for a malformed or inconsistent spec.
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
+EXIT_OK = 0
+EXIT_RUN_FAILED = 1
+EXIT_BAD_SPEC = 2
 
 
 def _cmd_info(args) -> int:
@@ -57,46 +66,149 @@ def _set_backend(name: str | None) -> str:
     return active_backend_name()
 
 
-def _cmd_run(args) -> int:
-    import repro
+def _spec_from_run_args(args):
+    """Resolve the run spec: ``--spec`` file, or the CLI flags.
 
-    backend = _set_backend(args.backend)
-    reps = tuple(args.reps)
-    common = dict(reps=reps, temperature=args.temperature, seed=args.seed)
-    if args.engine == "wse":
-        sim = repro.quick_wse_simulation(
-            args.element, swap_interval=args.swap_interval,
-            force_symmetry=args.force_symmetry, **common,
-        )
-        print(f"{sim.n_atoms} {args.element} atoms on "
+    With a spec file, only ``--steps``, ``--backend`` and
+    ``--checkpoint-interval`` override it when given explicitly; the
+    workload flags (element, reps, engine, ...) come from the file.
+    """
+    from dataclasses import replace
+
+    from repro.runtime import RunSpec
+
+    if args.spec:
+        spec = RunSpec.from_file(args.spec)
+        overrides = {}
+        if args.steps is not None:
+            overrides["steps"] = args.steps
+        if args.backend:
+            overrides["backend"] = args.backend
+        if args.checkpoint_interval is not None:
+            overrides["checkpoint_interval"] = args.checkpoint_interval
+        return replace(spec, **overrides) if overrides else spec
+    return RunSpec(
+        element=args.element,
+        reps=tuple(args.reps),
+        temperature=args.temperature,
+        engine=args.engine,
+        steps=args.steps if args.steps is not None else 100,
+        seed=args.seed,
+        backend=args.backend,
+        swap_interval=args.swap_interval,
+        force_symmetry=args.force_symmetry,
+        checkpoint_interval=args.checkpoint_interval or 0,
+    )
+
+
+def _report_run(runner, spec) -> int:
+    from repro.kernels import active_backend_name
+
+    engine = runner.engine
+    start = engine.step_count
+    if engine.name == "wse":
+        sim = engine.sim
+        print(f"{sim.n_atoms} {spec.element} atoms on "
               f"{sim.grid.nx}x{sim.grid.ny} cores, b={sim.b}, "
               f"C(g)={sim.assignment_cost():.2f} A")
-        sim.step(args.steps)
-        out = sim.gather_state()
-        cand, inter = sim.mean_counts()
-        print(f"after {args.steps} steps: T={out.temperature():.0f} K, "
-              f"mean work {cand:.0f} cand / {inter:.1f} int per atom")
-        print(f"modeled WSE-2 rate: {sim.measured_rate():,.0f} timesteps/s")
-        if args.swap_interval:
+        runner.run()
+        n = engine.step_count - start
+        out = engine.state
+        if n > 0:
+            cand, inter = sim.mean_counts()
+            print(f"after {n} steps: T={out.temperature():.0f} K, "
+                  f"mean work {cand:.0f} cand / {inter:.1f} int per atom")
+            print(f"modeled WSE-2 rate: "
+                  f"{sim.measured_rate():,.0f} timesteps/s")
+        else:
+            # resuming a run that already reached its target is a no-op
+            print(f"after 0 steps: T={out.temperature():.0f} K "
+                  f"(already at step {engine.step_count})")
+        if spec.swap_interval:
             print(f"swaps performed: {sim.swap_count}")
     else:
-        sim = repro.quick_reference_simulation(args.element, **common)
-        e0 = sim.potential_energy() + sim.state.kinetic_energy()
-        sim.run(args.steps)
-        e1 = sim.potential_energy() + sim.state.kinetic_energy()
-        print(f"{sim.state.n_atoms} {args.element} atoms, reference engine "
-              f"({backend} kernels)")
-        print(f"after {args.steps} steps: T={sim.state.temperature():.0f} K, "
-              f"energy drift {abs(e1 - e0) / sim.state.n_atoms:.2e} eV/atom")
-        st = sim.stats
-        print(f"loop stats: {st.steps_per_s:.2f} steps/s, "
-              f"{st.neighbor_rebuilds} rebuilds, "
-              f"{st.pairs_per_step:,.0f} pairs/step; "
-              f"wall {st.wall_time_s:.2f} s = "
-              f"neighbor {st.time_neighbor_s:.2f} + "
-              f"force {st.time_force_s:.2f} + "
-              f"integrate {st.time_integrate_s:.2f}")
-    return 0
+        e0 = engine.total_energy()
+        telemetry = runner.run()
+        n = engine.step_count - start
+        e1 = engine.total_energy()
+        state = engine.state
+        print(f"{state.n_atoms} {spec.element} atoms, reference engine "
+              f"({active_backend_name()} kernels)")
+        print(f"after {n} steps: T={state.temperature():.0f} K, "
+              f"energy drift {abs(e1 - e0) / state.n_atoms:.2e} eV/atom")
+        ph = telemetry.phase_seconds
+        print(f"loop stats: {telemetry.steps_per_s:.2f} steps/s, "
+              f"{telemetry.counters['neighbor_rebuilds']} rebuilds, "
+              f"{telemetry.counters['pairs_per_step']:,.0f} pairs/step; "
+              f"wall {telemetry.wall_time_s:.2f} s = "
+              f"neighbor {ph['neighbor']:.2f} + "
+              f"force {ph['force']:.2f} + "
+              f"integrate {ph['integrate']:.2f}")
+    if runner.checkpoint_prefix is not None:
+        print(f"checkpoint written: {runner.checkpoint_prefix}")
+    return EXIT_OK
+
+
+def _cmd_run(args) -> int:
+    from repro.runtime import CheckpointError, Runner, SpecError
+
+    try:
+        spec = _spec_from_run_args(args)
+    except SpecError as exc:
+        print(f"error: invalid run spec: {exc}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+    try:
+        if args.resume:
+            runner = Runner.resume(
+                spec, args.resume, checkpoint_prefix=args.checkpoint
+            )
+        else:
+            runner = Runner.from_spec(
+                spec, checkpoint_prefix=args.checkpoint
+            )
+        return _report_run(runner, spec)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+    except Exception as exc:
+        print(f"error: run failed: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.validate import validate_spec
+    from repro.runtime import RunSpec, SpecError
+
+    try:
+        if args.spec:
+            spec = RunSpec.from_file(args.spec)
+        else:
+            spec = RunSpec(
+                element=args.element,
+                reps=tuple(args.reps),
+                temperature=args.temperature,
+                steps=args.steps,
+                seed=args.seed,
+            )
+        comparison, passed = validate_spec(
+            spec, tol_pos=args.tol_pos, tol_energy=args.tol_energy
+        )
+    except SpecError as exc:
+        print(f"error: invalid run spec: {exc}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+    except Exception as exc:
+        print(f"error: validation run failed: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+    print(f"trajectory equivalence: reference vs wse, {spec.element} "
+          f"{spec.reps}, {comparison.n_steps} steps")
+    print(f"  max position deviation: {comparison.max_position_error:.3e} A "
+          f"(tol {args.tol_pos:g})")
+    print(f"  max velocity deviation: {comparison.max_velocity_error:.3e} "
+          f"A/ps")
+    print(f"  potential energy deviation: {comparison.energy_error:.3e} eV "
+          f"(tol {args.tol_energy:g})")
+    print("PASS" if passed else "FAIL")
+    return EXIT_OK if passed else EXIT_RUN_FAILED
 
 
 def _cmd_bench(args) -> int:
@@ -247,10 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="machine and element summary")
 
     run = sub.add_parser("run", help="run a thin-slab simulation")
+    run.add_argument("--spec", default=None, metavar="FILE",
+                     help="declarative RunSpec file (.toml or .json); "
+                          "workload flags below are ignored when given")
     run.add_argument("--element", choices=["Cu", "W", "Ta"], default="Ta")
     run.add_argument("--reps", type=int, nargs=3, default=[8, 8, 3],
                      metavar=("NX", "NY", "NZ"))
-    run.add_argument("--steps", type=int, default=100)
+    run.add_argument("--steps", type=int, default=None,
+                     help="timesteps (default 100, or the spec file's)")
     run.add_argument("--temperature", type=float, default=290.0)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--engine", choices=["wse", "reference"], default="wse")
@@ -259,6 +375,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", default=None,
                      help="kernel backend (numpy, numba); default: "
                           "$REPRO_KERNEL_BACKEND or numpy")
+    run.add_argument("--checkpoint", default=None, metavar="PREFIX",
+                     help="write checkpoints under this path prefix "
+                          "(<prefix>.npz/.json/.xyz)")
+    run.add_argument("--checkpoint-interval", type=int, default=None,
+                     help="also checkpoint every N steps (default: only "
+                          "a final checkpoint)")
+    run.add_argument("--resume", default=None, metavar="PREFIX",
+                     help="resume from this checkpoint prefix (spec "
+                          "physics must match its spec_hash)")
+
+    validate = sub.add_parser(
+        "validate",
+        help="run both engines on one workload and check equivalence",
+    )
+    validate.add_argument("--spec", default=None, metavar="FILE",
+                          help="RunSpec file; its engine field is ignored "
+                               "(both engines always run)")
+    validate.add_argument("--element", choices=["Cu", "W", "Ta"],
+                          default="Ta")
+    validate.add_argument("--reps", type=int, nargs=3, default=[4, 4, 2],
+                          metavar=("NX", "NY", "NZ"))
+    validate.add_argument("--steps", type=int, default=10)
+    validate.add_argument("--temperature", type=float, default=150.0)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--tol-pos", type=float, default=1e-8,
+                          help="max |dx| in angstrom (default 1e-8)")
+    validate.add_argument("--tol-energy", type=float, default=1e-6,
+                          help="max |dE| in eV (default 1e-6)")
 
     bench = sub.add_parser(
         "bench", help="time both engines, write BENCH_kernels.json"
@@ -290,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "info": _cmd_info,
         "run": _cmd_run,
+        "validate": _cmd_validate,
         "bench": _cmd_bench,
         "table1": _cmd_table1,
         "table5": _cmd_table5,

@@ -17,7 +17,7 @@ from repro.core.wse_md import WseMd
 from repro.md.simulation import Simulation
 from repro.md.state import AtomsState
 
-__all__ = ["TrajectoryComparison", "compare_trajectories"]
+__all__ = ["TrajectoryComparison", "compare_trajectories", "validate_spec"]
 
 
 @dataclass(frozen=True)
@@ -66,3 +66,56 @@ def compare_trajectories(
         max_velocity_error=float(dv),
         energy_error=abs(e_wse - e_ref),
     )
+
+
+def validate_spec(
+    spec,
+    *,
+    n_steps: int | None = None,
+    tol_pos: float = 1e-8,
+    tol_energy: float = 1e-6,
+) -> tuple[TrajectoryComparison, bool]:
+    """Run one spec's workload through *both* engines and compare.
+
+    The spec's ``engine`` field is ignored: the same initial state
+    (drawn once from the spec's velocity stream) is advanced by the
+    reference engine and the lockstep machine through the common
+    Engine protocol, so thermostats and every other spec knob apply
+    identically on both sides.
+
+    Returns ``(comparison, passed)`` where ``passed`` requires the
+    position/velocity deviations within ``tol_pos`` and the potential
+    energy deviation within ``tol_energy``.
+    """
+    from repro.runtime import build_engine, build_state, seed_streams
+
+    n = int(spec.steps if n_steps is None else n_steps)
+    state, potential = build_state(
+        spec, seed_streams(spec.seed)["velocities"]
+    )
+    engines = {
+        name: build_engine(
+            spec.with_engine(name), state=state.copy(), potential=potential
+        )
+        for name in ("reference", "wse")
+    }
+    for engine in engines.values():
+        engine.step(n)
+    a = engines["wse"].state
+    b = engines["reference"].state
+    order_b = np.argsort(b.ids)
+    if not np.array_equal(a.ids, b.ids[order_b]):
+        raise ValueError("engines hold different atom id sets")
+    dp = np.abs(a.positions - b.positions[order_b]).max() if a.n_atoms else 0.0
+    dv = np.abs(a.velocities - b.velocities[order_b]).max() if a.n_atoms else 0.0
+    comparison = TrajectoryComparison(
+        n_steps=n,
+        max_position_error=float(dp),
+        max_velocity_error=float(dv),
+        energy_error=abs(
+            engines["wse"].potential_energy()
+            - engines["reference"].potential_energy()
+        ),
+    )
+    passed = comparison.within(tol_pos) and comparison.energy_error <= tol_energy
+    return comparison, passed

@@ -98,7 +98,11 @@ class WseMd:
     jitter_rel:
         Relative per-tile timing noise (models hardware effects like
         bank conflicts; the paper measures 0.11 %).  Deterministic via
-        ``seed``.
+        ``seed`` (or the passed ``rng``).
+    rng:
+        Pre-built generator for the timing noise (wins over ``seed``).
+        The runtime passes its "engine" seed stream here so the noise
+        sequence is checkpointable.
     force_symmetry:
         Enable the paper's "Force Symmetry" future optimization
         (Sec. VI-A): pair terms are computed once per undirected pair
@@ -127,6 +131,7 @@ class WseMd:
         dtype=np.float64,
         jitter_rel: float = 0.0,
         seed: int = 0,
+        rng: np.random.Generator | None = None,
         force_symmetry: bool = False,
     ) -> None:
         self.potential = potential
@@ -142,7 +147,7 @@ class WseMd:
         self.dtype = np.dtype(dtype)
         self.jitter_rel = float(jitter_rel)
         self.force_symmetry = bool(force_symmetry)
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self.pbc_inplane = bool(state.box.periodic[0] or state.box.periodic[1])
 
         self.mapping = mapping or build_mapping(
@@ -227,6 +232,11 @@ class WseMd:
     def n_atoms(self) -> int:
         """Number of atoms on the machine."""
         return int(self.occ.sum())
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The timing-noise generator (for checkpointing its state)."""
+        return self._rng
 
     def _minimum_image(self, d: np.ndarray) -> np.ndarray:
         for dim in range(3):

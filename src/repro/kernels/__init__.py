@@ -51,6 +51,10 @@ _loaders: dict[str, object] = {}
 _active: ModuleType | None = None
 _active_name: str | None = None
 _failures: dict[str, str] = {}
+#: Backend names whose fallback warning has already been emitted; a
+#: long campaign calling ``set_backend`` per run warns once per name,
+#: not once per call.
+_warned_fallbacks: set[str] = set()
 
 
 def register_backend(name: str, loader) -> None:
@@ -100,7 +104,8 @@ def set_backend(name: str) -> str:
     backend = _load(name)
     if backend is None:
         reason = _failures.get(name, "not registered")
-        if name != DEFAULT_BACKEND:
+        if name != DEFAULT_BACKEND and name not in _warned_fallbacks:
+            _warned_fallbacks.add(name)
             warnings.warn(
                 f"kernel backend {name!r} unavailable ({reason}); "
                 f"falling back to {DEFAULT_BACKEND!r}",

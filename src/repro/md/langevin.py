@@ -33,10 +33,18 @@ class LangevinThermostat:
         convention).
     seed:
         RNG seed; runs are deterministic given the seed.
+    rng:
+        Pre-built generator to draw noise from (wins over ``seed``).
+        The runtime passes its "thermostat" seed stream here so the
+        noise sequence is checkpointable.
     """
 
     def __init__(
-        self, temperature: float, damping_fs: float = 100.0, seed: int = 0
+        self,
+        temperature: float,
+        damping_fs: float = 100.0,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
     ) -> None:
         if temperature < 0:
             raise ValueError(f"temperature must be >= 0, got {temperature}")
@@ -44,7 +52,12 @@ class LangevinThermostat:
             raise ValueError(f"damping must be positive, got {damping_fs}")
         self.temperature = float(temperature)
         self.damping_ps = damping_fs / 1000.0
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The noise generator (for checkpointing its state)."""
+        return self._rng
 
     def apply(self, state: AtomsState, dt_fs: float) -> None:
         """One friction + fluctuation kick, in place."""

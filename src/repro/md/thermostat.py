@@ -37,10 +37,18 @@ def maxwell_boltzmann_velocities(
     """
     if temperature < 0:
         raise ValueError(f"temperature must be non-negative, got {temperature}")
-    rng = rng or np.random.default_rng()
     if temperature == 0.0:
         state.velocities[:] = 0.0
         return
+    if rng is None:
+        # An implicit unseeded generator would silently make the run
+        # irreproducible; demand the caller thread a seeded stream
+        # (e.g. repro.runtime.rng.seed_streams(seed)["velocities"]).
+        raise ValueError(
+            "maxwell_boltzmann_velocities requires an explicit rng for "
+            "temperature > 0; pass np.random.default_rng(seed) or a "
+            "runtime seed stream"
+        )
     sigma = np.array(
         [thermal_velocity_scale(temperature, m) for m in state.masses]
     )

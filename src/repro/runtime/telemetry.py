@@ -1,0 +1,70 @@
+"""Unified run telemetry shared by both engines.
+
+The reference engine accumulates wall-time phase statistics
+(:class:`repro.md.simulation.SimStats`); the lockstep machine records
+per-tile cycle counts (:class:`repro.wse.trace.CycleTrace`) priced by
+the calibrated cost model.  :class:`Telemetry` is the common currency
+both are reduced to, so the CLI, the bench harness, and observers can
+report any engine through one code path:
+
+* ``phase_seconds`` — where the time went, per phase.  Measured wall
+  time for the reference engine (neighbor / force / integrate); modeled
+  machine time for the lockstep engine (exchange / candidate /
+  interaction / fixed, from the cycle model).
+* ``counters`` — engine-shaped work counts (pairs per step, neighbor
+  rebuilds; candidates, interactions, swaps, modeled rate, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Telemetry"]
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """One engine's accounting since construction (or the last reset).
+
+    Attributes
+    ----------
+    engine:
+        ``"reference"`` or ``"wse"``.
+    steps:
+        Timesteps executed.
+    wall_time_s:
+        Host wall-clock spent inside ``Engine.step`` calls.
+    phase_seconds:
+        Per-phase time split (measured or modeled; see module docs).
+    counters:
+        Engine-specific work counts and rates.
+    """
+
+    engine: str
+    steps: int
+    wall_time_s: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def steps_per_s(self) -> float:
+        """Host throughput over the accounted wall time."""
+        if self.steps == 0 or self.wall_time_s <= 0.0:
+            return 0.0
+        return self.steps / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (for reports and sidecars)."""
+        return {
+            "engine": self.engine,
+            "steps": self.steps,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "steps_per_s": round(self.steps_per_s, 3),
+            "phase_seconds": {
+                k: round(float(v), 6) for k, v in self.phase_seconds.items()
+            },
+            "counters": {
+                k: (round(float(v), 6) if isinstance(v, float) else v)
+                for k, v in self.counters.items()
+            },
+        }

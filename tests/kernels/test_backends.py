@@ -72,6 +72,20 @@ class TestRegistry:
     def test_status_reports_ok_for_numpy(self):
         assert backend_status()["numpy"] == "ok"
 
+    def test_fallback_warns_once_per_name(self):
+        # a campaign calling set_backend per run must not spam warnings;
+        # the name here is unique to this test so the first call is
+        # guaranteed to be this process's first warning for it
+        import warnings as _warnings
+
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert set_backend("warn-dedupe-probe") == "numpy"
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            assert set_backend("warn-dedupe-probe") == "numpy"
+        assert [w for w in caught if issubclass(w.category, RuntimeWarning)] \
+            == []
+
 
 def _random_spline_inputs(seed, n_points=200, n_seg=17):
     rng = np.random.default_rng(seed)

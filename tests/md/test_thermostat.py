@@ -52,6 +52,15 @@ class TestMaxwellBoltzmann:
         with pytest.raises(ValueError):
             maxwell_boltzmann_velocities(state(), -1.0)
 
+    def test_missing_rng_fails_loudly(self):
+        # an implicit fresh generator would silently make runs
+        # irreproducible; the seed must come from the caller
+        with pytest.raises(ValueError, match="explicit rng"):
+            maxwell_boltzmann_velocities(state(), 290.0)
+
+    def test_zero_temperature_needs_no_rng(self):
+        maxwell_boltzmann_velocities(state(), 0.0)  # must not raise
+
 
 class TestRescale:
     def test_rescale_hits_target(self):

@@ -1,0 +1,141 @@
+"""Checkpoint write/read round-trips and the resume-refusal guards."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.xyz import read_xyz
+from repro.runtime import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    RunSpec,
+    build_state,
+    checkpoint_paths,
+    get_rng_state,
+    read_checkpoint,
+    seed_streams,
+    set_rng_state,
+    write_checkpoint,
+)
+
+SPEC = RunSpec(element="Ta", reps=(3, 3, 2), temperature=200.0, seed=4)
+
+
+@pytest.fixture
+def state():
+    return build_state(SPEC)[0]
+
+
+def test_round_trip_is_lossless(tmp_path, state):
+    prefix = tmp_path / "run" / "ckpt"  # parent dir is created on demand
+    rng = seed_streams(4)["thermostat"]
+    rng.random(17)  # advance so the saved state is non-trivial
+    write_checkpoint(
+        prefix,
+        state,
+        step_count=42,
+        spec_hash=SPEC.spec_hash(),
+        engine="reference",
+        rng_states={"thermostat": get_rng_state(rng)},
+        extra={"swap_count": 3},
+    )
+    ckpt = read_checkpoint(prefix, expected_spec_hash=SPEC.spec_hash())
+
+    np.testing.assert_array_equal(ckpt.state.positions, state.positions)
+    np.testing.assert_array_equal(ckpt.state.velocities, state.velocities)
+    np.testing.assert_array_equal(ckpt.state.types, state.types)
+    np.testing.assert_array_equal(ckpt.state.ids, state.ids)
+    np.testing.assert_array_equal(ckpt.state.masses, state.masses)
+    np.testing.assert_array_equal(
+        ckpt.state.box.lengths, state.box.lengths
+    )
+    assert ckpt.step_count == 42
+    assert ckpt.engine == "reference"
+    assert ckpt.extra == {"swap_count": 3}
+
+    # the restored generator continues the exact stream
+    restored = seed_streams(0)["thermostat"]
+    set_rng_state(restored, ckpt.rng_states["thermostat"])
+    np.testing.assert_array_equal(restored.random(5), rng.random(5))
+
+
+def test_trio_files_written(tmp_path, state):
+    prefix = tmp_path / "c"
+    paths = write_checkpoint(
+        prefix, state, step_count=0, spec_hash="x", engine="wse"
+    )
+    assert paths == checkpoint_paths(prefix)
+    for p in paths:
+        assert p.exists(), p
+    assert not list(tmp_path.glob("*.tmp"))  # atomic renames left no temps
+
+
+def test_sidecar_is_plain_json(tmp_path, state):
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix,
+        state,
+        step_count=7,
+        spec_hash=SPEC.spec_hash(),
+        engine="reference",
+        rng_states={"thermostat": get_rng_state(seed_streams(1)["thermostat"])},
+    )
+    sidecar = json.loads(checkpoint_paths(prefix)[1].read_text())
+    assert sidecar["schema"] == CHECKPOINT_SCHEMA
+    assert sidecar["step_count"] == 7
+
+
+def test_xyz_frame_preserves_velocities(tmp_path, state):
+    """The human-readable frame keeps velocities to ~1e-9 A/ps."""
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=0, spec_hash="x", engine="reference",
+        symbols=["Ta"],
+    )
+    frame = read_xyz(checkpoint_paths(prefix)[2], masses=state.masses)
+    np.testing.assert_allclose(
+        frame.velocities, state.velocities, atol=1e-9
+    )
+    np.testing.assert_allclose(frame.positions, state.positions, atol=1e-9)
+    np.testing.assert_array_equal(frame.ids, state.ids)
+
+
+def test_spec_hash_mismatch_refused(tmp_path, state):
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=0, spec_hash=SPEC.spec_hash(),
+        engine="reference",
+    )
+    other = RunSpec(element="Ta", reps=(3, 3, 2), temperature=200.0, seed=5)
+    with pytest.raises(CheckpointError, match="different physics"):
+        read_checkpoint(prefix, expected_spec_hash=other.spec_hash())
+    # without the expectation the same checkpoint reads fine
+    assert read_checkpoint(prefix).step_count == 0
+
+
+def test_missing_checkpoint_raises(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_checkpoint(tmp_path / "nope")
+
+
+def test_corrupt_sidecar_raises(tmp_path, state):
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=0, spec_hash="x", engine="reference"
+    )
+    checkpoint_paths(prefix)[1].write_text("{broken")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        read_checkpoint(prefix)
+
+
+def test_wrong_schema_raises(tmp_path, state):
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=0, spec_hash="x", engine="reference"
+    )
+    sidecar = json.loads(checkpoint_paths(prefix)[1].read_text())
+    sidecar["schema"] = "repro-checkpoint/99"
+    checkpoint_paths(prefix)[1].write_text(json.dumps(sidecar))
+    with pytest.raises(CheckpointError, match="schema"):
+        read_checkpoint(prefix)

@@ -1,0 +1,169 @@
+"""Runner orchestration: observers, checkpoint cadence, resume fidelity."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CheckpointError,
+    RunSpec,
+    Runner,
+    ThermostatSpec,
+    checkpoint_paths,
+    read_checkpoint,
+)
+
+QUICK = dict(element="Ta", reps=(3, 3, 2), temperature=150.0, seed=6)
+
+
+def _positions(runner):
+    state = runner.engine.state
+    return state.positions[np.argsort(state.ids)]
+
+
+class TestLoop:
+    def test_run_defaults_to_spec_steps(self):
+        runner = Runner.from_spec(RunSpec(steps=5, **QUICK))
+        tel = runner.run()
+        assert runner.engine.step_count == 5
+        assert tel.steps == 5
+
+    def test_run_is_resumable_to_spec_target(self):
+        runner = Runner.from_spec(RunSpec(steps=6, **QUICK))
+        runner.run(2)
+        runner.run()  # tops up to the spec's 6
+        assert runner.engine.step_count == 6
+
+    def test_observers_fire_on_absolute_steps(self):
+        runner = Runner.from_spec(RunSpec(steps=10, **QUICK))
+        seen2, seen5 = [], []
+        runner.add_observer(2, lambda ev: seen2.append(ev.step))
+        runner.add_observer(5, lambda ev: seen5.append(ev.step))
+        runner.run()
+        assert seen2 == [2, 4, 6, 8, 10]
+        assert seen5 == [5, 10]
+
+    def test_observer_event_exposes_state(self):
+        runner = Runner.from_spec(RunSpec(engine="wse", steps=2, **QUICK))
+        atoms = []
+        runner.add_observer(1, lambda ev: atoms.append(ev.state.n_atoms))
+        runner.run()
+        assert atoms == [runner.engine.state.n_atoms] * 2
+
+    def test_bad_observer_interval(self):
+        runner = Runner.from_spec(RunSpec(steps=1, **QUICK))
+        with pytest.raises(ValueError, match="interval"):
+            runner.add_observer(0, lambda ev: None)
+
+    def test_chunking_does_not_change_trajectory(self):
+        spec = RunSpec(steps=9, **QUICK)
+        plain = Runner.from_spec(spec)
+        plain.run()
+        chopped = Runner.from_spec(spec)
+        chopped.add_observer(2, lambda ev: None)
+        chopped.add_observer(7, lambda ev: None)
+        chopped.run()
+        np.testing.assert_array_equal(_positions(plain), _positions(chopped))
+
+
+class TestCheckpointing:
+    def test_final_checkpoint_always_written(self, tmp_path):
+        prefix = tmp_path / "c"
+        Runner.from_spec(
+            RunSpec(steps=3, **QUICK), checkpoint_prefix=prefix
+        ).run()
+        assert all(p.exists() for p in checkpoint_paths(prefix))
+        assert read_checkpoint(prefix).step_count == 3
+
+    def test_periodic_checkpoints(self, tmp_path):
+        prefix = tmp_path / "c"
+        spec = RunSpec(steps=6, checkpoint_interval=2, **QUICK)
+        steps_seen = []
+        runner = Runner.from_spec(spec, checkpoint_prefix=prefix)
+        # probe at odd steps: the snapshot on disk is the last even one
+        runner.add_observer(
+            3, lambda ev: steps_seen.append(read_checkpoint(prefix).step_count)
+        )
+        runner.run()
+        assert steps_seen == [2, 4]
+        assert read_checkpoint(prefix).step_count == 6
+
+    def test_no_prefix_no_files(self, tmp_path):
+        Runner.from_spec(RunSpec(steps=2, checkpoint_interval=1, **QUICK)).run()
+        assert not list(tmp_path.iterdir())
+
+
+@pytest.mark.parametrize(
+    "engine_kwargs",
+    [
+        {"engine": "reference"},
+        {"engine": "wse"},
+        {"engine": "wse", "swap_interval": 2, "force_symmetry": True},
+        {
+            "engine": "reference",
+            "thermostat": ThermostatSpec("langevin", 290.0, tau_fs=100.0),
+        },
+        {
+            "engine": "wse",
+            "thermostat": ThermostatSpec("berendsen", 100.0, tau_fs=50.0),
+        },
+    ],
+    ids=["reference", "wse", "wse-swaps", "langevin", "wse-berendsen"],
+)
+def test_resume_matches_uninterrupted(tmp_path, engine_kwargs):
+    """Kill-at-step-k property: checkpoint at k, resume, compare at N."""
+    spec = RunSpec(steps=8, **QUICK, **engine_kwargs)
+
+    straight = Runner.from_spec(spec)
+    straight.run()
+
+    prefix = tmp_path / "c"
+    first = Runner.from_spec(spec, checkpoint_prefix=prefix)
+    first.run(3)
+    first.write_checkpoint()
+    del first  # the "crash"
+
+    resumed = Runner.resume(spec, prefix)
+    assert resumed.engine.step_count == 3
+    resumed.run()  # tops up to the spec's 8
+    assert resumed.engine.step_count == 8
+
+    np.testing.assert_allclose(
+        _positions(straight), _positions(resumed), atol=1e-12
+    )
+    vs = straight.engine.state
+    vr = resumed.engine.state
+    np.testing.assert_allclose(
+        vs.velocities[np.argsort(vs.ids)],
+        vr.velocities[np.argsort(vr.ids)],
+        atol=1e-12,
+    )
+
+
+def test_resume_with_longer_steps_is_legal(tmp_path):
+    prefix = tmp_path / "c"
+    spec = RunSpec(steps=2, **QUICK)
+    Runner.from_spec(spec, checkpoint_prefix=prefix).run()
+    longer = dataclasses.replace(spec, steps=4)
+    resumed = Runner.resume(longer, prefix)
+    resumed.run()
+    assert resumed.engine.step_count == 4
+
+
+def test_resume_refuses_different_physics(tmp_path):
+    prefix = tmp_path / "c"
+    Runner.from_spec(RunSpec(steps=2, **QUICK), checkpoint_prefix=prefix).run()
+    other = RunSpec(steps=2, **{**QUICK, "seed": 7})
+    with pytest.raises(CheckpointError, match="different physics"):
+        Runner.resume(other, prefix)
+
+
+def test_resume_continues_checkpointing_at_same_prefix(tmp_path):
+    prefix = tmp_path / "c"
+    spec = RunSpec(steps=4, **QUICK)
+    runner = Runner.from_spec(spec, checkpoint_prefix=prefix)
+    runner.run(2)
+    resumed = Runner.resume(spec, prefix)
+    resumed.run()
+    assert read_checkpoint(prefix).step_count == 4

@@ -64,3 +64,102 @@ class TestCommands:
                    "--swap-interval", "3", "--force-symmetry"])
         assert rc == 0
         assert "swaps performed" in capsys.readouterr().out
+
+
+class TestSpecRuns:
+    """``repro run --spec`` / checkpointing / resume / exit codes."""
+
+    def _write_spec(self, tmp_path, **overrides):
+        spec = {"element": "Ta", "reps": [3, 3, 2], "temperature": 150.0,
+                "engine": "wse", "steps": 4, "seed": 0}
+        spec.update(overrides)
+        lines = []
+        for key, value in spec.items():
+            if isinstance(value, str):
+                lines.append(f'{key} = "{value}"')
+            elif isinstance(value, list):
+                lines.append(f"{key} = {value}")
+            else:
+                lines.append(f"{key} = {value}")
+        path = tmp_path / "run.toml"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        assert main(["run", "--spec", str(path)]) == 0
+        assert "timesteps/s" in capsys.readouterr().out
+
+    def test_run_spec_steps_override(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, engine="reference")
+        assert main(["run", "--spec", str(path), "--steps", "2"]) == 0
+        assert "after 2 steps" in capsys.readouterr().out
+
+    def test_bad_spec_file_exit_code_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('element = "Unobtanium"\n')
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "invalid run spec" in capsys.readouterr().err
+
+    def test_missing_spec_file_exit_code_2(self, tmp_path):
+        assert main(["run", "--spec", str(tmp_path / "nope.toml")]) == 2
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, engine="reference", steps=3)
+        prefix = tmp_path / "ckpt"
+        assert main(["run", "--spec", str(path),
+                     "--checkpoint", str(prefix)]) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        assert (tmp_path / "ckpt.npz").exists()
+        rc = main(["run", "--spec", str(path), "--steps", "6",
+                   "--resume", str(prefix)])
+        assert rc == 0
+        assert "after 3 steps" in capsys.readouterr().out  # 6 total - 3 done
+
+    def test_resume_missing_checkpoint_exit_code_1(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        rc = main(["run", "--spec", str(path),
+                   "--resume", str(tmp_path / "nothing")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_wrong_physics_exit_code_1(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, engine="reference", steps=2)
+        prefix = tmp_path / "ckpt"
+        assert main(["run", "--spec", str(path),
+                     "--checkpoint", str(prefix)]) == 0
+        capsys.readouterr()
+        other = self._write_spec(tmp_path, engine="reference", steps=2,
+                                 seed=9)
+        rc = main(["run", "--spec", str(other), "--resume", str(prefix)])
+        assert rc == 1
+        assert "different physics" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_validate_defaults(self, capsys):
+        rc = main(["validate", "--reps", "3", "3", "2", "--steps", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "position deviation" in out
+
+    def test_validate_from_spec(self, tmp_path, capsys):
+        path = tmp_path / "v.toml"
+        path.write_text(
+            'element = "Ta"\nreps = [3, 3, 2]\ntemperature = 150.0\n'
+            "steps = 4\n"
+        )
+        assert main(["validate", "--spec", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_validate_impossible_tolerance_fails(self, capsys):
+        rc = main(["validate", "--reps", "3", "3", "2", "--steps", "4",
+                   "--tol-pos", "0"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_validate_bad_spec_exit_code_2(self, tmp_path):
+        path = tmp_path / "v.toml"
+        path.write_text('engine = "gpu"\n')
+        assert main(["validate", "--spec", str(path)]) == 2
