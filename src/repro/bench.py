@@ -23,6 +23,7 @@ refreshed whenever the kernels intentionally change speed.
 from __future__ import annotations
 
 import json
+import subprocess
 import time
 from dataclasses import dataclass, field
 
@@ -37,6 +38,7 @@ __all__ = [
     "run_bench",
     "compare_to_baseline",
     "write_report",
+    "latest_results",
 ]
 
 
@@ -144,7 +146,9 @@ def _case_extra(case: BenchCase, telemetry) -> dict:
     }
 
 
-def _execute(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
+def _execute(
+    case: BenchCase, reps, steps: int, warmup: int, *, profile: bool = False
+) -> BenchResult:
     """One timed case through the runtime factory — engine-agnostic."""
     from repro.runtime import RunSpec, build_engine
 
@@ -156,11 +160,21 @@ def _execute(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
         # the lockstep case benches the paper's force-symmetry path
         force_symmetry=(case.engine == "wse"),
     )
-    engine = build_engine(spec)
+    if profile:
+        from repro.obs import Tracer
+
+        engine = build_engine(spec, tracer=Tracer())
+    else:
+        engine = build_engine(spec)
     engine.step(warmup)
     engine.reset_telemetry()  # report steady state, not warmup
     engine.step(steps)
     telemetry = engine.telemetry()
+    extra = _case_extra(case, telemetry)
+    if telemetry.trace_phases is not None:
+        extra["phases"] = {
+            k: round(v, 4) for k, v in telemetry.trace_phases.items()
+        }
     return BenchResult(
         name=case.name,
         engine=case.engine,
@@ -169,18 +183,18 @@ def _execute(case: BenchCase, reps, steps: int, warmup: int) -> BenchResult:
         steps=steps,
         wall_s=telemetry.wall_time_s,
         steps_per_s=telemetry.steps_per_s,
-        extra=_case_extra(case, telemetry),
+        extra=extra,
     )
 
 
 def run_case(case: BenchCase, *, quick: bool = False,
-             steps: int | None = None) -> BenchResult:
+             steps: int | None = None, profile: bool = False) -> BenchResult:
     """Execute one case and attach its seed baseline."""
     mode = "quick" if quick else "full"
     reps = QUICK_REPS[case.name] if quick else case.reps
     n_steps = steps if steps is not None else case.steps[1 if quick else 0]
     warmup = case.warmup[1 if quick else 0]
-    result = _execute(case, reps, n_steps, warmup)
+    result = _execute(case, reps, n_steps, warmup, profile=profile)
     result.seed_steps_per_s = SEED_BASELINE.get(case.name, {}).get(mode)
     return result
 
@@ -191,6 +205,7 @@ def run_bench(
     elements: list[str] | None = None,
     engines: list[str] | None = None,
     steps: int | None = None,
+    profile: bool = False,
     progress=None,
 ) -> list[BenchResult]:
     """Run the selected cases in declaration order."""
@@ -202,21 +217,84 @@ def run_bench(
             continue
         if progress:
             progress(f"  {case.name} ({case.engine}) ...")
-        results.append(run_case(case, quick=quick, steps=steps))
+        results.append(run_case(case, quick=quick, steps=steps,
+                                profile=profile))
     return results
+
+
+def _git_sha() -> str | None:
+    """Short commit SHA of the working tree, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def latest_results(report: dict) -> list[dict]:
+    """The newest run's result list from a v1 or v2 bench report.
+
+    v1 reports (``repro-bench/1``) store one run at the top level; v2
+    reports (``repro-bench/2``) keep an append-only ``history`` whose
+    last entry is the newest run.
+    """
+    history = report.get("history")
+    if history:
+        return history[-1].get("results", [])
+    return report.get("results", [])
 
 
 def write_report(path: str, results: list[BenchResult], *,
                  quick: bool, backend: str) -> dict:
-    """Serialize results to ``path``; returns the report dict."""
-    report = {
-        "schema": "repro-bench/1",
+    """Append this run to the report history at ``path``.
+
+    ``BENCH_kernels.json`` is no longer overwritten per run: each run
+    becomes one ``history`` entry (timestamp, git SHA, mode, backend,
+    per-case results), so the recorded trajectory of steps/s survives
+    across invocations.  A v1 report already on disk is preserved as
+    the first history entry; a corrupt file starts a fresh history.
+    Returns the full v2 report dict.
+    """
+    entry = {
         "created_unix": round(time.time(), 1),
+        "git_sha": _git_sha(),
         "mode": "quick" if quick else "full",
         "backend": backend,
         "numpy_version": np.__version__,
         "results": [r.to_json() for r in results],
     }
+    history: list[dict] = []
+    try:
+        with open(path) as fh:
+            on_disk = json.load(fh)
+        if isinstance(on_disk, dict):
+            if isinstance(on_disk.get("history"), list):
+                history = on_disk["history"]
+            elif on_disk.get("results") is not None:
+                # v1 single-run report: keep it as the oldest entry
+                history = [
+                    {
+                        k: on_disk.get(k)
+                        for k in (
+                            "created_unix",
+                            "mode",
+                            "backend",
+                            "numpy_version",
+                            "results",
+                        )
+                    }
+                ]
+    except (OSError, json.JSONDecodeError):
+        history = []
+    history.append(entry)
+    report = {"schema": "repro-bench/2", "history": history}
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -226,14 +304,15 @@ def write_report(path: str, results: list[BenchResult], *,
 def compare_to_baseline(
     results: list[BenchResult], baseline: dict, *, max_drop: float
 ) -> list[str]:
-    """Regression check vs a previous report.
+    """Regression check vs a previous report (v1 or v2).
 
-    Returns human-readable failure lines (empty = pass).  Cases present
-    on only one side are skipped: the gate protects existing numbers,
-    it does not freeze the case list.
+    The gate reads the baseline's *latest* history entry.  Returns
+    human-readable failure lines (empty = pass).  Cases present on only
+    one side are skipped: the gate protects existing numbers, it does
+    not freeze the case list.
     """
     failures: list[str] = []
-    base = {r["name"]: r for r in baseline.get("results", [])}
+    base = {r["name"]: r for r in latest_results(baseline)}
     for r in results:
         ref = base.get(r.name)
         if ref is None or not ref.get("steps_per_s"):

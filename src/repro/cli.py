@@ -15,9 +15,15 @@ Commands
     Print quick reproductions of the corresponding paper artifacts
     (the full harness lives in ``benchmarks/``).
 ``bench``
-    Time both engines on the standard Ta/Cu/W workloads, write
-    ``BENCH_kernels.json``, and optionally gate against a baseline
-    report (see ``repro.bench``).
+    Time both engines on the standard Ta/Cu/W workloads, append the run
+    to ``BENCH_kernels.json``'s history, and optionally gate against a
+    baseline report (see ``repro.bench``).
+``profile``
+    Run one workload under phase tracing on both engines: write a JSONL
+    trace, print the per-phase summary tables, and (``--check``) verify
+    the trace parses, every taxonomy phase appears, the phases cover
+    >= 95 % of wall time, and the lockstep engine's traced cycles
+    regress to the cycle model's (A, B, C) calibration targets.
 
 Exit codes: 0 success, :data:`EXIT_RUN_FAILED` (1) for a run/validation
 failure, :data:`EXIT_BAD_SPEC` (2) for a malformed or inconsistent spec.
@@ -214,7 +220,12 @@ def _cmd_validate(args) -> int:
 def _cmd_bench(args) -> int:
     import json
 
-    from repro.bench import compare_to_baseline, run_bench, write_report
+    from repro.bench import (
+        compare_to_baseline,
+        latest_results,
+        run_bench,
+        write_report,
+    )
 
     backend = _set_backend(args.backend)
     mode = "quick" if args.quick else "full"
@@ -224,6 +235,7 @@ def _cmd_bench(args) -> int:
         elements=args.elements,
         engines=args.engines,
         steps=args.steps,
+        profile=args.profile,
         progress=print,
     )
     if not results:
@@ -236,7 +248,8 @@ def _cmd_bench(args) -> int:
               f"{r.wall_s:.2f} s -> {r.steps_per_s:.2f} steps/s{speedup}")
     report = write_report(args.out, results, quick=args.quick,
                           backend=backend)
-    print(f"wrote {args.out} ({len(report['results'])} cases)")
+    print(f"wrote {args.out} ({len(latest_results(report))} cases, "
+          f"{len(report['history'])} runs in history)")
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -250,6 +263,107 @@ def _cmd_bench(args) -> int:
         print(f"no regression vs {args.baseline} "
               f"(allowance {args.max_drop:.0%})")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.runtime import RunSpec, SpecError
+
+    try:
+        if args.spec:
+            spec = RunSpec.from_file(args.spec)
+            if args.steps is not None:
+                from dataclasses import replace
+
+                spec = replace(spec, steps=args.steps)
+        else:
+            if args.quick:
+                reps = args.reps if args.reps is not None else [5, 5, 2]
+                steps = args.steps if args.steps is not None else 30
+                swap = (args.swap_interval
+                        if args.swap_interval is not None else 10)
+            else:
+                reps = args.reps if args.reps is not None else [8, 8, 3]
+                steps = args.steps if args.steps is not None else 100
+                swap = (args.swap_interval
+                        if args.swap_interval is not None else 0)
+            spec = RunSpec(
+                element=args.element,
+                reps=tuple(reps),
+                temperature=args.temperature,
+                steps=steps,
+                seed=args.seed,
+                swap_interval=swap,
+            )
+    except SpecError as exc:
+        print(f"error: invalid run spec: {exc}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+
+    from repro.obs.profile import profile_spec
+    from repro.obs.sinks import read_trace, render_phase_table
+
+    engines = tuple(args.engines) if args.engines else ("reference", "wse")
+    try:
+        profiles = profile_spec(spec, engines=engines, trace_path=args.out)
+    except Exception as exc:
+        print(f"error: profile run failed: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+
+    failures: list[str] = []
+    for name, prof in profiles.items():
+        print(render_phase_table(
+            f"{name} engine: {prof.steps} steps, "
+            f"wall {prof.wall_s:.3f} s",
+            prof.phase_seconds,
+            prof.wall_s,
+        ))
+        if prof.missing_phases:
+            failures.append(
+                f"{name}: missing phases {list(prof.missing_phases)}"
+            )
+        if prof.coverage < 0.95:
+            failures.append(
+                f"{name}: phases cover {prof.coverage:.1%} of wall "
+                f"(< 95%)"
+            )
+        if name == "wse":
+            if prof.fit is None:
+                failures.append("wse: linear (A, B, C) fit unavailable")
+            else:
+                exp = prof.fit_expected
+                errs = prof.fit_rel_errors()
+                print(
+                    f"fitted step model (ns): "
+                    f"A={prof.fit.a_candidate:.1f} "
+                    f"(target {exp['a_candidate']:.1f}), "
+                    f"B={prof.fit.b_interaction:.1f} "
+                    f"(target {exp['b_interaction']:.1f}), "
+                    f"C={prof.fit.c_fixed:.1f} "
+                    f"(target {exp['c_fixed']:.1f}), "
+                    f"r^2={prof.fit.r_squared:.4f}"
+                )
+                worst = max(errs.values())
+                if worst > 0.05:
+                    failures.append(
+                        f"wse: fitted constants off calibration by "
+                        f"{worst:.1%} (> 5%)"
+                    )
+
+    try:
+        records = read_trace(args.out)
+    except ValueError as exc:
+        failures.append(f"trace: {exc}")
+        records = []
+    print(f"trace: {len(records)} records -> {args.out}")
+
+    if failures:
+        for line in failures:
+            print(f"CHECK FAILED: {line}",
+                  file=sys.stderr if args.check else sys.stdout)
+        if args.check:
+            return EXIT_RUN_FAILED
+    elif args.check:
+        print("profile checks passed")
+    return EXIT_OK
 
 
 def _cmd_table1(args) -> int:
@@ -423,6 +537,42 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["Cu", "W", "Ta"])
     bench.add_argument("--engines", nargs="*", default=None,
                        choices=["reference", "wse"])
+    bench.add_argument("--profile", action="store_true",
+                       help="trace engine phases and embed the per-phase "
+                            "breakdown in each case's report entry")
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace one workload on both engines, write a JSONL trace",
+    )
+    profile.add_argument("--spec", default=None, metavar="FILE",
+                         help="RunSpec file; its engine field is replaced "
+                              "per profiled engine")
+    profile.add_argument("--element", choices=["Cu", "W", "Ta"],
+                         default="Ta")
+    profile.add_argument("--reps", type=int, nargs=3, default=None,
+                         metavar=("NX", "NY", "NZ"),
+                         help="slab replications (default 8 8 3; "
+                              "--quick: 5 5 2)")
+    profile.add_argument("--steps", type=int, default=None,
+                         help="timesteps (default 100; --quick: 30)")
+    profile.add_argument("--temperature", type=float, default=290.0)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--swap-interval", type=int, default=None,
+                         help="wse swap interval (default 0; --quick: 10 "
+                              "so the swap phase fires)")
+    profile.add_argument("--engines", nargs="*", default=None,
+                         choices=["reference", "wse"])
+    profile.add_argument("--out", default="profile_trace.jsonl",
+                         help="JSONL trace path (default "
+                              "profile_trace.jsonl)")
+    profile.add_argument("--quick", action="store_true",
+                         help="CI-sized workload (seconds)")
+    profile.add_argument("--check", action="store_true",
+                         help="exit non-zero unless the trace parses, all "
+                              "taxonomy phases appear, coverage >= 95%%, "
+                              "and the wse (A, B, C) fit is within 5%% of "
+                              "calibration")
 
     for name in ("table1", "table5", "table6", "fig1"):
         sub.add_parser(name, help=f"print the {name} reproduction")
@@ -436,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
         "table1": _cmd_table1,
         "table5": _cmd_table5,
         "table6": _cmd_table6,

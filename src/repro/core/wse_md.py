@@ -27,6 +27,8 @@ The physics is identical to the reference engine
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.constants import MVV2E
@@ -36,6 +38,7 @@ from repro.core.mapping import Mapping, build_mapping
 from repro.core.neighborhood import required_b
 from repro.core.swap import SwapEngine
 from repro.md.state import AtomsState
+from repro.obs import NULL_TRACER, metrics
 from repro.potentials.eam import EAMPotential
 from repro.wse.geometry import TileGrid
 from repro.wse.trace import CycleTrace
@@ -133,6 +136,7 @@ class WseMd:
         seed: int = 0,
         rng: np.random.Generator | None = None,
         force_symmetry: bool = False,
+        tracer=None,
     ) -> None:
         self.potential = potential
         self.box = state.box
@@ -147,6 +151,7 @@ class WseMd:
         self.dtype = np.dtype(dtype)
         self.jitter_rel = float(jitter_rel)
         self.force_symmetry = bool(force_symmetry)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = rng if rng is not None else np.random.default_rng(seed)
         self.pbc_inplane = bool(state.box.periodic[0] or state.box.periodic[1])
 
@@ -239,20 +244,29 @@ class WseMd:
         return self._rng
 
     def _minimum_image(self, d: np.ndarray) -> np.ndarray:
+        # floor(x/L + 0.5), not round(x/L): np.round banker's-rounds
+        # half-box ties (exactly +-L/2) to the nearest *even* multiple,
+        # making the wrapped sign depend on which image the separation
+        # came from.  floor maps both ties deterministically to -L/2,
+        # matching Box.minimum_image so the engines stay bit-equivalent.
         for dim in range(3):
             if self.box.periodic[dim]:
                 ld = self.box.lengths[dim]
-                d[..., dim] -= ld * np.round(d[..., dim] / ld)
+                d[..., dim] -= ld * np.floor(d[..., dim] / ld + 0.5)
         return d
 
-    def _pair_quantities(self, dx: int, dy: int):
-        """Shifted neighbor state and pair distances for one offset.
+    def _exchange_shift(self, dx: int, dy: int):
+        """One offset's candidate exchange: shifted neighbor state.
 
-        The returned ``opos``/``d``/``r2`` arrays are reused exchange
-        buffers — valid only until the next offset is processed.
+        The returned arrays are reused exchange buffers — valid only
+        until the next offset is processed.
         """
         opos = shift2d_into(self._xbuf_pos, self.pos, dx, dy, fill=_FAR)
         oocc = shift2d_into(self._xbuf_occ, self.occ, dx, dy, fill=False)
+        return opos, oocc
+
+    def _neighbor_filter(self, opos: np.ndarray, oocc: np.ndarray):
+        """The within-cutoff mask and pair distances for one offset."""
         d = np.subtract(opos, self.pos, out=self._xbuf_d)
         both = self.occ & oocc
         np.copyto(d, 0.0, where=~both[:, :, None])
@@ -260,6 +274,12 @@ class WseMd:
         r2 = np.einsum("xyk,xyk->xy", d, d, out=self._xbuf_r2)
         rc2 = self.potential.cutoff**2
         within = both & (r2 < rc2) & (r2 > 0.0)
+        return d, r2, within
+
+    def _pair_quantities(self, dx: int, dy: int):
+        """Shifted neighbor state and pair distances for one offset."""
+        opos, oocc = self._exchange_shift(dx, dy)
+        d, r2, within = self._neighbor_filter(opos, oocc)
         return opos, oocc, d, r2, within
 
     def _collect_pairs(self):
@@ -269,17 +289,36 @@ class WseMd:
         candidates (positions do not move between them), so the
         exchange is swept once per step: per offset, the within-cutoff
         tile mask, pair distances, and unit displacement vectors.
+
+        Tracing: the sweep is one ``exchange`` span; the per-offset
+        distance filter is accumulated and recorded as a ``neighbor``
+        child, so loop glue lands in exchange self-time and the two
+        phases together cover the whole sweep.
         """
+        tr = self.tracer
+        tracing = tr.enabled
         records = []
-        for dx, dy, fabric in self._pass_offsets():
-            _, _, d, r2, within = self._pair_quantities(dx, dy)
-            if np.any(within):
-                r = np.sqrt(r2[within])
-                unit = d[within] / r[:, None]
-            else:
-                r = np.empty(0)
-                unit = np.empty((0, 3))
-            records.append((dx, dy, fabric, within, r, unit))
+        with tr.phase("exchange") as ex:
+            t_nb = 0.0
+            n_offsets = 0
+            for dx, dy, fabric in self._pass_offsets():
+                n_offsets += 1
+                opos, oocc = self._exchange_shift(dx, dy)
+                if tracing:
+                    t0 = time.perf_counter()
+                d, r2, within = self._neighbor_filter(opos, oocc)
+                if np.any(within):
+                    r = np.sqrt(r2[within])
+                    unit = d[within] / r[:, None]
+                else:
+                    r = np.empty(0)
+                    unit = np.empty((0, 3))
+                if tracing:
+                    t_nb += time.perf_counter() - t0
+                records.append((dx, dy, fabric, within, r, unit))
+            if tracing:
+                tr.record("neighbor", t_nb, {"offsets": n_offsets})
+                ex.add(offsets=n_offsets)
         return records
 
     # -- the five-step timestep ------------------------------------------------
@@ -421,12 +460,18 @@ class WseMd:
         return force, e_pair
 
     def _integrate(self, force: np.ndarray) -> None:
-        """Step 4b: leap-frog update on the occupied tiles."""
-        mass = self.masses[self.typ]
-        accel = force / (mass[:, :, None] * MVV2E)
-        accel[~self.occ] = 0.0
-        self.vel += (accel * self.dt).astype(self.dtype)
-        self.pos[self.occ] += (self.vel[self.occ] * self.dt).astype(self.dtype)
+        """Step 4b: leap-frog update, restricted to the occupied tiles.
+
+        Empty tiles must never integrate: their sentinel positions and
+        zero velocities are load-bearing for the exchange masks, and a
+        stray force value on a vacated tile would silently corrupt the
+        next atom swapped onto it.
+        """
+        occ = self.occ
+        mass = self.masses[self.typ[occ]]
+        accel = force[occ] / (mass[:, None] * MVV2E)
+        self.vel[occ] += (accel * self.dt).astype(self.dtype)
+        self.pos[occ] += (self.vel[occ] * self.dt).astype(self.dtype)
 
     def _record_cycles(self, n_cand: np.ndarray, n_int: np.ndarray) -> None:
         cycles = self.cost_model.step_cycles(
@@ -443,7 +488,16 @@ class WseMd:
         if self.jitter_rel > 0.0:
             noise = self._rng.standard_normal(cycles.shape)
             cycles = cycles * (1.0 + self.jitter_rel * noise)
-        self.trace.record(cycles.ravel())
+        # empty tiles did no candidate/interaction work this step
+        cand = np.where(self.occ, n_cand, 0)
+        cnt_int = np.where(self.occ, n_int, 0)
+        self.trace.record(cycles.ravel(), cand.ravel(), cnt_int.ravel())
+        reg = metrics()
+        reg.histogram("wse.cycles_per_tile").observe_many(cycles.ravel())
+        reg.counter("wse.multicast.cycles").inc(
+            float(self.grid.n_tiles)
+            * self.cost_model.exchange_cycles(self.b, pbc=self.pbc_inplane)
+        )
 
     def _swap_round(self) -> int:
         proj3 = self.pos.copy()
@@ -458,7 +512,17 @@ class WseMd:
         n = self.swap_engine.apply(
             grids, proj, self.occ, self.core_centers, self.mapping.pitch
         )
+        # Re-assert the empty-tile invariants after the remap: a tile an
+        # atom just left must look exactly like it never held one (far
+        # sentinel position, zero velocity, id -1), or the exchange
+        # masks and a later swap onto it would see stale state.
+        vac = ~self.occ
+        self.pos[vac] = _FAR
+        self.vel[vac] = 0.0
+        self.aid[vac] = -1
+        self.typ[vac] = 0
         self.swap_count += n
+        metrics().counter("swap.moves").inc(float(n))
         return n
 
     def _project_grid(self, pos3: np.ndarray) -> np.ndarray:
@@ -475,16 +539,35 @@ class WseMd:
         """Advance ``n_steps`` timesteps (with swaps at the set interval)."""
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        tr = self.tracer
         for _ in range(n_steps):
-            records = self._collect_pairs()
-            rho_bar, n_cand, n_int = self._density_pass(records)
-            _, f_der = self._embed(rho_bar)
-            force, _ = self._force_pass(f_der, records)
-            self._integrate(force)
-            self._record_cycles(n_cand, n_int)
-            self.step_count += 1
-            if self.swap_interval and self.step_count % self.swap_interval == 0:
-                self._swap_round()
+            # the "step" envelope's self-time is the loop glue between
+            # phases (LAMMPS's "Other" row), so traced time tiles the
+            # engine wall time
+            with tr.phase("step"):
+                records = self._collect_pairs()
+                with tr.phase("density") as ph:
+                    rho_bar, n_cand, n_int = self._density_pass(records)
+                    ph.add(
+                        candidates=int(n_cand.sum()),
+                        interactions=int(n_int.sum()),
+                    )
+                with tr.phase("embedding"):
+                    _, f_der = self._embed(rho_bar)
+                with tr.phase("pair_force"):
+                    force, _ = self._force_pass(f_der, records)
+                with tr.phase("integrate"):
+                    self._integrate(force)
+                with tr.phase("cycle_account"):
+                    self._record_cycles(n_cand, n_int)
+                self.step_count += 1
+                if (
+                    self.swap_interval
+                    and self.step_count % self.swap_interval == 0
+                ):
+                    with tr.phase("swap") as ph:
+                        moved = self._swap_round()
+                        ph.add(moves=moved)
 
     def compute_energy(self) -> float:
         """Total potential energy at the current positions (eV)."""

@@ -118,6 +118,9 @@ def set_backend(name: str) -> str:
             raise RuntimeError("default numpy backend failed to load")
     _active = backend
     _active_name = name
+    from repro.obs import metrics
+
+    metrics().counter(f"kernels.set_backend.{name}").inc()
     return name
 
 

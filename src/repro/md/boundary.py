@@ -85,12 +85,21 @@ class Box:
         return out
 
     def minimum_image(self, displacements: np.ndarray) -> np.ndarray:
-        """Apply the minimum-image convention along periodic dimensions."""
+        """Apply the minimum-image convention along periodic dimensions.
+
+        Half-box ties: a separation of exactly ``+L/2`` or ``-L/2`` has
+        two equidistant images.  ``np.round`` banker's-rounds the
+        quotient to the nearest even integer, so which image wins flips
+        with the (arbitrary) sign of the input — nondeterministic
+        across otherwise equivalent paths.  ``floor(x/L + 0.5)`` breaks
+        the tie deterministically: both half-box separations map to
+        ``-L/2``, and the result lies in ``[-L/2, L/2)``.
+        """
         out = np.asarray(displacements, dtype=np.float64).copy()
         for d in range(3):
             if self.periodic[d]:
                 ld = self.lengths[d]
-                out[..., d] -= ld * np.round(out[..., d] / ld)
+                out[..., d] -= ld * np.floor(out[..., d] / ld + 0.5)
         return out
 
     def contains(self, positions: np.ndarray, *, slack: float = 0.0) -> np.ndarray:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.md.boundary import Box
 from repro.md.cell_list import CellList
+from repro.obs import metrics
 from repro.potentials.base import PairTable
 
 __all__ = ["NeighborList"]
@@ -44,28 +45,42 @@ class NeighborList:
         self._cand_i: np.ndarray | None = None
         self._cand_j: np.ndarray | None = None
         self._ref_positions: np.ndarray | None = None
+        self._built_n_atoms = -1
         self.n_builds = 0
         self.last_pair_count = 0
 
-    def needs_rebuild(self, positions: np.ndarray) -> bool:
-        """True if any atom moved more than skin/2 since the last build."""
+    def rebuild_reason(self, positions: np.ndarray) -> str | None:
+        """Why the candidate set must be rebuilt, or ``None`` to reuse.
+
+        Reasons: ``"first"`` (no build yet), ``"skin_zero"`` (skin 0
+        forces a rebuild every query), ``"size"`` (atom count changed —
+        the cached candidate indices would be stale or out of range),
+        ``"displacement"`` (some atom moved more than skin/2).
+        """
         if self._ref_positions is None:
-            return True
+            return "first"
         if self.skin == 0.0:
-            return True
+            return "skin_zero"
         if len(positions) != len(self._ref_positions):
-            return True
+            return "size"
         delta = positions - self._ref_positions
         # displacement is physical distance; periodic wrap is irrelevant
         # for "how far did it move" as integration never wraps positions
         max_d2 = float(np.max(np.einsum("ij,ij->i", delta, delta)))
-        return max_d2 > (self.skin / 2.0) ** 2
+        if max_d2 > (self.skin / 2.0) ** 2:
+            return "displacement"
+        return None
+
+    def needs_rebuild(self, positions: np.ndarray) -> bool:
+        """True if any atom moved more than skin/2 since the last build."""
+        return self.rebuild_reason(positions) is not None
 
     def rebuild(self, positions: np.ndarray) -> None:
         """Rebuild the candidate set from scratch."""
         self._cells.build(positions)
         self._cand_i, self._cand_j = self._cells.candidate_pairs()
         self._ref_positions = np.array(positions, copy=True)
+        self._built_n_atoms = len(self._ref_positions)
         self.n_builds += 1
 
     def pairs(self, positions: np.ndarray) -> PairTable:
@@ -77,8 +92,19 @@ class NeighborList:
         both halves, so no physics is lost.
         """
         positions = np.asarray(positions, dtype=np.float64)
-        if self.needs_rebuild(positions):
+        reason = self.rebuild_reason(positions)
+        if reason is None and self._built_n_atoms != len(positions):
+            # Belt-and-braces: never index stale candidates into a
+            # differently-sized position array, even if the reference
+            # positions were tampered with between queries.
+            reason = "stale_guard"
+        reg = metrics()
+        if reason is not None:
             self.rebuild(positions)
+            reg.counter("neighbor.rebuilds").inc()
+            reg.counter(f"neighbor.rebuilds.{reason}").inc()
+        else:
+            reg.counter("neighbor.reuses").inc()
         i, j = self._cand_i, self._cand_j
         rij = positions[j] - positions[i]
         rij = self.box.minimum_image(rij)

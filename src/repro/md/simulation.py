@@ -21,6 +21,7 @@ from repro.md.neighbor_list import NeighborList
 from repro.md.observables import EnergyReport, energy_report
 from repro.md.state import AtomsState
 from repro.md.thermostat import BerendsenThermostat
+from repro.obs import NULL_TRACER
 from repro.potentials.base import Potential
 
 __all__ = ["Simulation", "SimStats", "StepRecord"]
@@ -89,6 +90,9 @@ class Simulation:
         Neighbor-list skin distance (A).
     thermostat:
         Optional Berendsen thermostat applied after each step.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; phases are emitted through
+        it in addition to the always-on :class:`SimStats` accounting.
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class Simulation:
         dt_fs: float = 2.0,
         skin: float = 0.5,
         thermostat: BerendsenThermostat | None = None,
+        tracer=None,
     ) -> None:
         self.state = state
         self.potential = potential
@@ -106,6 +111,7 @@ class Simulation:
         self.integrator = LeapfrogVerlet(dt_fs)
         self.neighbors = NeighborList(state.box, potential.cutoff, skin=skin)
         self.thermostat = thermostat
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.step_count = 0
         self.stats = SimStats()
         self._observers: list[tuple[int, Callable[[StepRecord], None]]] = []
@@ -120,11 +126,31 @@ class Simulation:
 
     def compute_forces(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-atom energies and forces at the current positions."""
+        tr = self.tracer
         builds_before = self.neighbors.n_builds
         t0 = time.perf_counter()
-        pairs = self.neighbors.pairs(self.state.positions)
+        with tr.phase("neighbor") as ph:
+            pairs = self.neighbors.pairs(self.state.positions)
+            ph.add(
+                pairs=pairs.n_pairs,
+                rebuilds=self.neighbors.n_builds - builds_before,
+            )
         t1 = time.perf_counter()
-        out = self.potential.compute(self.state.n_atoms, pairs, self.state.types)
+        if self.potential.supports_tracer and tr.enabled:
+            # EAM-style potentials split force work into the taxonomy's
+            # density/embedding/pair_force phases themselves.
+            out = self.potential.compute(
+                self.state.n_atoms, pairs, self.state.types, tracer=tr
+            )
+        elif tr.enabled:
+            with tr.phase("pair_force", pairs=pairs.n_pairs):
+                out = self.potential.compute(
+                    self.state.n_atoms, pairs, self.state.types
+                )
+        else:
+            out = self.potential.compute(
+                self.state.n_atoms, pairs, self.state.types
+            )
         t2 = time.perf_counter()
         st = self.stats
         st.force_evaluations += 1
@@ -144,17 +170,23 @@ class Simulation:
         """Advance ``n_steps`` timesteps."""
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        tr = self.tracer
         for _ in range(n_steps):
-            energies, forces = self.compute_forces()
-            t0 = time.perf_counter()
-            self.integrator.step(self.state, forces)
-            if self.thermostat is not None:
-                self.thermostat.apply(self.state, self.dt_fs)
-            self.stats.time_integrate_s += time.perf_counter() - t0
-            self.step_count += 1
-            self.stats.steps += 1
-            if self._observers:
-                self._notify(energies, forces)
+            # the "step" envelope's self-time is the loop glue between
+            # phases (LAMMPS's "Other" row), so traced time tiles the
+            # engine wall time
+            with tr.phase("step"):
+                energies, forces = self.compute_forces()
+                t0 = time.perf_counter()
+                with tr.phase("integrate"):
+                    self.integrator.step(self.state, forces)
+                    if self.thermostat is not None:
+                        self.thermostat.apply(self.state, self.dt_fs)
+                self.stats.time_integrate_s += time.perf_counter() - t0
+                self.step_count += 1
+                self.stats.steps += 1
+                if self._observers:
+                    self._notify(energies, forces)
 
     def _notify(self, energies: np.ndarray, forces: np.ndarray) -> None:
         due = [fn for iv, fn in self._observers if self.step_count % iv == 0]

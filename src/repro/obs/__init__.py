@@ -1,0 +1,107 @@
+"""``repro.obs``: structured tracing and metrics for both engines.
+
+The paper's headline claim rests on per-phase accounting — Table II's
+``t = A*n_cand + B*n_int + C`` regression and Sec. V-B's per-tile
+timestep-time stability both come from instrumenting *where* a step
+spends its time.  This package is the software analogue, LAMMPS-style:
+
+* :class:`~repro.obs.tracer.Tracer` — nested phase spans (wall time +
+  counter payloads) with self-time accounting, so per-phase totals sum
+  to the traced wall time.
+* :class:`~repro.obs.metrics.MetricsRegistry` — process-wide counters,
+  gauges and histograms (``neighbor.rebuilds``, ``swap.moves``,
+  per-tile cycle distributions, kernel dispatch counts).
+* Sinks (:mod:`repro.obs.sinks`) — JSONL trace files and the
+  end-of-run summary table.
+* :mod:`repro.obs.profile` — run a spec under tracing and reduce it to
+  a phase breakdown (the ``repro profile`` CLI command).
+
+Phase taxonomy
+--------------
+Both engines report through one vocabulary:
+
+========== ===============================================================
+phase      meaning
+========== ===============================================================
+exchange   candidate/embedding-derivative neighborhood exchange (WSE only)
+neighbor   neighbor search: cell-list/Verlet build + distance filter
+density    electron-density accumulation (EAM stage 1)
+embedding  embedding energy/derivative evaluation (EAM stage 2)
+pair_force pair force/energy evaluation (EAM stage 3 / Eq. 4)
+integrate  leap-frog update (+ thermostat)
+swap       atom-swap remapping round (WSE only)
+========== ===============================================================
+
+Engines may emit extra spans beyond the taxonomy: both wrap each
+timestep in a ``step`` envelope whose *self*-time is the loop glue
+between phases (LAMMPS's "Other" row), and the lockstep machine adds
+``cycle_account``.  :data:`ENGINE_PHASES` names the subset each engine
+is *required* to produce, which the ``repro profile --check`` CI smoke
+asserts.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    ListSink,
+    read_trace,
+    render_phase_table,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "PHASES",
+    "ENGINE_PHASES",
+    "required_phases",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "metrics",
+    "JsonlSink",
+    "ListSink",
+    "read_trace",
+    "render_phase_table",
+]
+
+#: The full phase vocabulary, in canonical (timestep) order.
+PHASES = (
+    "exchange",
+    "neighbor",
+    "density",
+    "embedding",
+    "pair_force",
+    "integrate",
+    "swap",
+)
+
+#: The taxonomy subset each engine must emit every run.
+ENGINE_PHASES = {
+    "reference": ("neighbor", "density", "embedding", "pair_force", "integrate"),
+    "wse": ("exchange", "neighbor", "density", "embedding", "pair_force",
+            "integrate", "swap"),
+}
+
+
+def required_phases(engine: str, *, swap_interval: int = 0) -> tuple[str, ...]:
+    """The phases a run of ``engine`` must produce.
+
+    ``swap`` only fires when swapping is enabled, so it is required of
+    the lockstep engine only when ``swap_interval > 0``.
+    """
+    phases = ENGINE_PHASES[engine]
+    if engine == "wse" and swap_interval == 0:
+        phases = tuple(p for p in phases if p != "swap")
+    return phases

@@ -102,7 +102,14 @@ class Potential(ABC):
     forces from a :class:`PairTable`.  ``cutoff`` is the interaction
     cutoff radius in angstroms; neighbor searches must include every pair
     with ``r < cutoff``.
+
+    ``supports_tracer`` marks implementations whose :meth:`compute`
+    accepts a ``tracer`` keyword and emits per-phase spans (density /
+    embedding / pair_force); callers check it before passing one, so
+    plain pair potentials need not change.
     """
+
+    supports_tracer = False
 
     @property
     @abstractmethod

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.kernels import active_backend
+from repro.obs import NULL_TRACER, metrics
 from repro.potentials.base import PairDistanceCap, PairTable, Potential
 from repro.potentials.spline import UniformCubicSpline
 
@@ -93,6 +94,8 @@ class EAMTables:
 
 class EAMPotential(Potential):
     """EAM potential evaluated from :class:`EAMTables`."""
+
+    supports_tracer = True
 
     def __init__(self, tables: EAMTables, cap: PairDistanceCap | None = None) -> None:
         self.tables = tables
@@ -234,6 +237,8 @@ class EAMPotential(Potential):
         n_atoms: int,
         pairs: PairTable,
         types: np.ndarray | None = None,
+        *,
+        tracer=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-atom energies and forces.
 
@@ -243,17 +248,30 @@ class EAMPotential(Potential):
         table evaluations per undirected pair in the seed become two
         per half pair.  Directed tables compose the three staged
         methods unchanged (the oracle path).
+
+        When a ``tracer`` is given, the stages are emitted as the
+        taxonomy's ``density`` / ``embedding`` / ``pair_force`` spans.
         """
+        tr = tracer if tracer is not None else NULL_TRACER
         types = self._types(n_atoms, types)
         if pairs.half:
-            return self._compute_half_fused(n_atoms, pairs, types)
-        rho_bar = self.accumulate_density(n_atoms, pairs, types)
-        f_val, f_der = self.embed(rho_bar, types)
-        e_pair, forces = self.pair_energy_forces(n_atoms, pairs, f_der, types)
+            return self._compute_half_fused(n_atoms, pairs, types, tr)
+        with tr.phase("density", pairs=pairs.n_pairs):
+            rho_bar = self.accumulate_density(n_atoms, pairs, types)
+        with tr.phase("embedding"):
+            f_val, f_der = self.embed(rho_bar, types)
+        with tr.phase("pair_force"):
+            e_pair, forces = self.pair_energy_forces(
+                n_atoms, pairs, f_der, types
+            )
         return e_pair + f_val, forces
 
     def _compute_half_fused(
-        self, n_atoms: int, pairs: PairTable, types: np.ndarray
+        self,
+        n_atoms: int,
+        pairs: PairTable,
+        types: np.ndarray,
+        tr=NULL_TRACER,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Fused EAM evaluation over a half pair list."""
         self.cap.check(pairs.r)
@@ -264,57 +282,71 @@ class EAMPotential(Potential):
             return f_val, np.zeros((n_atoms, 3), dtype=np.float64)
         tables = self.tables
         i, j, r = pairs.i, pairs.j, pairs.r
-        if tables.n_types == 1:
-            # rho value + derivative in one fused segment-lookup pass
-            rho_v, rho_d = tables.rho[0].evaluate(r)
-            rho_ji_v = rho_ij_v = rho_v  # j's density at i / i's at j
-            rho_ji_d = rho_ij_d = rho_d
-            phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
-        else:
-            ti = types[i]
-            tj = types[j]
-            rho_ji_v = np.empty(p)  # rho_{type(j)}(r): j's density at i
-            rho_ji_d = np.empty(p)
-            rho_ij_v = np.empty(p)  # rho_{type(i)}(r): i's density at j
-            rho_ij_d = np.empty(p)
-            for t in range(tables.n_types):
-                m_i = ti == t
-                m_j = tj == t
-                m_any = m_i | m_j
-                if not np.any(m_any):
-                    continue
-                v_any = np.empty(p)
-                d_any = np.empty(p)
-                v_any[m_any], d_any[m_any] = tables.rho[t].evaluate(r[m_any])
-                rho_ji_v[m_j] = v_any[m_j]
-                rho_ji_d[m_j] = d_any[m_j]
-                rho_ij_v[m_i] = v_any[m_i]
-                rho_ij_d[m_i] = d_any[m_i]
-            phi_v = np.empty(p)
-            phi_d = np.empty(p)
-            for t1 in range(tables.n_types):
-                for t2 in range(t1, tables.n_types):
-                    m = (ti == t1) & (tj == t2)
-                    if t1 != t2:
-                        m |= (ti == t2) & (tj == t1)
-                    if not np.any(m):
+        with tr.phase("density", pairs=p):
+            if tables.n_types == 1:
+                # rho value + derivative in one fused segment-lookup pass
+                rho_v, rho_d = tables.rho[0].evaluate(r)
+                rho_ji_v = rho_ij_v = rho_v  # j's density at i / i's at j
+                rho_ji_d = rho_ij_d = rho_d
+            else:
+                ti = types[i]
+                tj = types[j]
+                rho_ji_v = np.empty(p)  # rho_{type(j)}(r): j's density at i
+                rho_ji_d = np.empty(p)
+                rho_ij_v = np.empty(p)  # rho_{type(i)}(r): i's density at j
+                rho_ij_d = np.empty(p)
+                for t in range(tables.n_types):
+                    m_i = ti == t
+                    m_j = tj == t
+                    m_any = m_i | m_j
+                    if not np.any(m_any):
                         continue
-                    phi_v[m], phi_d[m] = tables.phi[(t1, t2)].evaluate(r[m])
+                    v_any = np.empty(p)
+                    d_any = np.empty(p)
+                    v_any[m_any], d_any[m_any] = tables.rho[t].evaluate(
+                        r[m_any]
+                    )
+                    rho_ji_v[m_j] = v_any[m_j]
+                    rho_ji_d[m_j] = d_any[m_j]
+                    rho_ij_v[m_i] = v_any[m_i]
+                    rho_ij_d[m_i] = d_any[m_i]
+            rho_bar = backend.accumulate_scalar(i, rho_ji_v, n_atoms)
+            rho_bar += backend.accumulate_scalar(j, rho_ij_v, n_atoms)
+        with tr.phase("embedding"):
+            f_val, f_der = self.embed(rho_bar, types)
 
-        rho_bar = backend.accumulate_scalar(i, rho_ji_v, n_atoms)
-        rho_bar += backend.accumulate_scalar(j, rho_ij_v, n_atoms)
-        f_val, f_der = self.embed(rho_bar, types)
+        with tr.phase("pair_force"):
+            # phi evaluation depends only on r, so deferring it past the
+            # embedding stage is free and keeps it in the pair phase.
+            if tables.n_types == 1:
+                phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
+            else:
+                phi_v = np.empty(p)
+                phi_d = np.empty(p)
+                for t1 in range(tables.n_types):
+                    for t2 in range(t1, tables.n_types):
+                        m = (ti == t1) & (tj == t2)
+                        if t1 != t2:
+                            m |= (ti == t2) & (tj == t1)
+                        if not np.any(m):
+                            continue
+                        phi_v[m], phi_d[m] = tables.phi[(t1, t2)].evaluate(
+                            r[m]
+                        )
 
-        # Eq. 4 radial scalar, one term per undirected pair.
-        s = f_der[i] * rho_ji_d + f_der[j] * rho_ij_d + phi_d
-        with np.errstate(invalid="raise", divide="raise"):
-            unit = pairs.rij / r[:, None]
-        fvec = s[:, None] * unit
-        forces = backend.accumulate_vec3(i, fvec, n_atoms)
-        forces -= backend.accumulate_vec3(j, fvec, n_atoms)
+            # Eq. 4 radial scalar, one term per undirected pair.
+            s = f_der[i] * rho_ji_d + f_der[j] * rho_ij_d + phi_d
+            with np.errstate(invalid="raise", divide="raise"):
+                unit = pairs.rij / r[:, None]
+            fvec = s[:, None] * unit
+            forces = backend.accumulate_vec3(i, fvec, n_atoms)
+            forces -= backend.accumulate_vec3(j, fvec, n_atoms)
 
-        e_pair = backend.accumulate_scalar(i, 0.5 * phi_v, n_atoms)
-        e_pair += backend.accumulate_scalar(j, 0.5 * phi_v, n_atoms)
+            e_pair = backend.accumulate_scalar(i, 0.5 * phi_v, n_atoms)
+            e_pair += backend.accumulate_scalar(j, 0.5 * phi_v, n_atoms)
+        reg = metrics()
+        reg.counter("kernels.accumulate_scalar.calls").inc(4.0)
+        reg.counter("kernels.accumulate_vec3.calls").inc(2.0)
         return e_pair + f_val, forces
 
     def _types(self, n_atoms: int, types: np.ndarray | None) -> np.ndarray:

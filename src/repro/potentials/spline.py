@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels import active_backend
+from repro.obs import metrics
 
 __all__ = ["UniformCubicSpline", "natural_cubic_second_derivatives"]
 
@@ -145,6 +146,7 @@ class UniformCubicSpline:
         k, dx = self.segment(x)
         if self.extrapolate_low == "clamp":
             dx = np.where(x < self.x0, 0.0, dx)
+        metrics().counter("kernels.spline_eval.calls").inc()
         val, der = active_backend().spline_eval(self.coeffs, k, dx)
         if self.zero_above:
             above = x >= self.x_max

@@ -133,6 +133,11 @@ class ReferenceEngine:
     def step_count(self) -> int:
         return self.sim.step_count
 
+    @property
+    def tracer(self):
+        """The simulation's phase tracer (the null tracer if untraced)."""
+        return self.sim.tracer
+
     def step(self, n_steps: int = 1) -> None:
         t0 = time.perf_counter()
         self.sim.run(n_steps)
@@ -151,6 +156,7 @@ class ReferenceEngine:
 
     def telemetry(self) -> Telemetry:
         st = self.sim.stats
+        tr = self.sim.tracer
         return Telemetry(
             engine=self.name,
             steps=st.steps,
@@ -166,12 +172,14 @@ class ReferenceEngine:
                 "neighbor_rebuilds": st.neighbor_rebuilds,
                 "force_evaluations": st.force_evaluations,
             },
+            trace_phases=tr.phase_totals() if tr.enabled else None,
         )
 
     def reset_telemetry(self) -> None:
         """Zero the accounting (keep state); for steady-state timing."""
         self.sim.stats = SimStats()
         self._wall_s = 0.0
+        self.sim.tracer.reset()
 
     # -- checkpoint hooks --------------------------------------------------
 
@@ -208,16 +216,24 @@ class WseEngine:
     def step_count(self) -> int:
         return self.sim.step_count
 
+    @property
+    def tracer(self):
+        """The lockstep machine's phase tracer (null if untraced)."""
+        return self.sim.tracer
+
     def step(self, n_steps: int = 1) -> None:
         t0 = time.perf_counter()
         if self._berendsen is None:
             self.sim.step(n_steps)
         else:
             # the lockstep loop has no thermostat hook; interleave the
-            # (global, deterministic) Berendsen rescale per step
+            # (global, deterministic) Berendsen rescale per step.  The
+            # rescale is part of the taxonomy's integrate phase.
+            tr = self.sim.tracer
             for _ in range(n_steps):
                 self.sim.step(1)
-                self._apply_berendsen()
+                with tr.phase("integrate"):
+                    self._apply_berendsen()
         self._steps += n_steps
         self._wall_s += time.perf_counter() - t0
 
@@ -276,12 +292,14 @@ class WseEngine:
                 "interaction": to_s(n * model.interaction_cycles() * inter),
                 "fixed": to_s(n * model.fixed_cycles()),
             }
+        tr = self.sim.tracer
         return Telemetry(
             engine=self.name,
             steps=self._steps,
             wall_time_s=self._wall_s,
             phase_seconds=phase_seconds,
             counters=counters,
+            trace_phases=tr.phase_totals() if tr.enabled else None,
         )
 
     def reset_telemetry(self) -> None:
@@ -289,6 +307,7 @@ class WseEngine:
         self.sim.trace = CycleTrace(self.sim.grid.n_tiles)
         self._wall_s = 0.0
         self._steps = 0
+        self.sim.tracer.reset()
 
     # -- checkpoint hooks --------------------------------------------------
 

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.md.state import AtomsState
+from repro.obs import NULL_TRACER
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
 from repro.runtime.engines import build_engine
 from repro.runtime.spec import RunSpec
@@ -143,6 +144,7 @@ class Runner:
         ckpt_interval = (
             self.spec.checkpoint_interval if self.checkpoint_prefix else 0
         )
+        tracer = getattr(engine, "tracer", NULL_TRACER)
         while engine.step_count < target:
             chunk = target - engine.step_count
             step = engine.step_count
@@ -152,9 +154,11 @@ class Runner:
                 chunk = min(chunk, ckpt_interval - step % ckpt_interval)
             engine.step(chunk)
             step = engine.step_count
-            for interval, fn in self._observers:
-                if step % interval == 0:
-                    fn(RunEvent(step=step, engine=engine))
+            due = [fn for iv, fn in self._observers if step % iv == 0]
+            if due:
+                with tracer.phase("observer", step=step):
+                    for fn in due:
+                        fn(RunEvent(step=step, engine=engine))
             if ckpt_interval and step % ckpt_interval == 0 and step < target:
                 self.write_checkpoint()
         if self.checkpoint_prefix is not None:

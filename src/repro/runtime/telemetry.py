@@ -38,6 +38,11 @@ class Telemetry:
         Per-phase time split (measured or modeled; see module docs).
     counters:
         Engine-specific work counts and rates.
+    trace_phases:
+        Measured per-phase *wall* seconds from an attached
+        :class:`repro.obs.Tracer` (the shared taxonomy), or ``None``
+        when the run was untraced.  Unlike ``phase_seconds`` this uses
+        the same vocabulary for both engines.
     """
 
     engine: str
@@ -45,6 +50,7 @@ class Telemetry:
     wall_time_s: float
     phase_seconds: dict[str, float] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    trace_phases: dict[str, float] | None = None
 
     @property
     def steps_per_s(self) -> float:
@@ -55,7 +61,7 @@ class Telemetry:
 
     def as_dict(self) -> dict:
         """JSON-ready representation (for reports and sidecars)."""
-        return {
+        out = {
             "engine": self.engine,
             "steps": self.steps,
             "wall_time_s": round(self.wall_time_s, 6),
@@ -68,3 +74,8 @@ class Telemetry:
                 for k, v in self.counters.items()
             },
         }
+        if self.trace_phases is not None:
+            out["trace_phases"] = {
+                k: round(float(v), 6) for k, v in self.trace_phases.items()
+            }
+        return out

@@ -50,15 +50,68 @@ class CycleTrace:
             raise ValueError(f"need at least one tile, got {n_tiles}")
         self.n_tiles = n_tiles
         self._steps: list[np.ndarray] = []
+        self._candidates: list[np.ndarray] = []
+        self._interactions: list[np.ndarray] = []
 
-    def record(self, per_tile_cycles: np.ndarray) -> None:
-        """Record one timestep's per-tile cycle counts."""
-        arr = np.asarray(per_tile_cycles, dtype=np.float64).ravel()
+    def record(
+        self,
+        per_tile_cycles: np.ndarray,
+        n_candidates: np.ndarray | None = None,
+        n_interactions: np.ndarray | None = None,
+    ) -> None:
+        """Record one timestep's per-tile cycle counts.
+
+        When the per-tile candidate and interaction counts are supplied
+        as well, the trace can later be regressed against the paper's
+        linear step model (:meth:`count_samples`); counts must then be
+        provided for *every* recorded step.
+        """
+        arr = self._tile_array(per_tile_cycles)
+        if (n_candidates is None) != (n_interactions is None):
+            raise ValueError(
+                "candidate and interaction counts must be given together"
+            )
+        if n_candidates is None:
+            if self._candidates:
+                raise ValueError(
+                    "this trace records work counts; every step needs them"
+                )
+        else:
+            if self._steps and not self._candidates:
+                raise ValueError(
+                    "earlier steps were recorded without work counts"
+                )
+            self._candidates.append(self._tile_array(n_candidates))
+            self._interactions.append(self._tile_array(n_interactions))
+        self._steps.append(arr)
+
+    def _tile_array(self, values) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64).ravel()
         if arr.shape != (self.n_tiles,):
             raise ValueError(
                 f"expected {self.n_tiles} tile samples, got {arr.shape}"
             )
-        self._steps.append(arr)
+        return arr
+
+    @property
+    def has_counts(self) -> bool:
+        """True when every recorded step carries its work counts."""
+        return bool(self._steps) and len(self._candidates) == len(self._steps)
+
+    def count_samples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(cycles, n_candidates, n_interactions)``, each (n_steps, n_tiles).
+
+        The raw material of the Table II regression: one sample per
+        tile per timestep, cycles alongside the work counts that step
+        charged the tile for.
+        """
+        if not self.has_counts:
+            raise RuntimeError("no work counts recorded with this trace")
+        return (
+            np.stack(self._steps),
+            np.stack(self._candidates),
+            np.stack(self._interactions),
+        )
 
     @property
     def n_steps(self) -> int:

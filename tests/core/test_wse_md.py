@@ -202,6 +202,30 @@ class TestMachineBehaviour:
         without.step(100)
         assert with_swaps.assignment_cost() <= without.assignment_cost() + 0.5
 
+    def test_vacated_tiles_reset_after_swaps(self, ta_potential):
+        from repro.core.wse_md import _FAR
+
+        state = small_slab_state("Ta", (6, 6, 2), temperature=400.0, seed=4)
+        wse = WseMd(state.copy(), ta_potential, swap_interval=5, b_margin=2.0)
+        wse.step(25)
+        vac = ~wse.occ
+        assert vac.any()  # grid is larger than the atom count
+        # a vacated tile must look exactly like it never held an atom
+        assert np.all(wse.pos[vac] == _FAR)
+        assert np.all(wse.vel[vac] == 0.0)
+        assert np.all(wse.aid[vac] == -1)
+        assert np.all(wse.typ[vac] == 0)
+
+    def test_integrate_never_touches_empty_tiles(self, ta_potential):
+        state = small_slab_state("Ta", (5, 5, 2), temperature=290.0)
+        wse = WseMd(state.copy(), ta_potential)
+        vac = ~wse.occ
+        pos_before = wse.pos[vac].copy()
+        vel_before = wse.vel[vac].copy()
+        wse.step(5)
+        assert np.array_equal(wse.pos[vac], pos_before)
+        assert np.array_equal(wse.vel[vac], vel_before)
+
     def test_gather_state_preserves_ids(self, ta_potential):
         state = small_slab_state("Ta", (4, 4, 2))
         wse = WseMd(state.copy(), ta_potential, swap_interval=3)

@@ -71,6 +71,39 @@ class TestMinimumImage:
         d = b.minimum_image(np.array([[x, y, z]]))
         assert np.all(np.abs(d) <= 5.0 + 1e-9)
 
+    def test_half_box_ties_fold_deterministically(self):
+        # at exactly +-L/2 both images are equidistant; np.round's
+        # banker's rounding used to map +5 and +15 to different signs.
+        # The floor-based fold always picks -L/2: result is in [-L/2, L/2).
+        b = Box.cube_periodic(10.0)
+        ties = np.array(
+            [[5.0, -5.0, 15.0], [-15.0, 25.0, -25.0]]
+        )
+        out = b.minimum_image(ties)
+        assert np.all(out == -5.0)
+
+    def test_half_box_ties_consistent_across_offsets(self):
+        # every odd multiple of L/2 is the same physical separation;
+        # all of them must fold to the identical representative
+        b = Box.cube_periodic(10.0)
+        offsets = np.array([5.0 + 10.0 * k for k in range(-3, 4)])
+        d = np.zeros((len(offsets), 3))
+        d[:, 0] = offsets
+        out = b.minimum_image(d)
+        assert np.all(out[:, 0] == -5.0)
+
+    def test_wse_engine_minimum_image_matches_box(self):
+        from repro.core.wse_md import WseMd
+
+        # the lockstep engine's private fold must break half-box ties
+        # the same way, or the engines drift apart at exactly +-L/2
+        b = Box.cube_periodic(10.0)
+        stub = object.__new__(WseMd)
+        stub.box = b
+        d = np.array([[5.0, -5.0, 15.0], [1.0, -8.0, 7.0]])
+        got = WseMd._minimum_image(stub, d.copy())
+        np.testing.assert_array_equal(got, b.minimum_image(d))
+
 
 class TestValidation:
     def test_minimum_image_validity_check(self):

@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.md.boundary import Box
 from repro.md.cell_list import all_pairs
 from repro.md.neighbor_list import NeighborList
+from repro.obs import metrics
 
 
 @pytest.fixture()
@@ -95,3 +98,67 @@ class TestRebuildPolicy:
     def test_rejects_negative_skin(self):
         with pytest.raises(ValueError):
             NeighborList(Box.open([10, 10, 10]), 3.0, skin=-0.5)
+
+
+class TestRebuildReasons:
+    def test_reason_progression(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=1.0)
+        assert nl.rebuild_reason(cluster) == "first"
+        nl.pairs(cluster)
+        assert nl.rebuild_reason(cluster) is None
+        assert nl.rebuild_reason(cluster[:-1]) == "size"
+        moved = cluster.copy()
+        moved[3] += np.array([0.7, 0.0, 0.0])
+        assert nl.rebuild_reason(moved) == "displacement"
+
+    def test_zero_skin_reason(self, cluster):
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=0.0)
+        nl.pairs(cluster)
+        assert nl.rebuild_reason(cluster) == "skin_zero"
+
+    def test_stale_guard_catches_tampered_reference(self, cluster):
+        # if the cached reference positions are replaced behind the
+        # list's back, indexing cached candidates into a smaller array
+        # must trigger a rebuild rather than an IndexError (or silently
+        # wrong physics)
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=1.0)
+        nl.pairs(cluster)
+        nl._ref_positions = cluster[:-1].copy()
+        builds = nl.n_builds
+        pairs = nl.pairs(cluster[:-1])
+        assert nl.n_builds == builds + 1
+        bi, bj, _, _ = all_pairs(cluster[:-1], 3.0, nl.box)
+        assert undirected_set(pairs.i, pairs.j) == undirected_set(bi, bj)
+
+    def test_metrics_count_rebuilds_and_reuses(self, cluster):
+        metrics().reset()
+        nl = NeighborList(Box.open([25, 25, 25]), 3.0, skin=1.0)
+        nl.pairs(cluster)          # first build
+        nl.pairs(cluster + 0.1)    # reuse
+        nl.pairs(cluster + 5.0)    # displacement rebuild
+        counters = metrics().as_dict()["counters"]
+        assert counters["neighbor.rebuilds"] == 2
+        assert counters["neighbor.rebuilds.first"] == 1
+        assert counters["neighbor.rebuilds.displacement"] == 1
+        assert counters["neighbor.reuses"] == 1
+
+
+class TestSkinProperty:
+    @given(seed=st.integers(0, 2**16), skin=st.floats(0.2, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_skin_never_changes_the_pair_set(self, seed, skin):
+        # a skinned list queried along a random walk must report the
+        # same interacting pairs as a skinless (always-rebuilt) list
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 8.0, size=(20, 3))
+        box = Box.open([25, 25, 25])
+        skinned = NeighborList(box, 3.0, skin=skin)
+        skinless = NeighborList(box, 3.0, skin=0.0)
+        for _ in range(4):
+            a = skinned.pairs(pos)
+            b = skinless.pairs(pos)
+            assert undirected_set(a.i, a.j) == undirected_set(b.i, b.j)
+            np.testing.assert_allclose(
+                np.sort(a.r), np.sort(b.r), rtol=1e-12
+            )
+            pos = pos + rng.uniform(-0.3, 0.3, size=pos.shape)

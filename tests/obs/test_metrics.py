@@ -1,0 +1,94 @@
+"""Metrics registry unit tests (``repro.obs.metrics``)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, metrics
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        assert reg.counter("a").value == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="must be >= 0"):
+            reg.counter("a").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("level")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_streaming_moments_match_numpy(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        samples = np.array([1.0, 2.0, 4.0, 8.0])
+        for s in samples[:2]:
+            h.observe(s)
+        h.observe_many(samples[2:])
+        assert h.count == 4
+        assert h.mean == pytest.approx(samples.mean())
+        assert h.std == pytest.approx(samples.std())
+        assert h.min == 1.0 and h.max == 8.0
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+
+    def test_observe_many_empty_is_noop(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe_many(np.array([]))
+        assert h.count == 0
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        h = MetricsRegistry().histogram("h")
+        h.observe_many([1.0, 2.0])
+        json.dumps(h.summary())
+
+
+class TestRegistry:
+    def test_cross_kind_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.histogram("x")
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(1.0)
+        snap = reg.as_dict()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_in_place_keeps_registry_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.as_dict()["counters"] == {}
+        # a fresh instrument starts from zero after reset
+        assert reg.counter("c").value == 0.0
+
+    def test_process_registry_shared(self):
+        assert metrics() is metrics()

@@ -57,6 +57,34 @@ class TestProtocol:
         assert eng.step_count == 2  # stepping history is state, not telemetry
         np.testing.assert_array_equal(eng.state.positions, pos)
 
+    def test_telemetry_trace_phases(self, engine):
+        from repro.obs import Tracer, required_phases
+
+        eng = build_engine(RunSpec(engine=engine, **QUICK), tracer=Tracer())
+        eng.step(3)
+        tel = eng.telemetry()
+        assert tel.trace_phases is not None
+        for phase in required_phases(engine, swap_interval=0):
+            assert tel.trace_phases[phase] > 0.0
+        assert "trace_phases" in tel.as_dict()
+
+    def test_untraced_telemetry_has_no_phases(self, engine):
+        eng = build_engine(RunSpec(engine=engine, **QUICK))
+        eng.step(2)
+        tel = eng.telemetry()
+        assert tel.trace_phases is None
+        assert "trace_phases" not in tel.as_dict()
+
+    def test_reset_telemetry_zeroes_tracer(self, engine):
+        from repro.obs import Tracer
+
+        eng = build_engine(RunSpec(engine=engine, **QUICK), tracer=Tracer())
+        eng.step(2)
+        eng.reset_telemetry()
+        assert eng.tracer.phase_totals() == {}
+        eng.step(1)
+        assert eng.telemetry().trace_phases["integrate"] > 0.0
+
     def test_same_spec_same_trajectory(self, engine):
         spec = RunSpec(engine=engine, **QUICK)
         a = build_engine(spec)

@@ -10,6 +10,7 @@ from repro.bench import (
     SEED_BASELINE,
     BenchResult,
     compare_to_baseline,
+    latest_results,
     run_case,
     write_report,
 )
@@ -57,6 +58,23 @@ class TestCompare:
             [fake_result(steps_per_s=0.001)], baseline, max_drop=0.30
         ) == []
 
+    def test_gate_reads_latest_history_entry(self):
+        # v2 baseline: the gate must compare against the newest run only
+        baseline = {
+            "schema": "repro-bench/2",
+            "history": [
+                {"results": [fake_result(steps_per_s=1000.0).to_json()]},
+                {"results": [fake_result(steps_per_s=10.0).to_json()]},
+            ],
+        }
+        assert compare_to_baseline(
+            [fake_result(steps_per_s=9.0)], baseline, max_drop=0.30
+        ) == []
+        failures = compare_to_baseline(
+            [fake_result(steps_per_s=5.0)], baseline, max_drop=0.30
+        )
+        assert len(failures) == 1
+
     def test_speedup_vs_seed(self):
         r = fake_result(steps_per_s=10.0)
         assert r.speedup_vs_seed is None
@@ -88,8 +106,44 @@ class TestExecution:
         )
         on_disk = json.loads(path.read_text())
         assert on_disk == report
-        assert on_disk["schema"] == "repro-bench/1"
-        assert on_disk["results"][0]["name"] == "ref-Ta"
+        assert on_disk["schema"] == "repro-bench/2"
+        entry = on_disk["history"][-1]
+        assert entry["mode"] == "quick"
+        assert entry["results"][0]["name"] == "ref-Ta"
+        assert latest_results(on_disk)[0]["name"] == "ref-Ta"
+
+    def test_write_report_appends_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(str(path), [fake_result(steps_per_s=10.0)],
+                     quick=True, backend="numpy")
+        report = write_report(str(path), [fake_result(steps_per_s=20.0)],
+                              quick=True, backend="numpy")
+        assert len(report["history"]) == 2
+        assert latest_results(report)[0]["steps_per_s"] == 20.0
+
+    def test_write_report_wraps_v1_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        v1 = {
+            "schema": "repro-bench/1",
+            "created_unix": 1.0,
+            "mode": "full",
+            "backend": "numpy",
+            "numpy_version": "0",
+            "results": [fake_result(steps_per_s=3.0).to_json()],
+        }
+        path.write_text(json.dumps(v1))
+        report = write_report(str(path), [fake_result(steps_per_s=4.0)],
+                              quick=True, backend="numpy")
+        assert len(report["history"]) == 2
+        assert report["history"][0]["results"][0]["steps_per_s"] == 3.0
+        assert latest_results(report)[0]["steps_per_s"] == 4.0
+
+    def test_write_report_survives_corrupt_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        report = write_report(str(path), [fake_result()],
+                              quick=True, backend="numpy")
+        assert len(report["history"]) == 1
 
 
 class TestCli:
@@ -100,8 +154,9 @@ class TestCli:
         assert rc == 0
         assert "steps/s" in capsys.readouterr().out
         report = json.loads(out.read_text())
-        assert report["mode"] == "quick"
-        assert [r["name"] for r in report["results"]] == ["wse-Ta"]
+        assert report["schema"] == "repro-bench/2"
+        assert report["history"][-1]["mode"] == "quick"
+        assert [r["name"] for r in latest_results(report)] == ["wse-Ta"]
 
     def test_bench_gates_against_baseline(self, tmp_path, capsys):
         out = tmp_path / "a.json"
@@ -110,7 +165,7 @@ class TestCli:
         capsys.readouterr()
         # inflate the baseline so the rerun must trip the gate
         report = json.loads(out.read_text())
-        for r in report["results"]:
+        for r in latest_results(report):
             r["steps_per_s"] *= 100
         inflated = tmp_path / "inflated.json"
         inflated.write_text(json.dumps(report))

@@ -136,6 +136,54 @@ class TestSpecRuns:
         assert "different physics" in capsys.readouterr().err
 
 
+class TestProfile:
+    def test_profile_both_engines_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(["profile", "--quick", "--reps", "4", "4", "2",
+                   "--steps", "6", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "reference engine" in text
+        assert "wse engine" in text
+        assert "fitted step model" in text
+        from repro.obs.sinks import read_trace
+
+        records = read_trace(out)
+        assert {r.get("engine") for r in records} == {"reference", "wse"}
+
+    def test_profile_check_mode_passes(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(["profile", "--quick", "--out", str(out), "--check"])
+        assert rc == 0
+        assert "profile checks passed" in capsys.readouterr().out
+
+    def test_profile_single_engine(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(["profile", "--quick", "--reps", "4", "4", "2",
+                   "--steps", "4", "--engines", "reference",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "wse engine" not in text
+
+    def test_profile_from_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "p.toml"
+        path.write_text(
+            'element = "Ta"\nreps = [4, 4, 2]\ntemperature = 150.0\n'
+            "steps = 4\n"
+        )
+        out = tmp_path / "trace.jsonl"
+        assert main(["profile", "--spec", str(path),
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_profile_bad_spec_exit_code_2(self, tmp_path):
+        path = tmp_path / "p.toml"
+        path.write_text('engine = "gpu"\n')
+        assert main(["profile", "--spec", str(path),
+                     "--out", str(tmp_path / "t.jsonl")]) == 2
+
+
 class TestValidate:
     def test_validate_defaults(self, capsys):
         rc = main(["validate", "--reps", "3", "3", "2", "--steps", "4"])
