@@ -23,9 +23,10 @@ refreshed whenever the kernels intentionally change speed.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -36,6 +37,7 @@ __all__ = [
     "SEED_BASELINE",
     "run_case",
     "run_bench",
+    "consistency_check",
     "compare_to_baseline",
     "write_report",
     "latest_results",
@@ -48,7 +50,9 @@ class BenchCase:
 
     ``steps``/``warmup`` are (full, quick) pairs; warmup steps run
     untimed first so the cell-list build and first JIT/caching costs do
-    not pollute the steady-state rate.
+    not pollute the steady-state rate.  ``backend`` pins the kernel
+    backend for this case (``None`` keeps whatever the harness was
+    launched with); ``workers`` sizes the parallel pipeline's pool.
     """
 
     name: str
@@ -57,16 +61,26 @@ class BenchCase:
     reps: tuple[int, int, int]
     steps: tuple[int, int]
     warmup: tuple[int, int] = (2, 2)
+    backend: str | None = None
+    workers: int = 0
 
 
 #: Standard workloads.  Reference slabs are bulk-like (the acceptance
 #: workload is the 16,000-atom Ta slab); the lockstep case is small
-#: because the simulator carries per-tile overhead in Python.
+#: because the simulator carries per-tile overhead in Python.  The
+#: ``par-Ta-w*`` cases sweep the sharded pipeline's worker count on the
+#: same 16k-atom slab the serial ``ref-Ta`` case times.
 CASES: tuple[BenchCase, ...] = (
     BenchCase("ref-Ta", "reference", "Ta", (20, 20, 20), (10, 40), (2, 5)),
     BenchCase("ref-Cu", "reference", "Cu", (16, 16, 16), (6, 40), (2, 5)),
     BenchCase("ref-W", "reference", "W", (20, 20, 20), (6, 40), (2, 5)),
     BenchCase("wse-Ta", "wse", "Ta", (8, 8, 3), (20, 30), (2, 5)),
+    BenchCase("par-Ta-w1", "reference", "Ta", (20, 20, 20), (10, 40),
+              (2, 5), backend="parallel", workers=1),
+    BenchCase("par-Ta-w2", "reference", "Ta", (20, 20, 20), (10, 40),
+              (2, 5), backend="parallel", workers=2),
+    BenchCase("par-Ta-w4", "reference", "Ta", (20, 20, 20), (10, 40),
+              (2, 5), backend="parallel", workers=4),
 )
 
 #: Quick-mode replications (small slabs so CI finishes in seconds).
@@ -75,6 +89,9 @@ QUICK_REPS: dict[str, tuple[int, int, int]] = {
     "ref-Cu": (6, 6, 4),
     "ref-W": (8, 8, 4),
     "wse-Ta": (5, 5, 2),
+    "par-Ta-w1": (8, 8, 4),
+    "par-Ta-w2": (8, 8, 4),
+    "par-Ta-w4": (8, 8, 4),
 }
 
 #: steps/s measured on the seed tree (commit c12f1fa, this container)
@@ -132,13 +149,19 @@ def _case_extra(case: BenchCase, telemetry) -> dict:
     c = telemetry.counters
     if case.engine == "reference":
         ph = telemetry.phase_seconds
-        return {
+        out = {
             "pairs_per_step": round(c["pairs_per_step"], 1),
             "neighbor_rebuilds": c["neighbor_rebuilds"],
             "time_neighbor_s": round(ph["neighbor"], 4),
             "time_force_s": round(ph["force"], 4),
             "time_integrate_s": round(ph["integrate"], 4),
         }
+        if "workers" in c:
+            # sharded run: worker count + cumulative per-stage shard
+            # seconds, so imbalance is visible in the report
+            out["workers"] = c["workers"]
+            out["shard_seconds"] = c["shard_seconds"]
+        return out
     return {
         "grid": [c["grid_nx"], c["grid_ny"]],
         "b": c["b"],
@@ -157,6 +180,8 @@ def _execute(
         reps=reps,
         engine=case.engine,
         steps=steps,
+        backend=case.backend,
+        workers=case.workers,
         # the lockstep case benches the paper's force-symmetry path
         force_symmetry=(case.engine == "wse"),
     )
@@ -166,10 +191,13 @@ def _execute(
         engine = build_engine(spec, tracer=Tracer())
     else:
         engine = build_engine(spec)
-    engine.step(warmup)
-    engine.reset_telemetry()  # report steady state, not warmup
-    engine.step(steps)
-    telemetry = engine.telemetry()
+    try:
+        engine.step(warmup)
+        engine.reset_telemetry()  # report steady state, not warmup
+        engine.step(steps)
+        telemetry = engine.telemetry()
+    finally:
+        engine.close()
     extra = _case_extra(case, telemetry)
     if telemetry.trace_phases is not None:
         extra["phases"] = {
@@ -206,20 +234,88 @@ def run_bench(
     engines: list[str] | None = None,
     steps: int | None = None,
     profile: bool = False,
+    workers: int | None = None,
     progress=None,
 ) -> list[BenchResult]:
-    """Run the selected cases in declaration order."""
+    """Run the selected cases in declaration order.
+
+    Each case pins its kernel backend explicitly (its own ``backend``
+    or the backend active when the sweep started), so a ``parallel``
+    case never leaks its backend into the serial cases after it.
+    ``workers`` overrides the pool size of every parallel case (the
+    ``repro bench --workers`` flag).
+    """
+    from repro.kernels import active_backend_name, set_backend
+
+    base_backend = active_backend_name()
     results: list[BenchResult] = []
     for case in CASES:
         if elements and case.element not in elements:
             continue
         if engines and case.engine not in engines:
             continue
+        if (workers is not None
+                and (case.backend or base_backend) == "parallel"):
+            case = replace(case, workers=workers)
         if progress:
             progress(f"  {case.name} ({case.engine}) ...")
-        results.append(run_case(case, quick=quick, steps=steps,
-                                profile=profile))
+        set_backend(case.backend or base_backend)
+        try:
+            results.append(run_case(case, quick=quick, steps=steps,
+                                    profile=profile))
+        finally:
+            set_backend(base_backend)
     return results
+
+
+def consistency_check(
+    *, workers: int = 2, steps: int = 5, tol: float = 1e-9
+) -> list[str]:
+    """Parallel-vs-numpy physics agreement smoke (``bench --check``).
+
+    Runs the tier-1-sized Ta workload ``steps`` steps under the numpy
+    backend and under the parallel backend with ``workers`` shards,
+    and compares total energy (relative) and the worst per-atom
+    position deviation against ``tol``.  Returns human-readable failure
+    lines (empty = pass).  When the parallel backend is unavailable on
+    the host the check degrades to comparing numpy against itself,
+    which the registry has already warned about.
+    """
+    from repro.kernels import active_backend_name, set_backend
+    from repro.runtime import RunSpec, build_engine
+
+    base_backend = active_backend_name()
+    failures: list[str] = []
+
+    def _run(backend: str, w: int):
+        set_backend(backend)
+        engine = build_engine(
+            RunSpec(element="Ta", reps=(6, 6, 3), steps=steps, workers=w)
+        )
+        try:
+            engine.step(steps)
+            return engine.total_energy(), engine.state.positions.copy()
+        finally:
+            engine.close()
+
+    try:
+        e_ref, pos_ref = _run("numpy", 0)
+        e_par, pos_par = _run("parallel", workers)
+    finally:
+        set_backend(base_backend)
+    rel = abs(e_par - e_ref) / max(abs(e_ref), 1e-300)
+    if rel > tol:
+        failures.append(
+            f"total energy: parallel(w={workers}) vs numpy relative "
+            f"difference {rel:.3e} > {tol:g}"
+        )
+    max_dpos = float(np.max(np.abs(pos_par - pos_ref)))
+    if max_dpos > 1e-9:
+        failures.append(
+            f"trajectory: max |dx| {max_dpos:.3e} A > 1e-9 after "
+            f"{steps} steps"
+        )
+    return failures
 
 
 def _git_sha() -> str | None:
@@ -268,6 +364,9 @@ def write_report(path: str, results: list[BenchResult], *,
         "mode": "quick" if quick else "full",
         "backend": backend,
         "numpy_version": np.__version__,
+        # parallel entries are only comparable on similar hosts; record
+        # the core count next to each run's worker counts
+        "cpu_count": os.cpu_count(),
         "results": [r.to_json() for r in results],
     }
     history: list[dict] = []

@@ -90,6 +90,8 @@ def _spec_from_run_args(args):
             overrides["steps"] = args.steps
         if args.backend:
             overrides["backend"] = args.backend
+        if args.workers is not None:
+            overrides["workers"] = args.workers
         if args.checkpoint_interval is not None:
             overrides["checkpoint_interval"] = args.checkpoint_interval
         return replace(spec, **overrides) if overrides else spec
@@ -101,6 +103,7 @@ def _spec_from_run_args(args):
         steps=args.steps if args.steps is not None else 100,
         seed=args.seed,
         backend=args.backend,
+        workers=args.workers or 0,
         swap_interval=args.swap_interval,
         force_symmetry=args.force_symmetry,
         checkpoint_interval=args.checkpoint_interval or 0,
@@ -172,7 +175,10 @@ def _cmd_run(args) -> int:
             runner = Runner.from_spec(
                 spec, checkpoint_prefix=args.checkpoint
             )
-        return _report_run(runner, spec)
+        try:
+            return _report_run(runner, spec)
+        finally:
+            runner.close()
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_RUN_FAILED
@@ -222,6 +228,7 @@ def _cmd_bench(args) -> int:
 
     from repro.bench import (
         compare_to_baseline,
+        consistency_check,
         latest_results,
         run_bench,
         write_report,
@@ -230,12 +237,24 @@ def _cmd_bench(args) -> int:
     backend = _set_backend(args.backend)
     mode = "quick" if args.quick else "full"
     print(f"repro bench: {mode} mode, {backend} kernels")
+    if args.check:
+        workers = args.workers if args.workers is not None else 2
+        failures = consistency_check(workers=workers)
+        if failures:
+            print(f"CONSISTENCY CHECK FAILED (parallel w={workers} vs "
+                  f"numpy):", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"consistency check passed: parallel (w={workers}) matches "
+              f"numpy")
     results = run_bench(
         quick=args.quick,
         elements=args.elements,
         engines=args.engines,
         steps=args.steps,
         profile=args.profile,
+        workers=args.workers,
         progress=print,
     )
     if not results:
@@ -487,8 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--swap-interval", type=int, default=0)
     run.add_argument("--force-symmetry", action="store_true")
     run.add_argument("--backend", default=None,
-                     help="kernel backend (numpy, numba); default: "
-                          "$REPRO_KERNEL_BACKEND or numpy")
+                     help="kernel backend (numpy, numba, parallel); "
+                          "default: $REPRO_KERNEL_BACKEND or numpy")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the parallel backend "
+                          "(default: os.cpu_count())")
     run.add_argument("--checkpoint", default=None, metavar="PREFIX",
                      help="write checkpoints under this path prefix "
                           "(<prefix>.npz/.json/.xyz)")
@@ -525,7 +547,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small slabs (CI-sized, seconds not minutes)")
     bench.add_argument("--out", default="BENCH_kernels.json")
     bench.add_argument("--backend", default=None,
-                       help="kernel backend (numpy, numba)")
+                       help="kernel backend (numpy, numba, parallel)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker count for parallel-backend cases "
+                            "(par-Ta-*) and --check (default: each "
+                            "case's own, check 2)")
+    bench.add_argument("--check", action="store_true",
+                       help="first verify the parallel backend matches "
+                            "numpy on total energy (<= 1e-9 relative) "
+                            "before timing; non-zero exit on mismatch")
     bench.add_argument("--baseline", default=None,
                        help="previous report JSON to gate against")
     bench.add_argument("--max-drop", type=float, default=0.30,

@@ -11,6 +11,10 @@ without touching any physics code:
 ``numba``
     JIT-compiled loops via :mod:`numba`.  Optional — when the import
     fails the registry falls back to ``numpy`` and records why.
+``parallel``
+    The numpy kernels plus the domain-sharded worker-pool force
+    pipeline (:mod:`repro.parallel`).  Optional — requires the fork
+    start method; unavailable platforms fall back to ``numpy``.
 
 Selection order: an explicit :func:`set_backend` call, else the
 ``REPRO_KERNEL_BACKEND`` environment variable, else ``numpy``.  Unknown
@@ -150,5 +154,13 @@ def _numba_loader():
     return numba_backend
 
 
+def _parallel_loader():
+    # raises ImportError when fork is unavailable on the platform
+    from repro.kernels import parallel_backend
+
+    return parallel_backend
+
+
 register_backend("numpy", _numpy_loader)
 register_backend("numba", _numba_loader)
+register_backend("parallel", _parallel_loader)

@@ -87,6 +87,10 @@ class CellList:
         self._starts: np.ndarray | None = None
         self._counts: np.ndarray | None = None
         self._use_brute = False
+        # Scratch buffers, sized lazily and reused across rebuilds so a
+        # skin-policy rebuild costs no fresh large allocations.
+        self._n_buf = -1
+        self._ntot_buf = -1
 
     def build(self, positions: np.ndarray) -> None:
         """Bin atoms; decides grid geometry from the current positions."""
@@ -114,25 +118,47 @@ class CellList:
             self._positions = positions
             return
 
-        coords = self._cell_coords(positions)
-        cid = self._flatten(coords)
+        n = len(positions)
+        if n != self._n_buf:
+            self._rel = np.empty((n, 3), dtype=np.float64)
+            self._coords = np.empty((n, 3), dtype=np.int64)
+            self._sorted_coords = np.empty((n, 3), dtype=np.int64)
+            self._cid = np.empty(n, dtype=np.int64)
+            self._nb = np.empty((n, 3), dtype=np.int64)
+            self._n_buf = n
+        self._bin_into_buffers(positions)
         ntot = int(np.prod(self._ncell))
-        self._counts = np.bincount(cid, minlength=ntot)
-        self._starts = np.concatenate([[0], np.cumsum(self._counts)[:-1]])
-        self._order = np.argsort(cid, kind="stable")
-        self._cid = cid
-        self._coords = coords
+        if ntot != self._ntot_buf:
+            self._counts = np.empty(ntot, dtype=np.int64)
+            self._starts = np.empty(ntot, dtype=np.int64)
+            self._ntot_buf = ntot
+        self._counts[:] = np.bincount(self._cid, minlength=ntot)
+        self._starts[0] = 0
+        np.cumsum(self._counts[:-1], out=self._starts[1:])
+        self._order = np.argsort(self._cid, kind="stable")
+        # Cell-sorted coords: candidate generation walks atoms in bin
+        # order, so the starts/counts gathers and the j-range gathers
+        # below touch memory near-sequentially.
+        np.take(self._coords, self._order, axis=0, out=self._sorted_coords)
         self._positions = positions
 
-    def _cell_coords(self, positions: np.ndarray) -> np.ndarray:
-        rel = positions - self._lo
-        coords = np.floor(rel / self._cell_size).astype(np.int64)
+    def _bin_into_buffers(self, positions: np.ndarray) -> None:
+        """Cell coords + flat cell ids, written into reused scratch."""
+        np.subtract(positions, self._lo, out=self._rel)
+        np.divide(self._rel, self._cell_size, out=self._rel)
+        np.floor(self._rel, out=self._rel)
+        np.copyto(self._coords, self._rel, casting="unsafe")
         for d in range(3):
+            col = self._coords[:, d]
             if self.box.periodic[d]:
-                coords[:, d] = np.mod(coords[:, d], self._ncell[d])
+                np.mod(col, self._ncell[d], out=col)
             else:
-                coords[:, d] = np.clip(coords[:, d], 0, self._ncell[d] - 1)
-        return coords
+                np.clip(col, 0, self._ncell[d] - 1, out=col)
+        nx, ny, nz = self._ncell
+        np.multiply(self._coords[:, 0], ny, out=self._cid)
+        self._cid += self._coords[:, 1]
+        self._cid *= nz
+        self._cid += self._coords[:, 2]
 
     def _flatten(self, coords: np.ndarray) -> np.ndarray:
         nx, ny, nz = self._ncell
@@ -159,8 +185,10 @@ class CellList:
             return ii.astype(np.int64), jj.astype(np.int64)
         if self._cid is None:
             raise RuntimeError("candidate_pairs before build()")
-        n = len(self._positions)
-        atom_idx = np.arange(n, dtype=np.int64)
+        # Atoms are visited in cell-sorted order (stable argsort of the
+        # flat cell id): neighbors-in-space become neighbors-in-stream,
+        # so every gather below walks memory near-sequentially.
+        atom_idx = self._order
         out_i: list[np.ndarray] = []
         out_j: list[np.ndarray] = []
         # Same-cell pairs: both atoms share a cell, keep i < j.
@@ -180,9 +208,15 @@ class CellList:
     def _pairs_at_offset(
         self, atom_idx: np.ndarray, offset: tuple[int, int, int]
     ) -> tuple[np.ndarray, np.ndarray]:
-        """All (i, j) with j in the cell at ``offset`` from i's cell."""
+        """All (i, j) with j in the cell at ``offset`` from i's cell.
+
+        ``atom_idx`` gives the visiting order; row k of the cached
+        cell-sorted coords is the cell of atom ``atom_idx[k]``.
+        """
         n = len(atom_idx)
-        nb = self._coords + np.array(offset)
+        np.add(self._sorted_coords, np.asarray(offset, dtype=np.int64),
+               out=self._nb)
+        nb = self._nb
         valid = np.ones(n, dtype=bool)
         for d, delta in enumerate(offset):
             if self.box.periodic[d]:

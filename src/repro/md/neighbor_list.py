@@ -41,6 +41,7 @@ class NeighborList:
         self.box = box
         self.cutoff = float(cutoff)
         self.skin = float(skin)
+        self._any_periodic = bool(np.any(box.periodic))
         self._cells = CellList(box, self.cutoff + self.skin)
         self._cand_i: np.ndarray | None = None
         self._cand_j: np.ndarray | None = None
@@ -76,9 +77,26 @@ class NeighborList:
         return self.rebuild_reason(positions) is not None
 
     def rebuild(self, positions: np.ndarray) -> None:
-        """Rebuild the candidate set from scratch."""
+        """Rebuild the candidate set from scratch.
+
+        Raw stencil candidates are Verlet-prefiltered to
+        ``cutoff + skin`` at the build positions: the skin/2 rebuild
+        policy guarantees no dropped pair can re-enter the cutoff before
+        the next rebuild (each atom moves < skin/2, so a pair's distance
+        shrinks by < skin).  The per-query distance filter then runs on
+        the ~O(1) interacting superset instead of the full stencil
+        stream — on ref-Ta that is ~8x fewer candidates per step.
+        """
         self._cells.build(positions)
-        self._cand_i, self._cand_j = self._cells.candidate_pairs()
+        ci, cj = self._cells.candidate_pairs()
+        rij = positions[cj] - positions[ci]
+        if self._any_periodic:
+            rij = self.box.minimum_image(rij)
+        r2 = np.einsum("ij,ij->i", rij, rij)
+        reach = self.cutoff + self.skin
+        keep = r2 <= reach * reach
+        self._cand_i = ci[keep]
+        self._cand_j = cj[keep]
         self._ref_positions = np.array(positions, copy=True)
         self._built_n_atoms = len(self._ref_positions)
         self.n_builds += 1
@@ -107,7 +125,10 @@ class NeighborList:
             reg.counter("neighbor.reuses").inc()
         i, j = self._cand_i, self._cand_j
         rij = positions[j] - positions[i]
-        rij = self.box.minimum_image(rij)
+        if self._any_periodic:
+            # minimum_image copies even when every dim is open; skip it
+            # entirely for fully open boxes (the common bench workload).
+            rij = self.box.minimum_image(rij)
         r2 = np.einsum("ij,ij->i", rij, rij)
         keep = r2 < self.cutoff * self.cutoff
         table = PairTable(

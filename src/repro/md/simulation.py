@@ -93,6 +93,10 @@ class Simulation:
     tracer:
         Optional :class:`repro.obs.Tracer`; phases are emitted through
         it in addition to the always-on :class:`SimStats` accounting.
+    workers:
+        Worker count for the sharded force pipeline when the
+        ``parallel`` kernel backend is active (``None``/0 = one per
+        CPU).  Ignored under serial backends.
     """
 
     def __init__(
@@ -104,10 +108,15 @@ class Simulation:
         skin: float = 0.5,
         thermostat: BerendsenThermostat | None = None,
         tracer=None,
+        workers: int | None = None,
     ) -> None:
+        from repro.kernels import active_backend, active_backend_name
+
         self.state = state
         self.potential = potential
         self.dt_fs = float(dt_fs)
+        self.skin = float(skin)
+        self.workers = workers
         self.integrator = LeapfrogVerlet(dt_fs)
         self.neighbors = NeighborList(state.box, potential.cutoff, skin=skin)
         self.thermostat = thermostat
@@ -115,6 +124,42 @@ class Simulation:
         self.step_count = 0
         self.stats = SimStats()
         self._observers: list[tuple[int, Callable[[StepRecord], None]]] = []
+        self._pipeline = None
+        # Pipeline construction (fork + arena) is deferred to the first
+        # force evaluation so its cost lands in the traced
+        # ``parallel.pool`` phase, not in engine construction.
+        self._parallel_pending = bool(
+            active_backend_name() == "parallel"
+            and getattr(active_backend(), "provides_pipeline", False)
+        )
+
+    def close(self) -> None:
+        """Release the parallel pipeline, if one was spawned (idempotent)."""
+        self._parallel_pending = False
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+
+    def _init_pipeline(self) -> None:
+        """First-use pipeline spawn, attributed to ``parallel.pool``."""
+        from repro.parallel import (
+            ShardedForcePipeline,
+            unsupported_reason,
+            warn_fallback,
+        )
+
+        self._parallel_pending = False
+        reason = unsupported_reason(self.state.box, self.potential)
+        if reason is not None:
+            warn_fallback(reason)
+            return
+        with self.tracer.phase("parallel.pool", spawn=1):
+            self._pipeline = ShardedForcePipeline(
+                self.state,
+                self.potential,
+                skin=self.skin,
+                workers=self.workers,
+            )
 
     def add_observer(
         self, interval: int, fn: Callable[[StepRecord], None]
@@ -127,6 +172,20 @@ class Simulation:
     def compute_forces(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-atom energies and forces at the current positions."""
         tr = self.tracer
+        if self._parallel_pending:
+            self._init_pipeline()
+        if self._pipeline is not None:
+            energies, forces, info = self._pipeline.compute(
+                self.state.positions, tr
+            )
+            st = self.stats
+            st.force_evaluations += 1
+            st.neighbor_rebuilds += info["rebuilds"]
+            st.pairs_last = info["pairs"]
+            st.pairs_total += info["pairs"]
+            st.time_neighbor_s += info["t_neighbor"]
+            st.time_force_s += info["t_force"]
+            return energies, forces
         builds_before = self.neighbors.n_builds
         t0 = time.perf_counter()
         with tr.phase("neighbor") as ph:

@@ -145,7 +145,13 @@ def profile_spec(
                 sink.write_meta(spec=espec.to_dict())
                 tracer.add_sink(sink)
             runner = Runner.from_spec(espec, tracer=tracer)
-            telemetry = runner.run(steps)
+            try:
+                telemetry = runner.run(steps)
+            finally:
+                # pool teardown happens outside the engine's measured
+                # wall time; spawn is traced as ``parallel.pool``, so
+                # neither counts against the coverage gate
+                runner.close()
             totals = tracer.phase_totals()
             wall = telemetry.wall_time_s
             coverage = tracer.total_s() / wall if wall > 0 else 0.0

@@ -1,0 +1,80 @@
+"""``repro.parallel``: shared-memory domain-sharded execution layer.
+
+The paper's speedup is spatial decomposition — one atom per PE with a
+locality-preserving cell-to-fabric mapping.  This package is the
+host-side analogue: the box is sliced into cell-aligned **column
+domains** (:mod:`~repro.parallel.domains`), a persistent pool of forked
+workers (:mod:`~repro.parallel.pool`) owns one column each, and all
+per-step array traffic rides a :class:`~repro.parallel.shm.SharedArena`
+so a timestep ships no pickled arrays.  The
+:class:`~repro.parallel.pipeline.ShardedForcePipeline` drives the EAM
+two-pass per step with halo overlap (halo width = cutoff + skin) and a
+deterministic fixed-order seam reduction.
+
+Selection is the kernel-backend tier: ``backend="parallel"`` (or
+``REPRO_KERNEL_BACKEND=parallel``) turns the pipeline on;
+:func:`unsupported_reason` gates the cases it cannot shard (periodic
+boxes, potentials without the fused two-stage split, no fork), which
+fall back to the serial path with a once-per-reason warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.parallel.domains import ShardPairs, build_shard_pairs, plan_columns
+from repro.parallel.pipeline import ShardedForcePipeline
+from repro.parallel.pool import WorkerPool, fork_available
+from repro.parallel.shm import SharedArena
+
+__all__ = [
+    "ShardedForcePipeline",
+    "SharedArena",
+    "WorkerPool",
+    "ShardPairs",
+    "build_shard_pairs",
+    "plan_columns",
+    "fork_available",
+    "unsupported_reason",
+    "warn_fallback",
+]
+
+#: Fallback reasons already warned about (once per reason per process,
+#: mirroring the kernel registry's once-per-name policy).
+_warned_reasons: set[str] = set()
+
+
+def unsupported_reason(box, potential) -> str | None:
+    """Why the sharded pipeline cannot run this workload, or ``None``.
+
+    The pipeline shards fully open boxes (the paper's slab workloads;
+    periodic images across column seams are out of scope) for
+    potentials exposing the fused two-stage EAM split.
+    """
+    if not fork_available():
+        return "fork start method unavailable on this platform"
+    if np.any(box.periodic):
+        return "periodic boundaries are not supported by the sharded pipeline"
+    if not hasattr(potential, "fused_density") or not hasattr(
+        potential, "fused_pair_force"
+    ):
+        return (
+            "potential lacks the fused density/pair-force stages "
+            "(fused_density/fused_pair_force)"
+        )
+    return None
+
+
+def warn_fallback(reason: str) -> None:
+    """Warn once per distinct reason that parallel fell back to serial."""
+    if reason in _warned_reasons:
+        return
+    _warned_reasons.add(reason)
+    warnings.warn(
+        f"parallel pipeline unavailable ({reason}); "
+        "running the serial force path",
+        RuntimeWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,186 @@
+"""The sharded force pipeline: per-step orchestration over the pool.
+
+One timestep's force evaluation becomes three lockstep rounds, the
+host analogue of the paper's communicate/compute cadence:
+
+1. **neighbor** — the parent publishes positions to the arena, applies
+   the (global) skin/2 rebuild policy, and on a rebuild broadcasts
+   fresh balanced column edges; each shard rebuilds or reuses its
+   candidate pairs and distance-filters them to the true cutoff.
+2. **density** — each shard accumulates its partial ``rho_bar`` into
+   its arena slot; the parent reduces the slots **in fixed worker
+   order** (the seam reduction), evaluates the embedding stage, and
+   broadcasts ``F'(rho_bar)``.
+3. **force** — each shard evaluates pair forces/energies into its
+   slots; the parent reduces again in fixed order.
+
+The fixed-order slot reduction makes a run bitwise-reproducible for a
+given worker count; across worker counts the physics agrees to
+floating-point summation tolerance (~1e-12 relative), exactly like any
+domain-decomposed MD code.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.obs import NULL_TRACER, metrics
+from repro.parallel.domains import plan_columns
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedArena
+
+__all__ = ["ShardedForcePipeline"]
+
+_STAGES = ("neighbor", "density", "force")
+
+
+class ShardedForcePipeline:
+    """Persistent domain-sharded evaluator for one simulation's forces.
+
+    Construct once per :class:`~repro.md.simulation.Simulation` (the
+    construction cost — arena + fork — is what the ``parallel.pool``
+    phase accounts for) and call :meth:`compute` once per force
+    evaluation.  Must be :meth:`close`\\ d to reap the workers; an
+    abandoned pipeline is cleaned up by GC/daemon semantics.
+    """
+
+    def __init__(
+        self,
+        state,
+        potential,
+        *,
+        skin: float = 0.5,
+        workers: int | None = None,
+    ) -> None:
+        n = state.n_atoms
+        w = workers if workers else (os.cpu_count() or 1)
+        self.n_workers = max(1, int(w))
+        self.skin = float(skin)
+        self.cutoff = float(potential.cutoff)
+        self.reach = self.cutoff + self.skin
+        self.n_atoms = n
+        self.potential = potential
+        self._types = np.asarray(state.types, dtype=np.int64)
+        self.arena = SharedArena(
+            {
+                "positions": ((n, 3), np.float64),
+                "types": ((n,), np.int64),
+                "f_der": ((n,), np.float64),
+                "rho": ((self.n_workers, n), np.float64),
+                "epair": ((self.n_workers, n), np.float64),
+                "forces": ((self.n_workers, n, 3), np.float64),
+            }
+        )
+        self.arena["types"][:] = self._types
+        cfg = {
+            "potential": potential,
+            "box": state.box,
+            "cutoff": self.cutoff,
+            "reach": self.reach,
+            "n_atoms": n,
+        }
+        self.pool = WorkerPool(self.n_workers, self.arena.arrays, cfg)
+        self._ref_positions: np.ndarray | None = None
+        self.n_builds = 0
+        self.last_pair_count = 0
+        #: cumulative per-worker seconds per stage (bench telemetry)
+        self.shard_seconds: dict[str, list[float]] = {
+            s: [0.0] * self.n_workers for s in _STAGES
+        }
+        metrics().gauge("parallel.workers").set(float(self.n_workers))
+
+    # -- rebuild policy (global twin of NeighborList's) --------------------
+
+    def _rebuild_reason(self, positions: np.ndarray) -> str | None:
+        if self._ref_positions is None:
+            return "first"
+        if self.skin == 0.0:
+            return "skin_zero"
+        if len(positions) != len(self._ref_positions):
+            return "size"
+        delta = positions - self._ref_positions
+        max_d2 = float(np.max(np.einsum("ij,ij->i", delta, delta)))
+        if max_d2 > (self.skin / 2.0) ** 2:
+            return "displacement"
+        return None
+
+    # -- the step ----------------------------------------------------------
+
+    def compute(
+        self, positions: np.ndarray, tr=NULL_TRACER
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Energies, forces and step accounting at ``positions``.
+
+        Returns ``(energies, forces, info)`` where ``info`` carries
+        ``pairs``, ``rebuilds``, ``t_neighbor`` and ``t_force`` for the
+        caller's :class:`~repro.md.simulation.SimStats`.
+        """
+        reg = metrics()
+        pos_view = self.arena["positions"]
+        t0 = time.perf_counter()
+        with tr.phase("neighbor") as ph:
+            np.copyto(pos_view, positions)
+            reason = self._rebuild_reason(positions)
+            edges = None
+            if reason is not None:
+                edges = plan_columns(
+                    positions[:, 0], self.n_workers, self.reach
+                )
+                self._ref_positions = np.array(positions, copy=True)
+                self.n_builds += 1
+                reg.counter("neighbor.rebuilds").inc()
+                reg.counter(f"neighbor.rebuilds.{reason}").inc()
+            else:
+                reg.counter("neighbor.reuses").inc()
+            replies = self.pool.command(("neighbor", edges))
+            n_pairs = int(sum(r[0] for r in replies))
+            self._account_stage("neighbor", replies, ph)
+            ph.add(pairs=n_pairs, rebuilds=0 if reason is None else 1)
+        t1 = time.perf_counter()
+        with tr.phase("density", pairs=n_pairs) as ph:
+            replies = self.pool.command(("density",))
+            # Seam reduction: fixed worker order makes the sum (and the
+            # whole trajectory) bitwise-reproducible per worker count.
+            rho_bar = np.sum(self.arena["rho"], axis=0)
+            self._account_stage("density", replies, ph)
+        with tr.phase("embedding"):
+            f_val, f_der = self.potential.embed(rho_bar, self._types)
+            np.copyto(self.arena["f_der"], f_der)
+        with tr.phase("pair_force", pairs=n_pairs) as ph:
+            replies = self.pool.command(("force",))
+            forces = np.sum(self.arena["forces"], axis=0)
+            e_pair = np.sum(self.arena["epair"], axis=0)
+            self._account_stage("force", replies, ph)
+        t2 = time.perf_counter()
+        self.last_pair_count = n_pairs
+        reg.counter("parallel.steps").inc()
+        reg.counter("parallel.pairs").inc(float(n_pairs))
+        info = {
+            "pairs": n_pairs,
+            "rebuilds": 0 if reason is None else 1,
+            "t_neighbor": t1 - t0,
+            "t_force": t2 - t1,
+        }
+        return e_pair + f_val, forces, info
+
+    def _account_stage(self, stage: str, replies, ph) -> None:
+        """Attach per-shard timings to the span, metrics and telemetry."""
+        secs = [r[1] for r in replies]
+        total = self.shard_seconds[stage]
+        for wid, s in enumerate(secs):
+            total[wid] += s
+        ph.add(shard_sum_s=sum(secs), shard_max_s=max(secs))
+        metrics().histogram(f"parallel.{stage}.shard_s").observe_many(secs)
+
+    def reset_shard_stats(self) -> None:
+        """Zero the cumulative shard timings (steady-state benching)."""
+        for stage in self.shard_seconds:
+            self.shard_seconds[stage] = [0.0] * self.n_workers
+
+    def close(self) -> None:
+        """Reap the workers and release the arena (idempotent)."""
+        self.pool.close()
+        self.arena.close()

@@ -1,0 +1,176 @@
+"""Persistent fork-based worker pool for the sharded force pipeline.
+
+Each worker is a long-lived forked process driven over a private pipe
+by three tiny commands per timestep — ``neighbor``, ``density``,
+``force`` — mirroring the EAM two-pass structure (the globally reduced
+``rho_bar`` must pass through the parent's embedding stage between the
+density and force halves).  All array traffic rides the shared-memory
+arena the workers inherited at fork; a command message carries at most
+the new column edges on a rebuild step.
+
+Workers are daemons: an abandoned pool dies with the parent instead of
+orphaning processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+
+from repro.parallel.domains import build_shard_pairs
+
+__all__ = ["WorkerPool", "fork_available"]
+
+#: Exception types a worker may re-raise by name in the parent, so the
+#: parallel path surfaces the same error classes the serial path does
+#: (e.g. the pair-distance cap's FloatingPointError on atom overlap).
+_RERAISABLE = {
+    "FloatingPointError": FloatingPointError,
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+}
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the fork start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_main(conn, wid: int, shared: dict, cfg: dict) -> None:
+    """Worker loop: serve neighbor/density/force commands until stop.
+
+    ``shared`` holds numpy views over the fork-inherited arena;
+    ``cfg`` carries the (static) potential, box and geometry scalars.
+    Everything mutable per step lives in the arena or in this frame.
+    """
+    from repro.kernels import set_backend
+    from repro.md.cell_list import CellList
+
+    # Workers always run the serial numpy kernels; the "parallel"
+    # backend name only means "drive a pool from the parent".
+    set_backend("numpy")
+    positions = shared["positions"]
+    types = shared["types"]
+    f_der = shared["f_der"]
+    rho_slot = shared["rho"][wid]
+    epair_slot = shared["epair"][wid]
+    force_slot = shared["forces"][wid]
+    potential = cfg["potential"]
+    cutoff = cfg["cutoff"]
+    reach = cfg["reach"]
+    n_atoms = cfg["n_atoms"]
+    cells = CellList(cfg["box"], reach)  # buffers reused across rebuilds
+    shard = None
+    table = None
+    cache: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        if cmd == "stop":
+            break
+        t0 = time.perf_counter()
+        try:
+            if cmd == "neighbor":
+                edges = msg[1]
+                if edges is not None:
+                    shard = build_shard_pairs(
+                        positions, edges, wid,
+                        box=cfg["box"], reach=reach, cells=cells,
+                    )
+                table = shard.pairs(positions, cutoff)
+                conn.send(
+                    ("ok", table.n_pairs, time.perf_counter() - t0)
+                )
+            elif cmd == "density":
+                rho, cache = potential.fused_density(n_atoms, table, types)
+                rho_slot[:] = rho
+                conn.send(("ok", table.n_pairs, time.perf_counter() - t0))
+            elif cmd == "force":
+                e_pair, forces = potential.fused_pair_force(
+                    n_atoms, table, f_der, types, cache=cache
+                )
+                epair_slot[:] = e_pair
+                force_slot[:] = forces
+                conn.send(("ok", table.n_pairs, time.perf_counter() - t0))
+            else:
+                conn.send(("error", "ValueError", f"unknown command {cmd!r}"))
+        except Exception as exc:  # report, keep serving
+            conn.send(("error", type(exc).__name__, str(exc)))
+    conn.close()
+
+
+class WorkerPool:
+    """Spawn, command and reap the shard workers.
+
+    Construction forks ``n_workers`` processes that inherit ``shared``
+    (arena views) and ``cfg`` by copy-on-write; :meth:`command`
+    broadcasts one message and gathers one reply per worker, raising in
+    the parent if any worker reported an error.
+    """
+
+    def __init__(self, n_workers: int, shared: dict, cfg: dict) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for wid in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, wid, shared, cfg),
+                daemon=True,
+                name=f"repro-shard-{wid}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    def command(self, msg: tuple) -> list[tuple]:
+        """Broadcast ``msg``; return each worker's reply payload in order.
+
+        Replies are ``(n_pairs, seconds)`` per worker.  Every reply is
+        drained before any error is raised, so the pool stays in a
+        consistent idle state even when one shard fails.
+        """
+        for conn in self._conns:
+            conn.send(msg)
+        replies: list[tuple] = []
+        error: tuple | None = None
+        for wid, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                reply = ("error", "RuntimeError", f"worker {wid} died: {exc}")
+            if reply[0] == "error" and error is None:
+                error = (wid, reply[1], reply[2])
+            replies.append(reply[1:])
+        if error is not None:
+            wid, kind, text = error
+            exc_type = _RERAISABLE.get(kind, RuntimeError)
+            raise exc_type(f"shard worker {wid}: {text}")
+        return replies
+
+    def close(self) -> None:
+        """Stop and join every worker (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        self._conns = []
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []

@@ -266,6 +266,131 @@ class EAMPotential(Potential):
             )
         return e_pair + f_val, forces
 
+    # -- fused half-pair stages --------------------------------------------
+    #
+    # The fused path is split into two standalone stages so the
+    # domain-sharded pipeline (:mod:`repro.parallel`) can run each stage
+    # per shard with a global reduction between them (rho_bar must be
+    # complete before the embedding derivative feeds the force stage).
+    # The serial fast path composes the same two stages, so parallel and
+    # serial runs share one numeric implementation and differ only in
+    # summation order.
+
+    def fused_density(
+        self, n_atoms: int, pairs: PairTable, types: np.ndarray | None = None
+    ) -> tuple[np.ndarray, dict]:
+        """Stage 1 of the fused half-pair path: partial ``rho_bar``.
+
+        Returns the density contribution of *these* pairs (a full
+        ``(n_atoms,)`` array — zero where no pair touches an atom) and a
+        cache of per-pair density derivatives for
+        :meth:`fused_pair_force`.
+        """
+        types = self._types(n_atoms, types)
+        self.cap.check(pairs.r)
+        backend = active_backend()
+        p = pairs.n_pairs
+        if p == 0:
+            return np.zeros(n_atoms, dtype=np.float64), {}
+        tables = self.tables
+        i, j, r = pairs.i, pairs.j, pairs.r
+        if tables.n_types == 1:
+            # rho value + derivative in one fused segment-lookup pass
+            rho_v, rho_d = tables.rho[0].evaluate(r)
+            rho_ji_v = rho_ij_v = rho_v  # j's density at i / i's at j
+            rho_ji_d = rho_ij_d = rho_d
+            cache = {"rho_ji_d": rho_ji_d, "rho_ij_d": rho_ij_d}
+        else:
+            ti = types[i]
+            tj = types[j]
+            rho_ji_v = np.empty(p)  # rho_{type(j)}(r): j's density at i
+            rho_ji_d = np.empty(p)
+            rho_ij_v = np.empty(p)  # rho_{type(i)}(r): i's density at j
+            rho_ij_d = np.empty(p)
+            for t in range(tables.n_types):
+                m_i = ti == t
+                m_j = tj == t
+                m_any = m_i | m_j
+                if not np.any(m_any):
+                    continue
+                v_any = np.empty(p)
+                d_any = np.empty(p)
+                v_any[m_any], d_any[m_any] = tables.rho[t].evaluate(
+                    r[m_any]
+                )
+                rho_ji_v[m_j] = v_any[m_j]
+                rho_ji_d[m_j] = d_any[m_j]
+                rho_ij_v[m_i] = v_any[m_i]
+                rho_ij_d[m_i] = d_any[m_i]
+            cache = {
+                "rho_ji_d": rho_ji_d,
+                "rho_ij_d": rho_ij_d,
+                "ti": ti,
+                "tj": tj,
+            }
+        rho_bar = backend.accumulate_scalar(i, rho_ji_v, n_atoms)
+        rho_bar += backend.accumulate_scalar(j, rho_ij_v, n_atoms)
+        metrics().counter("kernels.accumulate_scalar.calls").inc(2.0)
+        return rho_bar, cache
+
+    def fused_pair_force(
+        self,
+        n_atoms: int,
+        pairs: PairTable,
+        f_der: np.ndarray,
+        types: np.ndarray | None = None,
+        *,
+        cache: dict,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stage 2 of the fused half-pair path: pair energies and forces.
+
+        ``f_der`` is the *globally reduced* embedding derivative
+        ``F'(rho_bar)`` per atom; ``cache`` comes from
+        :meth:`fused_density` over the same pair table.
+        """
+        types = self._types(n_atoms, types)
+        p = pairs.n_pairs
+        if p == 0:
+            return (
+                np.zeros(n_atoms, dtype=np.float64),
+                np.zeros((n_atoms, 3), dtype=np.float64),
+            )
+        backend = active_backend()
+        tables = self.tables
+        i, j, r = pairs.i, pairs.j, pairs.r
+        if tables.n_types == 1:
+            phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
+        else:
+            ti = cache["ti"]
+            tj = cache["tj"]
+            phi_v = np.empty(p)
+            phi_d = np.empty(p)
+            for t1 in range(tables.n_types):
+                for t2 in range(t1, tables.n_types):
+                    m = (ti == t1) & (tj == t2)
+                    if t1 != t2:
+                        m |= (ti == t2) & (tj == t1)
+                    if not np.any(m):
+                        continue
+                    phi_v[m], phi_d[m] = tables.phi[(t1, t2)].evaluate(
+                        r[m]
+                    )
+
+        # Eq. 4 radial scalar, one term per undirected pair.
+        s = f_der[i] * cache["rho_ji_d"] + f_der[j] * cache["rho_ij_d"] + phi_d
+        with np.errstate(invalid="raise", divide="raise"):
+            unit = pairs.rij / r[:, None]
+        fvec = s[:, None] * unit
+        forces = backend.accumulate_vec3(i, fvec, n_atoms)
+        forces -= backend.accumulate_vec3(j, fvec, n_atoms)
+
+        e_pair = backend.accumulate_scalar(i, 0.5 * phi_v, n_atoms)
+        e_pair += backend.accumulate_scalar(j, 0.5 * phi_v, n_atoms)
+        reg = metrics()
+        reg.counter("kernels.accumulate_scalar.calls").inc(2.0)
+        reg.counter("kernels.accumulate_vec3.calls").inc(2.0)
+        return e_pair, forces
+
     def _compute_half_fused(
         self,
         n_atoms: int,
@@ -274,79 +399,14 @@ class EAMPotential(Potential):
         tr=NULL_TRACER,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Fused EAM evaluation over a half pair list."""
-        self.cap.check(pairs.r)
-        backend = active_backend()
-        p = pairs.n_pairs
-        if p == 0:
-            f_val, _ = self.embed(np.zeros(n_atoms), types)
-            return f_val, np.zeros((n_atoms, 3), dtype=np.float64)
-        tables = self.tables
-        i, j, r = pairs.i, pairs.j, pairs.r
-        with tr.phase("density", pairs=p):
-            if tables.n_types == 1:
-                # rho value + derivative in one fused segment-lookup pass
-                rho_v, rho_d = tables.rho[0].evaluate(r)
-                rho_ji_v = rho_ij_v = rho_v  # j's density at i / i's at j
-                rho_ji_d = rho_ij_d = rho_d
-            else:
-                ti = types[i]
-                tj = types[j]
-                rho_ji_v = np.empty(p)  # rho_{type(j)}(r): j's density at i
-                rho_ji_d = np.empty(p)
-                rho_ij_v = np.empty(p)  # rho_{type(i)}(r): i's density at j
-                rho_ij_d = np.empty(p)
-                for t in range(tables.n_types):
-                    m_i = ti == t
-                    m_j = tj == t
-                    m_any = m_i | m_j
-                    if not np.any(m_any):
-                        continue
-                    v_any = np.empty(p)
-                    d_any = np.empty(p)
-                    v_any[m_any], d_any[m_any] = tables.rho[t].evaluate(
-                        r[m_any]
-                    )
-                    rho_ji_v[m_j] = v_any[m_j]
-                    rho_ji_d[m_j] = d_any[m_j]
-                    rho_ij_v[m_i] = v_any[m_i]
-                    rho_ij_d[m_i] = d_any[m_i]
-            rho_bar = backend.accumulate_scalar(i, rho_ji_v, n_atoms)
-            rho_bar += backend.accumulate_scalar(j, rho_ij_v, n_atoms)
+        with tr.phase("density", pairs=pairs.n_pairs):
+            rho_bar, cache = self.fused_density(n_atoms, pairs, types)
         with tr.phase("embedding"):
             f_val, f_der = self.embed(rho_bar, types)
-
         with tr.phase("pair_force"):
-            # phi evaluation depends only on r, so deferring it past the
-            # embedding stage is free and keeps it in the pair phase.
-            if tables.n_types == 1:
-                phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
-            else:
-                phi_v = np.empty(p)
-                phi_d = np.empty(p)
-                for t1 in range(tables.n_types):
-                    for t2 in range(t1, tables.n_types):
-                        m = (ti == t1) & (tj == t2)
-                        if t1 != t2:
-                            m |= (ti == t2) & (tj == t1)
-                        if not np.any(m):
-                            continue
-                        phi_v[m], phi_d[m] = tables.phi[(t1, t2)].evaluate(
-                            r[m]
-                        )
-
-            # Eq. 4 radial scalar, one term per undirected pair.
-            s = f_der[i] * rho_ji_d + f_der[j] * rho_ij_d + phi_d
-            with np.errstate(invalid="raise", divide="raise"):
-                unit = pairs.rij / r[:, None]
-            fvec = s[:, None] * unit
-            forces = backend.accumulate_vec3(i, fvec, n_atoms)
-            forces -= backend.accumulate_vec3(j, fvec, n_atoms)
-
-            e_pair = backend.accumulate_scalar(i, 0.5 * phi_v, n_atoms)
-            e_pair += backend.accumulate_scalar(j, 0.5 * phi_v, n_atoms)
-        reg = metrics()
-        reg.counter("kernels.accumulate_scalar.calls").inc(4.0)
-        reg.counter("kernels.accumulate_vec3.calls").inc(2.0)
+            e_pair, forces = self.fused_pair_force(
+                n_atoms, pairs, f_der, types, cache=cache
+            )
         return e_pair + f_val, forces
 
     def _types(self, n_atoms: int, types: np.ndarray | None) -> np.ndarray:

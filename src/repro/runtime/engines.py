@@ -72,6 +72,8 @@ class Engine(Protocol):
 
     def telemetry(self) -> Telemetry: ...
 
+    def close(self) -> None: ...
+
 
 def build_state(
     spec: RunSpec, rng: np.random.Generator | None = None
@@ -157,6 +159,19 @@ class ReferenceEngine:
     def telemetry(self) -> Telemetry:
         st = self.sim.stats
         tr = self.sim.tracer
+        counters = {
+            "n_atoms": self.sim.state.n_atoms,
+            "pairs_per_step": st.pairs_per_step,
+            "neighbor_rebuilds": st.neighbor_rebuilds,
+            "force_evaluations": st.force_evaluations,
+        }
+        pipeline = getattr(self.sim, "_pipeline", None)
+        if pipeline is not None:
+            counters["workers"] = pipeline.n_workers
+            counters["shard_seconds"] = {
+                stage: [round(s, 4) for s in secs]
+                for stage, secs in pipeline.shard_seconds.items()
+            }
         return Telemetry(
             engine=self.name,
             steps=st.steps,
@@ -166,12 +181,7 @@ class ReferenceEngine:
                 "force": st.time_force_s,
                 "integrate": st.time_integrate_s,
             },
-            counters={
-                "n_atoms": self.sim.state.n_atoms,
-                "pairs_per_step": st.pairs_per_step,
-                "neighbor_rebuilds": st.neighbor_rebuilds,
-                "force_evaluations": st.force_evaluations,
-            },
+            counters=counters,
             trace_phases=tr.phase_totals() if tr.enabled else None,
         )
 
@@ -180,6 +190,13 @@ class ReferenceEngine:
         self.sim.stats = SimStats()
         self._wall_s = 0.0
         self.sim.tracer.reset()
+        pipeline = getattr(self.sim, "_pipeline", None)
+        if pipeline is not None:
+            pipeline.reset_shard_stats()
+
+    def close(self) -> None:
+        """Release engine resources (the parallel worker pool)."""
+        self.sim.close()
 
     # -- checkpoint hooks --------------------------------------------------
 
@@ -309,6 +326,9 @@ class WseEngine:
         self._steps = 0
         self.sim.tracer.reset()
 
+    def close(self) -> None:
+        """No pooled resources on the lockstep machine."""
+
     # -- checkpoint hooks --------------------------------------------------
 
     def rng_states(self) -> dict[str, dict]:
@@ -363,6 +383,7 @@ def build_engine(
             "dt_fs": spec.dt_fs,
             "skin": spec.skin,
             "thermostat": thermostat,
+            "workers": spec.workers or None,
         }
         kwargs.update(engine_kwargs)
         sim = Simulation(state, potential, **kwargs)

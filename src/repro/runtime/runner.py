@@ -165,6 +165,10 @@ class Runner:
             self.write_checkpoint()
         return engine.telemetry()
 
+    def close(self) -> None:
+        """Release engine resources (e.g. the parallel worker pool)."""
+        self.engine.close()
+
     # -- checkpointing -----------------------------------------------------
 
     def write_checkpoint(self, prefix: str | Path | None = None):

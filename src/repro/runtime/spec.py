@@ -31,9 +31,9 @@ ENGINES = ("reference", "wse")
 THERMOSTAT_KINDS = ("berendsen", "langevin")
 
 #: Fields that determine the trajectory (hashed for checkpoint
-#: compatibility).  ``steps`` is run *length*, ``backend`` is run
-#: *speed*, ``checkpoint_interval`` is bookkeeping — none change
-#: physics, so all are excluded.
+#: compatibility).  ``steps`` is run *length*, ``backend``/``workers``
+#: are run *speed*, ``checkpoint_interval`` is bookkeeping — none
+#: change physics, so all are excluded.
 PHYSICS_FIELDS = (
     "element",
     "reps",
@@ -120,8 +120,12 @@ class RunSpec:
     skin:
         Reference-engine neighbor-list skin (A); ignored by ``wse``.
     backend:
-        Kernel backend (``numpy``, ``numba``); ``None`` keeps the
-        process default.
+        Kernel backend (``numpy``, ``numba``, ``parallel``); ``None``
+        keeps the process default.
+    workers:
+        Worker count for the ``parallel`` backend's sharded force
+        pipeline (0 = one per CPU).  Ignored by serial backends; like
+        ``backend``, it changes speed, never physics.
     thermostat:
         Optional temperature control applied every step.  ``langevin``
         requires the reference engine (per-atom noise needs a stable
@@ -146,6 +150,7 @@ class RunSpec:
     dt_fs: float = 2.0
     skin: float = 0.5
     backend: str | None = None
+    workers: int = 0
     thermostat: ThermostatSpec | None = None
     swap_interval: int = 0
     force_symmetry: bool = False
@@ -186,6 +191,8 @@ class RunSpec:
                 f"checkpoint_interval must be >= 0, "
                 f"got {self.checkpoint_interval}"
             )
+        if self.workers < 0:
+            raise SpecError(f"workers must be >= 0, got {self.workers}")
         if isinstance(self.thermostat, dict):
             object.__setattr__(
                 self, "thermostat", ThermostatSpec.from_dict(self.thermostat)
@@ -266,6 +273,8 @@ class RunSpec:
         }
         if self.backend is not None:
             out["backend"] = self.backend
+        if self.workers:
+            out["workers"] = int(self.workers)
         if self.thermostat is not None:
             out["thermostat"] = self.thermostat.to_dict()
         return out

@@ -1,0 +1,1 @@
+"""Tests for the shared-memory domain-sharded execution layer."""

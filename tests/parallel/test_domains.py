@@ -1,0 +1,121 @@
+"""Decomposition invariants: column planning and shard pair ownership.
+
+All single-process — the worker processes call the exact same array
+logic, so pinning it here covers the sharded pipeline's correctness
+core without any multiprocessing in the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md.neighbor_list import NeighborList
+from repro.parallel.domains import build_shard_pairs, plan_columns
+from tests.conftest import small_slab_state
+
+
+def _pair_set(i, j):
+    lo = np.minimum(i, j)
+    hi = np.maximum(i, j)
+    return set(zip(lo.tolist(), hi.tolist()))
+
+
+class TestPlanColumns:
+    def test_edges_partition_the_line(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-5.0, 20.0, size=400)
+        for w in (1, 2, 4, 7):
+            edges = plan_columns(x, w, cell_width=2.0)
+            assert edges.shape == (w + 1,)
+            assert edges[0] == -np.inf and edges[-1] == np.inf
+            assert np.all(np.diff(edges) >= 0)
+            owner = np.searchsorted(edges, x, side="right") - 1
+            assert owner.min() >= 0 and owner.max() <= w - 1
+
+    def test_counts_roughly_balanced_on_uniform_data(self):
+        rng = np.random.default_rng(11)
+        x = rng.uniform(0.0, 40.0, size=2000)
+        edges = plan_columns(x, 4, cell_width=1.0)
+        counts = np.histogram(x, bins=edges)[0]
+        assert counts.sum() == len(x)
+        # column granularity limits balance; uniform data stays close
+        assert counts.max() <= 1.5 * len(x) / 4
+
+    def test_single_shard_owns_everything(self):
+        edges = plan_columns(np.array([0.0, 1.0, 2.0]), 1, cell_width=1.0)
+        assert list(edges) == [-np.inf, np.inf]
+
+    def test_empty_input(self):
+        edges = plan_columns(np.empty(0), 3, cell_width=1.0)
+        assert edges[0] == -np.inf and np.all(np.isinf(edges[1:]))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            plan_columns(np.array([0.0]), 0, cell_width=1.0)
+
+    def test_crowded_column_duplicates_edge_not_atoms(self):
+        # all atoms in one cell column: interior edges collapse, shards
+        # beyond the first go empty, nothing is double-owned
+        x = np.full(100, 3.14)
+        edges = plan_columns(x, 4, cell_width=1.0)
+        owner = np.searchsorted(edges, x, side="right") - 1
+        assert len(np.unique(owner)) == 1
+
+
+class TestBuildShardPairs:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_shard_union_is_the_serial_candidate_set(
+        self, ta_potential, n_shards
+    ):
+        state = small_slab_state("Ta", (5, 5, 2), temperature=400.0)
+        cutoff, skin = ta_potential.cutoff, 0.5
+        nl = NeighborList(state.box, cutoff, skin)
+        nl.rebuild(state.positions)
+        serial = _pair_set(nl._cand_i, nl._cand_j)
+
+        edges = plan_columns(
+            state.positions[:, 0], n_shards, cutoff + skin
+        )
+        sharded: set = set()
+        total = 0
+        for k in range(n_shards):
+            sp = build_shard_pairs(
+                state.positions, edges, k,
+                box=state.box, reach=cutoff + skin,
+            )
+            total += sp.n_candidates
+            sharded |= _pair_set(sp.gi, sp.gj)
+        # exactly-once: no shard overlap (union size == summed sizes)
+        assert total == len(sharded)
+        assert sharded == serial
+
+    def test_owned_counts_partition_atoms(self, ta_potential):
+        state = small_slab_state("Ta", (4, 4, 2), temperature=300.0)
+        reach = ta_potential.cutoff + 0.5
+        edges = plan_columns(state.positions[:, 0], 3, reach)
+        owned = [
+            build_shard_pairs(
+                state.positions, edges, k, box=state.box, reach=reach
+            ).n_owned
+            for k in range(3)
+        ]
+        assert sum(owned) == state.n_atoms
+
+    def test_pairs_filters_to_cutoff(self, ta_potential):
+        state = small_slab_state("Ta", (4, 4, 2), temperature=300.0)
+        cutoff = ta_potential.cutoff
+        reach = cutoff + 0.5
+        edges = plan_columns(state.positions[:, 0], 2, reach)
+        for k in range(2):
+            sp = build_shard_pairs(
+                state.positions, edges, k, box=state.box, reach=reach
+            )
+            table = sp.pairs(state.positions, cutoff)
+            assert table.half
+            assert np.all(table.r < cutoff)
+            np.testing.assert_allclose(
+                table.r,
+                np.linalg.norm(
+                    state.positions[table.j] - state.positions[table.i],
+                    axis=1,
+                ),
+            )

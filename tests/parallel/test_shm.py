@@ -1,0 +1,44 @@
+"""SharedArena: layout, zero-fill, and teardown semantics."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import SharedArena
+
+
+@pytest.fixture()
+def arena():
+    a = SharedArena(
+        {
+            "positions": ((7, 3), np.float64),
+            "types": ((7,), np.int64),
+            "rho": ((2, 7), np.float64),
+        }
+    )
+    yield a
+    a.close()
+
+
+class TestSharedArena:
+    def test_shapes_dtypes_and_zero_fill(self, arena):
+        assert arena["positions"].shape == (7, 3)
+        assert arena["positions"].dtype == np.float64
+        assert arena["types"].dtype == np.int64
+        for name in ("positions", "types", "rho"):
+            assert not arena[name].flags["OWNDATA"]
+            assert np.all(arena[name] == 0)
+
+    def test_views_alias_one_segment(self, arena):
+        arena["positions"][:] = 1.5
+        arena["rho"][1, :] = 2.5
+        # distinct arrays never overlap despite sharing the block
+        assert np.all(arena["types"] == 0)
+        assert np.all(arena["positions"] == 1.5)
+
+    def test_arrays_mapping_is_complete(self, arena):
+        assert set(arena.arrays) == {"positions", "types", "rho"}
+
+    def test_close_is_idempotent(self):
+        a = SharedArena({"x": ((3,), np.float64)})
+        a.close()
+        a.close()

@@ -28,7 +28,19 @@ class TestCaseTable:
     def test_every_case_has_quick_reps_and_seed_numbers(self):
         for case in CASES:
             assert case.name in QUICK_REPS
+            if case.backend is not None:
+                # backend-pinned cases postdate the seed tree: there is
+                # no pre-kernel-layer number to compare against
+                assert case.name not in SEED_BASELINE
+                continue
             assert set(SEED_BASELINE[case.name]) == {"full", "quick"}
+
+    def test_parallel_worker_sweep_present(self):
+        sweep = {c.name: c for c in CASES if c.backend == "parallel"}
+        assert set(sweep) == {"par-Ta-w1", "par-Ta-w2", "par-Ta-w4"}
+        assert [sweep[n].workers for n in sorted(sweep)] == [1, 2, 4]
+        # the acceptance workload: same slab as ref-Ta
+        assert all(c.reps == (20, 20, 20) for c in sweep.values())
 
     def test_acceptance_workload_present(self):
         # the 2x-vs-seed criterion is defined on the full Ta slab
