@@ -38,9 +38,12 @@ __all__ = [
     "run_case",
     "run_bench",
     "consistency_check",
+    "baseline_for_case",
     "compare_to_baseline",
     "write_report",
     "latest_results",
+    "peak_rss_bytes",
+    "reset_peak_rss",
 ]
 
 
@@ -75,6 +78,13 @@ CASES: tuple[BenchCase, ...] = (
     BenchCase("ref-Cu", "reference", "Cu", (16, 16, 16), (6, 40), (2, 5)),
     BenchCase("ref-W", "reference", "W", (20, 20, 20), (6, 40), (2, 5)),
     BenchCase("wse-Ta", "wse", "Ta", (8, 8, 3), (20, 30), (2, 5)),
+    # Lockstep scaling cases: the streaming sweeps keep peak memory at
+    # O(chunk x grid), so the machine now runs the paper's actual
+    # experiment sizes.  100k is the everyday scaling case; 800k is the
+    # paper's 801,792-atom Ta slab (256 x 261 x 6 BCC cells), full mode
+    # only — quick mode skips cases without a QUICK_REPS entry.
+    BenchCase("wse-Ta-100k", "wse", "Ta", (128, 131, 3), (5, 10), (1, 1)),
+    BenchCase("wse-Ta-800k", "wse", "Ta", (256, 261, 6), (3, 3), (1, 1)),
     BenchCase("par-Ta-w1", "reference", "Ta", (20, 20, 20), (10, 40),
               (2, 5), backend="parallel", workers=1),
     BenchCase("par-Ta-w2", "reference", "Ta", (20, 20, 20), (10, 40),
@@ -84,11 +94,16 @@ CASES: tuple[BenchCase, ...] = (
 )
 
 #: Quick-mode replications (small slabs so CI finishes in seconds).
+#: A case with no entry here is **full-mode only** and is skipped by
+#: ``--quick`` runs (wse-Ta-800k: the paper-scale slab has no small
+#: stand-in — wse-Ta-100k's quick entry already covers the >=10k-atom
+#: scaling regime the CI gate watches).
 QUICK_REPS: dict[str, tuple[int, int, int]] = {
     "ref-Ta": (8, 8, 4),
     "ref-Cu": (6, 6, 4),
     "ref-W": (8, 8, 4),
     "wse-Ta": (5, 5, 2),
+    "wse-Ta-100k": (48, 48, 3),
     "par-Ta-w1": (8, 8, 4),
     "par-Ta-w2": (8, 8, 4),
     "par-Ta-w4": (8, 8, 4),
@@ -166,7 +181,45 @@ def _case_extra(case: BenchCase, telemetry) -> dict:
         "grid": [c["grid_nx"], c["grid_ny"]],
         "b": c["b"],
         "modeled_wse2_steps_per_s": round(c["modeled_steps_per_s"], 1),
+        # streaming-sweep knobs, so the memory/speed trajectory in the
+        # history is auditable (chunk is the resolved, auto-sized value)
+        "offset_chunk": int(c["offset_chunk"]),
+        "workers": int(c["workers"]),
     }
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS watermark for this process.
+
+    Writing ``5`` to ``/proc/self/clear_refs`` (Linux >= 4.0) resets
+    ``VmHWM``, so each bench case's recorded peak is its own, not the
+    high-water mark of whichever earlier case was largest.  Returns
+    False where unsupported — then :func:`peak_rss_bytes` reports the
+    process-lifetime peak (still an upper bound).
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size in bytes (``VmHWM``; ru_maxrss fallback)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        return None
 
 
 def _execute(
@@ -185,6 +238,7 @@ def _execute(
         # the lockstep case benches the paper's force-symmetry path
         force_symmetry=(case.engine == "wse"),
     )
+    reset_peak_rss()
     if profile:
         from repro.obs import Tracer
 
@@ -199,6 +253,9 @@ def _execute(
     finally:
         engine.close()
     extra = _case_extra(case, telemetry)
+    peak = peak_rss_bytes()
+    if peak is not None:
+        extra["peak_rss_bytes"] = peak
     if telemetry.trace_phases is not None:
         extra["phases"] = {
             k: round(v, 4) for k, v in telemetry.trace_phases.items()
@@ -253,6 +310,11 @@ def run_bench(
         if elements and case.element not in elements:
             continue
         if engines and case.engine not in engines:
+            continue
+        if quick and case.name not in QUICK_REPS:
+            # full-mode-only case (no CI-sized stand-in exists)
+            if progress:
+                progress(f"  {case.name}: full mode only, skipped")
             continue
         if (workers is not None
                 and (case.backend or base_backend) == "parallel"):
@@ -400,21 +462,57 @@ def write_report(path: str, results: list[BenchResult], *,
     return report
 
 
+def baseline_for_case(
+    baseline: dict, name: str, *, mode: str | None = None
+) -> dict | None:
+    """Newest baseline record for ``name``, walking the history backwards.
+
+    The latest history entry need not contain every case (selective
+    ``--elements``/``--engines`` runs, cases added after the last full
+    sweep): the gate compares each case against the most recent entry
+    that actually timed it.  ``mode`` restricts the walk to entries of
+    one bench mode — quick and full numbers are never comparable.
+    Returns ``None`` when no prior timing exists anywhere.
+    """
+    history = baseline.get("history")
+    if not history:
+        # v1 single-run report
+        history = [baseline]
+    for entry in reversed(history):
+        if mode is not None and entry.get("mode") not in (mode, None):
+            continue
+        for r in entry.get("results", []):
+            if r.get("name") == name and r.get("steps_per_s"):
+                return r
+    return None
+
+
 def compare_to_baseline(
-    results: list[BenchResult], baseline: dict, *, max_drop: float
-) -> list[str]:
+    results: list[BenchResult],
+    baseline: dict,
+    *,
+    max_drop: float,
+    mode: str | None = None,
+) -> tuple[list[str], list[str]]:
     """Regression check vs a previous report (v1 or v2).
 
-    The gate reads the baseline's *latest* history entry.  Returns
-    human-readable failure lines (empty = pass).  Cases present on only
-    one side are skipped: the gate protects existing numbers, it does
-    not freeze the case list.
+    Each case is compared against the latest prior history entry that
+    timed it (:func:`baseline_for_case`) — a case absent from the
+    newest entry still gates against its own most recent number instead
+    of silently passing.  Returns ``(failures, notes)``: failure lines
+    (empty = pass), plus one note per case with **no** baseline
+    anywhere (new cases are reported distinctly, never silently
+    skipped).
     """
     failures: list[str] = []
-    base = {r["name"]: r for r in latest_results(baseline)}
+    notes: list[str] = []
     for r in results:
-        ref = base.get(r.name)
-        if ref is None or not ref.get("steps_per_s"):
+        ref = baseline_for_case(baseline, r.name, mode=mode)
+        if ref is None:
+            notes.append(
+                f"{r.name}: no baseline entry (new case; recorded at "
+                f"{r.steps_per_s:.2f} steps/s, gated from the next run)"
+            )
             continue
         floor = (1.0 - max_drop) * ref["steps_per_s"]
         if r.steps_per_s < floor:
@@ -423,4 +521,4 @@ def compare_to_baseline(
                 f"{floor:.2f} (baseline {ref['steps_per_s']:.2f} "
                 f"- {max_drop:.0%} allowance)"
             )
-    return failures
+    return failures, notes

@@ -92,6 +92,8 @@ def _spec_from_run_args(args):
             overrides["backend"] = args.backend
         if args.workers is not None:
             overrides["workers"] = args.workers
+        if args.offset_chunk is not None:
+            overrides["offset_chunk"] = args.offset_chunk
         if args.checkpoint_interval is not None:
             overrides["checkpoint_interval"] = args.checkpoint_interval
         return replace(spec, **overrides) if overrides else spec
@@ -104,6 +106,7 @@ def _spec_from_run_args(args):
         seed=args.seed,
         backend=args.backend,
         workers=args.workers or 0,
+        offset_chunk=args.offset_chunk or 0,
         swap_interval=args.swap_interval,
         force_symmetry=args.force_symmetry,
         checkpoint_interval=args.checkpoint_interval or 0,
@@ -272,8 +275,11 @@ def _cmd_bench(args) -> int:
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
-        failures = compare_to_baseline(results, baseline,
-                                       max_drop=args.max_drop)
+        failures, notes = compare_to_baseline(results, baseline,
+                                              max_drop=args.max_drop,
+                                              mode=mode)
+        for line in notes:
+            print(f"  NO BASELINE {line}")
         if failures:
             print(f"REGRESSION vs {args.baseline}:")
             for line in failures:
@@ -510,7 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "default: $REPRO_KERNEL_BACKEND or numpy")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes for the parallel backend "
-                          "(default: os.cpu_count())")
+                          "(default: os.cpu_count()), or for the wse "
+                          "engine's offset-dispatch pool (default: "
+                          "serial sweeps)")
+    run.add_argument("--offset-chunk", type=int, default=None,
+                     help="wse streaming-sweep batch size in offsets "
+                          "(default: auto-sized from the grid); a "
+                          "speed/memory knob, never physics")
     run.add_argument("--checkpoint", default=None, metavar="PREFIX",
                      help="write checkpoints under this path prefix "
                           "(<prefix>.npz/.json/.xyz)")

@@ -1,0 +1,312 @@
+"""Streaming, offset-fused sweeps for the lockstep machine.
+
+The record-based lockstep passes kept one full-grid record — shifted
+positions, masks, distances, unit vectors — per neighborhood offset,
+an O(offsets x nx x ny) working set that made paper-scale grids
+(801,792 atoms, ~80 offsets) infeasible.  This module replaces them
+with two streaming sweeps over *chunks* of offsets stacked on a batch
+axis:
+
+1. each offset of a chunk is shifted into a reused stack slice (the
+   candidate exchange),
+2. the whole chunk is distance-filtered at once (the neighbor mask),
+3. the surviving candidates are spline-evaluated in one batched call
+   per table family (:class:`~repro.potentials.spline.SplineGroup`),
+4. each offset's contributions are scattered into the running
+   accumulators *in exchange order*, and the chunk buffers are reused
+   for the next chunk.
+
+Nothing proportional to the full neighborhood survives a sweep: peak
+memory is O(chunk x nx x ny), with ``chunk`` configurable (the
+``offset_chunk`` RunSpec knob).  The arithmetic per candidate and the
+per-tile accumulation order are exactly those of the record-based
+passes, so trajectories are bitwise identical — the equivalence the
+``tests/core`` streaming suite asserts.
+
+The sweeps are self-contained (no reference to the parent machine), so
+the same code runs in-process for the serial path and inside forked
+workers for the offset-parallel path (:mod:`repro.parallel.offsets`),
+each worker owning a contiguous slice of the offset list.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.exchange import shift2d_into
+
+__all__ = ["StreamingSweeps", "auto_chunk", "FAR"]
+
+#: Fabric-plane sentinel coordinate of an empty tile's "atom at
+#: infinity" (shared with :mod:`repro.core.wse_md`).
+FAR = 1.0e15
+
+#: Element budget for the auto-sized chunk: chunk * nx * ny stays at or
+#: under this many stacked tiles (~96 MB of float64 displacement stack),
+#: capped so small grids do not build absurdly deep stacks.
+_AUTO_CHUNK_ELEMENTS = 4_000_000
+_AUTO_CHUNK_MAX = 16
+
+
+def auto_chunk(nx: int, ny: int) -> int:
+    """Default offset-chunk size for an ``nx x ny`` grid.
+
+    Sized so the stacked exchange buffers stay around 100 MB however
+    large the grid is, while small grids still batch enough offsets to
+    amortize per-chunk dispatch.
+    """
+    return max(1, min(_AUTO_CHUNK_MAX, _AUTO_CHUNK_ELEMENTS // (nx * ny)))
+
+
+class StreamingSweeps:
+    """Chunked density and force sweeps over a fixed offset list.
+
+    Parameters
+    ----------
+    nx, ny:
+        Core-grid shape.
+    dtype:
+        Per-tile position dtype (the machine's storage dtype).
+    lengths, periodic:
+        Box edge lengths and periodic flags (minimum-image wrap).
+    cutoff:
+        Interaction cutoff (A).
+    tables:
+        :class:`~repro.potentials.eam.EAMTables`; batched evaluation
+        uses its cached :meth:`~repro.potentials.eam.EAMTables.grouped`
+        banks.
+    offsets:
+        The ``(dx, dy)`` neighborhood offsets this sweeper owns, in
+        exchange order (already cropped to the half neighborhood when
+        force symmetry is on).
+    chunk:
+        Offsets stacked per batch (0 = :func:`auto_chunk`).
+    force_symmetry:
+        Paper Sec. VI-A half-neighborhood mode: every pair term is
+        computed once and the partner's share is scattered through the
+        reverse offset.
+    """
+
+    def __init__(
+        self,
+        *,
+        nx: int,
+        ny: int,
+        dtype,
+        lengths,
+        periodic,
+        cutoff: float,
+        tables,
+        offsets: list[tuple[int, int]],
+        chunk: int = 0,
+        force_symmetry: bool = False,
+    ) -> None:
+        if chunk < 0:
+            raise ValueError(f"offset chunk must be >= 0, got {chunk}")
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.dtype = np.dtype(dtype)
+        self.lengths = tuple(float(v) for v in lengths)
+        self.periodic = tuple(bool(v) for v in periodic)
+        self.cutoff = float(cutoff)
+        self.tables = tables
+        self.offsets = [(int(dx), int(dy)) for dx, dy in offsets]
+        self.force_symmetry = bool(force_symmetry)
+        self.chunk = int(chunk) if chunk else auto_chunk(self.nx, self.ny)
+        depth = max(1, min(self.chunk, len(self.offsets)))
+        self._depth = depth
+        # Chunk-stacked exchange buffers, reused by every chunk of both
+        # sweeps — the only allocations proportional to the grid.
+        self._d = np.empty((depth, self.nx, self.ny, 3), dtype=self.dtype)
+        self._oocc = np.empty((depth, self.nx, self.ny), dtype=bool)
+        self._r2 = np.empty((depth, self.nx, self.ny), dtype=self.dtype)
+        self._both = np.empty((depth, self.nx, self.ny), dtype=bool)
+        if self.force_symmetry:
+            # reverse-reduction scatter buffers (one offset at a time)
+            self._vec = np.empty((self.nx, self.ny, 3), dtype=np.float64)
+            self._vec_shift = np.empty_like(self._vec)
+            self._scal = np.empty((self.nx, self.ny), dtype=np.float64)
+            self._scal_shift = np.empty_like(self._scal)
+        # per-chunk offset arrays for gather indexing
+        self._chunks: list[tuple[list[tuple[int, int]], np.ndarray, np.ndarray]] = []
+        for start in range(0, len(self.offsets), depth):
+            part = self.offsets[start:start + depth]
+            dxa = np.array([o[0] for o in part], dtype=np.int64)
+            dya = np.array([o[1] for o in part], dtype=np.int64)
+            self._chunks.append((part, dxa, dya))
+
+    def buffer_bytes(self) -> int:
+        """Bytes held by the reusable chunk-stacked buffers."""
+        total = self._d.nbytes + self._oocc.nbytes
+        total += self._r2.nbytes + self._both.nbytes
+        if self.force_symmetry:
+            total += self._vec.nbytes + self._vec_shift.nbytes
+            total += self._scal.nbytes + self._scal_shift.nbytes
+        return total
+
+    # -- the shared exchange + filter front end ---------------------------
+
+    def _filter_chunk(self, part, pos, occ):
+        """Shift + distance-filter one chunk of offsets.
+
+        Returns the candidate points in (offset-major) exchange order:
+        stack/tile indices, distances, and the exchange / neighbor
+        split of the elapsed time.  The displacement stack ``self._d``
+        holds the filtered displacements for :meth:`force` to turn into
+        unit vectors.
+        """
+        c = len(part)
+        d = self._d[:c]
+        oocc = self._oocc[:c]
+        t0 = time.perf_counter()
+        for i, (dx, dy) in enumerate(part):
+            shift2d_into(d[i], pos, dx, dy, fill=FAR)
+            shift2d_into(oocc[i], occ, dx, dy, fill=False)
+        t1 = time.perf_counter()
+        np.subtract(d, pos[None], out=d)
+        both = np.logical_and(occ[None], oocc, out=self._both[:c])
+        np.copyto(d, 0.0, where=~both[..., None])
+        for dim in range(3):
+            if self.periodic[dim]:
+                ld = self.lengths[dim]
+                d[..., dim] -= ld * np.floor(d[..., dim] / ld + 0.5)
+        r2 = np.einsum("cxyk,cxyk->cxy", d, d, out=self._r2[:c])
+        rc2 = self.cutoff**2
+        within = both & (r2 < rc2) & (r2 > 0.0)
+        cc, xx, yy = np.nonzero(within)
+        r = np.sqrt(r2[within])
+        starts = np.searchsorted(cc, np.arange(c + 1))
+        t2 = time.perf_counter()
+        return within, cc, xx, yy, r, starts, t1 - t0, t2 - t1
+
+    @staticmethod
+    def _cand_rect(n_cand, occ, dx, dy) -> None:
+        """Count one offset's received candidates (occupied tiles whose
+        neighbor at (dx, dy) exists on the fabric) — the in-fabric mask
+        of the record-based pass is a rectangle, so this is a slice add.
+        """
+        nx, ny = occ.shape
+        x0, x1 = max(-dx, 0), nx + min(-dx, 0)
+        y0, y1 = max(-dy, 0), ny + min(-dy, 0)
+        if x0 < x1 and y0 < y1:
+            n_cand[x0:x1, y0:y1] += occ[x0:x1, y0:y1]
+
+    # -- sweep 1: density -------------------------------------------------
+
+    def density(self, pos, occ, typ, rho_bar, n_cand, n_int):
+        """Candidate exchange + neighbor filter + density accumulation.
+
+        Accumulates into the caller's ``rho_bar`` (float64),
+        ``n_cand``/``n_int`` (int64) grids and returns
+        ``(t_exchange, t_neighbor, n_points)``.
+        """
+        grouped = self.tables.grouped()
+        nt = self.tables.n_types
+        t_ex = t_nb = 0.0
+        n_pts = 0
+        for part, dxa, dya in self._chunks:
+            within, cc, xx, yy, r, starts, dt_ex, dt_nb = self._filter_chunk(
+                part, pos, occ
+            )
+            t_ex += dt_ex
+            t_nb += dt_nb
+            for dx, dy in part:
+                self._cand_rect(n_cand, occ, dx, dy)
+            n_int += within.sum(axis=0)
+            if len(r) == 0:
+                continue
+            n_pts += len(r)
+            if nt == 1:
+                vals = grouped.rho.evaluate(r, 0)[0]
+            else:
+                src_t = typ[xx + dxa[cc], yy + dya[cc]]
+                vals = grouped.rho.evaluate(r, src_t)[0]
+            if self.force_symmetry:
+                ctr_t = 0 if nt == 1 else typ[xx, yy]
+                vals_ctr = grouped.rho.evaluate(r, ctr_t)[0]
+            for i, (dx, dy) in enumerate(part):
+                s0, s1 = starts[i], starts[i + 1]
+                if s0 == s1:
+                    continue
+                rho_bar[xx[s0:s1], yy[s0:s1]] += vals[s0:s1]
+                if self.force_symmetry:
+                    # reverse reduction: the partner's density share
+                    contrib = self._scal
+                    contrib[...] = 0.0
+                    contrib[xx[s0:s1], yy[s0:s1]] = vals_ctr[s0:s1]
+                    rho_bar += shift2d_into(
+                        self._scal_shift, contrib, -dx, -dy, fill=0.0
+                    )
+        return t_ex, t_nb, n_pts
+
+    # -- sweep 2: forces --------------------------------------------------
+
+    def force(self, pos, occ, typ, f_der, force, e_pair):
+        """F' exchange + Eq. 4 force/pair-energy accumulation.
+
+        Re-runs the chunk filter (positions have not moved since the
+        density sweep, so the masks and distances come out bitwise
+        identical) and accumulates into the caller's ``force`` /
+        ``e_pair`` float64 grids.  Returns
+        ``(t_exchange, t_neighbor, n_points)``.
+        """
+        grouped = self.tables.grouped()
+        nt = self.tables.n_types
+        t_ex = t_nb = 0.0
+        n_pts = 0
+        for part, dxa, dya in self._chunks:
+            within, cc, xx, yy, r, starts, dt_ex, dt_nb = self._filter_chunk(
+                part, pos, occ
+            )
+            t_ex += dt_ex
+            if len(r) == 0:
+                t_nb += dt_nb
+                continue
+            n_pts += len(r)
+            t0 = time.perf_counter()
+            unit = self._d[:len(part)][within] / r[:, None]
+            t_nb += dt_nb + (time.perf_counter() - t0)
+            fder_ctr = f_der[xx, yy]
+            fder_src = f_der[xx + dxa[cc], yy + dya[cc]]
+            if nt == 1:
+                rho_d = grouped.rho.evaluate(r, 0)[1]
+                rho_d_src = rho_d_ctr = rho_d
+                phi_v, phi_d = grouped.phi.evaluate(r, 0)
+            else:
+                src_t = typ[xx + dxa[cc], yy + dya[cc]]
+                ctr_t = typ[xx, yy]
+                rho_d_src = grouped.rho.evaluate(r, src_t)[1]
+                rho_d_ctr = grouped.rho.evaluate(r, ctr_t)[1]
+                phi_v, phi_d = grouped.phi.evaluate(
+                    r, grouped.phi_index[ctr_t, src_t]
+                )
+            s = fder_ctr * rho_d_src + fder_src * rho_d_ctr + phi_d
+            fvec_pts = s[:, None] * unit
+            for i, (dx, dy) in enumerate(part):
+                s0, s1 = starts[i], starts[i + 1]
+                if s0 == s1:
+                    continue
+                px = xx[s0:s1]
+                py = yy[s0:s1]
+                if self.force_symmetry:
+                    # compute once, return the partner's (negated)
+                    # share via the reverse reduction
+                    fvec = self._vec
+                    fvec[...] = 0.0
+                    fvec[px, py] = fvec_pts[s0:s1]
+                    force += fvec
+                    force -= shift2d_into(
+                        self._vec_shift, fvec, -dx, -dy, fill=0.0
+                    )
+                    e_half = self._scal
+                    e_half[...] = 0.0
+                    e_half[px, py] = 0.5 * phi_v[s0:s1]
+                    e_pair += e_half + shift2d_into(
+                        self._scal_shift, e_half, -dx, -dy, fill=0.0
+                    )
+                else:
+                    force[px, py] += fvec_pts[s0:s1]
+                    e_pair[px, py] += 0.5 * phi_v[s0:s1]
+        return t_ex, t_nb, n_pts

@@ -4,8 +4,11 @@ Executes every tile's worker program simultaneously on per-tile grid
 arrays, following the five-step timestep of paper Sec. III-A:
 
 1. **Candidate exchange** — streamed over the (2b+1)^2 neighborhood
-   offsets (:mod:`repro.core.exchange`), the functional equivalent of
-   the marching multicast.
+   offsets in fixed-size chunks (:mod:`repro.core.streaming`), the
+   functional equivalent of the marching multicast.  No per-offset
+   record survives a pass: each chunk is shifted, filtered, reduced
+   into the running accumulators and its buffers reused, so peak
+   memory is O(chunk x grid), never O(offsets x grid).
 2. **Neighbor list** — the within-cutoff mask per offset (candidates
    arrive in deterministic order; the mask *is* the ordinal list).
 3. **Embedding calculation and exchange** — density accumulation, then
@@ -27,14 +30,12 @@ The physics is identical to the reference engine
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.constants import MVV2E
 from repro.core.cycle_model import CycleCostModel
-from repro.core.exchange import iter_neighborhood, shift2d, shift2d_into
 from repro.core.mapping import Mapping, build_mapping
+from repro.core.streaming import StreamingSweeps
 from repro.core.neighborhood import required_b
 from repro.core.swap import SwapEngine
 from repro.md.state import AtomsState
@@ -115,6 +116,18 @@ class WseMd:
         pair work halves (price it with an
         :class:`~repro.core.cycle_model.OptimizationConfig` whose
         ``interaction_factor`` is 0.5).
+    offset_chunk:
+        Offsets stacked per streaming batch (0 auto-sizes from the
+        grid; see :func:`repro.core.streaming.auto_chunk`).  A speed /
+        memory knob only — any chunking produces bitwise-identical
+        trajectories.
+    workers:
+        Dispatch offset chunks across this many forked workers
+        (:class:`repro.parallel.offsets.WseOffsetPool`); 0 runs the
+        sweeps in-process.  Trajectories are bitwise-reproducible per
+        worker count, and ``workers=1`` matches the serial path
+        bitwise.  Falls back to serial (with a once-per-process
+        warning) where fork is unavailable.
     """
 
     def __init__(
@@ -136,6 +149,8 @@ class WseMd:
         seed: int = 0,
         rng: np.random.Generator | None = None,
         force_symmetry: bool = False,
+        offset_chunk: int = 0,
+        workers: int = 0,
         tracer=None,
     ) -> None:
         self.potential = potential
@@ -207,22 +222,44 @@ class WseMd:
         self.last_interactions = np.zeros((nx, ny), dtype=np.int64)
         self._check_b_coverage_possible()
 
-        # Fast-path state: the (2b+1)^2 - 1 neighborhood offsets and
-        # their in-fabric masks depend only on the (fixed) grid and b,
-        # so they are computed once here instead of every step; the
-        # exchange buffers below are reused by every shift so the hot
-        # loop allocates nothing proportional to the grid.
-        self._offsets = list(iter_neighborhood(self.grid, self.b))
-        self._xbuf_pos = np.empty((nx, ny, 3), dtype=self.dtype)
-        self._xbuf_occ = np.empty((nx, ny), dtype=bool)
-        self._xbuf_d = np.empty((nx, ny, 3), dtype=self.dtype)
-        self._xbuf_r2 = np.empty((nx, ny), dtype=self.dtype)
-        self._xbuf_fder = np.empty((nx, ny), dtype=np.float64)
-        self._xbuf_typ = np.empty((nx, ny), dtype=np.int64)
-        self._xbuf_vec = np.empty((nx, ny, 3), dtype=np.float64)
-        self._xbuf_vec_shift = np.empty((nx, ny, 3), dtype=np.float64)
-        self._xbuf_scal = np.empty((nx, ny), dtype=np.float64)
-        self._xbuf_scal_shift = np.empty((nx, ny), dtype=np.float64)
+        # Streaming-sweep state: the (2b+1)^2 - 1 neighborhood offsets
+        # depend only on the (fixed) grid and b; with force symmetry a
+        # worker processes only the "i < j" half (the multicast is
+        # cropped, Sec. VI-A) and each pair's partner share travels
+        # back via the reverse reduction.  The sweeper owns the
+        # chunk-stacked exchange buffers — peak memory is
+        # O(chunk x nx x ny), never O(offsets x nx x ny).
+        if offset_chunk < 0:
+            raise ValueError(
+                f"offset_chunk must be >= 0, got {offset_chunk}"
+            )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.offset_chunk = int(offset_chunk)
+        self.workers = int(workers)
+        self._offsets = [
+            (int(dx), int(dy))
+            for dx, dy in self.grid.neighborhood_offsets(self.b)
+        ]
+        self._pass_offsets = [
+            (dx, dy)
+            for dx, dy in self._offsets
+            if not self.force_symmetry or dy > 0 or (dy == 0 and dx > 0)
+        ]
+        self._sweeps = StreamingSweeps(
+            nx=nx,
+            ny=ny,
+            dtype=self.dtype,
+            lengths=self.box.lengths,
+            periodic=self.box.periodic,
+            cutoff=potential.cutoff,
+            tables=potential.tables,
+            offsets=self._pass_offsets,
+            chunk=self.offset_chunk,
+            force_symmetry=self.force_symmetry,
+        )
+        self._pool = None
+        self._pool_failed = False
 
     # -- helpers ---------------------------------------------------------------
 
@@ -243,6 +280,11 @@ class WseMd:
         """The timing-noise generator (for checkpointing its state)."""
         return self._rng
 
+    @property
+    def effective_offset_chunk(self) -> int:
+        """The resolved streaming chunk (auto-sized when 0 was passed)."""
+        return self._sweeps.chunk
+
     def _minimum_image(self, d: np.ndarray) -> np.ndarray:
         # floor(x/L + 0.5), not round(x/L): np.round banker's-rounds
         # half-box ties (exactly +-L/2) to the nearest *even* multiple,
@@ -255,130 +297,70 @@ class WseMd:
                 d[..., dim] -= ld * np.floor(d[..., dim] / ld + 0.5)
         return d
 
-    def _exchange_shift(self, dx: int, dy: int):
-        """One offset's candidate exchange: shifted neighbor state.
-
-        The returned arrays are reused exchange buffers — valid only
-        until the next offset is processed.
-        """
-        opos = shift2d_into(self._xbuf_pos, self.pos, dx, dy, fill=_FAR)
-        oocc = shift2d_into(self._xbuf_occ, self.occ, dx, dy, fill=False)
-        return opos, oocc
-
-    def _neighbor_filter(self, opos: np.ndarray, oocc: np.ndarray):
-        """The within-cutoff mask and pair distances for one offset."""
-        d = np.subtract(opos, self.pos, out=self._xbuf_d)
-        both = self.occ & oocc
-        np.copyto(d, 0.0, where=~both[:, :, None])
-        d = self._minimum_image(d)
-        r2 = np.einsum("xyk,xyk->xy", d, d, out=self._xbuf_r2)
-        rc2 = self.potential.cutoff**2
-        within = both & (r2 < rc2) & (r2 > 0.0)
-        return d, r2, within
-
-    def _pair_quantities(self, dx: int, dy: int):
-        """Shifted neighbor state and pair distances for one offset."""
-        opos, oocc = self._exchange_shift(dx, dy)
-        d, r2, within = self._neighbor_filter(opos, oocc)
-        return opos, oocc, d, r2, within
-
-    def _collect_pairs(self):
-        """One candidate-exchange sweep, cached for both compute passes.
-
-        The density and force passes consume the same received
-        candidates (positions do not move between them), so the
-        exchange is swept once per step: per offset, the within-cutoff
-        tile mask, pair distances, and unit displacement vectors.
-
-        Tracing: the sweep is one ``exchange`` span; the per-offset
-        distance filter is accumulated and recorded as a ``neighbor``
-        child, so loop glue lands in exchange self-time and the two
-        phases together cover the whole sweep.
-        """
-        tr = self.tracer
-        tracing = tr.enabled
-        records = []
-        with tr.phase("exchange") as ex:
-            t_nb = 0.0
-            n_offsets = 0
-            for dx, dy, fabric in self._pass_offsets():
-                n_offsets += 1
-                opos, oocc = self._exchange_shift(dx, dy)
-                if tracing:
-                    t0 = time.perf_counter()
-                d, r2, within = self._neighbor_filter(opos, oocc)
-                if np.any(within):
-                    r = np.sqrt(r2[within])
-                    unit = d[within] / r[:, None]
-                else:
-                    r = np.empty(0)
-                    unit = np.empty((0, 3))
-                if tracing:
-                    t_nb += time.perf_counter() - t0
-                records.append((dx, dy, fabric, within, r, unit))
-            if tracing:
-                tr.record("neighbor", t_nb, {"offsets": n_offsets})
-                ex.add(offsets=n_offsets)
-        return records
-
     # -- the five-step timestep ------------------------------------------------
 
-    def _pass_offsets(self):
-        """Neighborhood offsets a worker processes locally.
+    def _ensure_pool(self):
+        """The offset-dispatch pool, spawned lazily (or None = serial).
 
-        With force symmetry only the "i < j" half-neighborhood is
-        processed (the multicast is cropped, Sec. VI-A); each pair's
-        result for the partner atom travels back via the reverse
-        reduction, which the lockstep machine realizes as a scatter
-        through the opposite offset.
+        The spawn is traced as its own ``parallel.pool`` phase (like
+        the reference engine's shard pool) so pool setup never inflates
+        a taxonomy phase.  Where fork is unavailable the machine warns
+        once and runs the sweeps in-process.
         """
-        for dx, dy, fabric in self._offsets:
-            if self.force_symmetry and not (dy > 0 or (dy == 0 and dx > 0)):
-                continue
-            yield dx, dy, fabric
+        if self.workers <= 0 or self._pool_failed:
+            return None
+        if self._pool is not None:
+            return self._pool
+        from repro.parallel.offsets import WseOffsetPool
+        from repro.parallel.pool import fork_available
 
-    def _rho_values(self, r: np.ndarray, src_types: np.ndarray) -> np.ndarray:
-        tables = self.potential.tables
-        if tables.n_types == 1:
-            return tables.rho[0](r)
-        vals = np.zeros(len(r))
-        for t in range(tables.n_types):
-            m = src_types == t
-            if np.any(m):
-                vals[m] = tables.rho[t](r[m])
-        return vals
+        if not fork_available():
+            self._pool_failed = True
+            import warnings
 
-    def _density_pass(self, records=None):
-        """Steps 1-3a: candidate exchange, neighbor mask, density sums."""
+            warnings.warn(
+                "fork start method unavailable; wse offset dispatch "
+                "falls back to the serial streaming sweeps",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        with self.tracer.phase("parallel.pool") as ph:
+            self._pool = WseOffsetPool(
+                n_workers=self.workers,
+                nx=self.grid.nx,
+                ny=self.grid.ny,
+                dtype=self.dtype,
+                lengths=self.box.lengths,
+                periodic=self.box.periodic,
+                cutoff=self.potential.cutoff,
+                tables=self.potential.tables,
+                offsets=self._pass_offsets,
+                chunk=self.offset_chunk,
+                force_symmetry=self.force_symmetry,
+            )
+            ph.add(workers=self._pool.n_workers)
+        return self._pool
+
+    def _density_sweep(self):
+        """Steps 1-3a: candidate exchange, neighbor mask, density sums.
+
+        Returns the accumulated grids plus the exchange / neighbor
+        wall-time split the streaming sweep measured (recorded as child
+        spans of the ``density`` phase by :meth:`step`).
+        """
         nx, ny = self.grid.nx, self.grid.ny
         rho_bar = np.zeros((nx, ny))
         n_cand = np.zeros((nx, ny), dtype=np.int64)
         n_int = np.zeros((nx, ny), dtype=np.int64)
-        tables = self.potential.tables
-        records = records if records is not None else self._collect_pairs()
-        for dx, dy, fabric, within, r, _unit in records:
-            n_cand += fabric & self.occ
-            n_int += within
-            if len(r) == 0:
-                continue
-            if tables.n_types == 1:
-                src_t = ctr_t = np.zeros(len(r), dtype=np.int64)
-            else:
-                otyp = shift2d_into(self._xbuf_typ, self.typ, dx, dy, fill=0)
-                src_t = otyp[within]
-                ctr_t = self.typ[within]
-            rho_bar[within] += self._rho_values(r, src_t)
-            if self.force_symmetry:
-                # reverse reduction: the partner's density share
-                contrib = self._xbuf_scal
-                contrib[...] = 0.0
-                contrib[within] = self._rho_values(r, ctr_t)
-                rho_bar += shift2d_into(
-                    self._xbuf_scal_shift, contrib, -dx, -dy, fill=0.0
-                )
+        pool = self._ensure_pool()
+        runner = pool if pool is not None else self._sweeps
+        t_ex, t_nb, _ = runner.density(
+            self.pos, self.occ, self.typ, rho_bar, n_cand, n_int
+        )
         self.last_candidates = n_cand
         self.last_interactions = n_int
-        return rho_bar, n_cand, n_int
+        return rho_bar, n_cand, n_int, t_ex, t_nb
 
     def _embed(self, rho_bar: np.ndarray):
         """Step 3b: embedding energy and derivative per tile."""
@@ -399,65 +381,23 @@ class WseMd:
                     f_der[m] = dv
         return f_val, f_der
 
-    def _force_pass(self, f_der: np.ndarray, records=None):
-        """Steps 3c-4a: F' exchange and Eq. 4 force accumulation."""
+    def _force_sweep(self, f_der: np.ndarray):
+        """Steps 3c-4a: F' exchange and Eq. 4 force accumulation.
+
+        Re-runs the streaming filter (positions are unchanged since the
+        density sweep, so masks and distances are bitwise identical)
+        instead of caching per-offset records — that cache was the
+        O(offsets x grid) memory blow-up this engine no longer has.
+        """
         nx, ny = self.grid.nx, self.grid.ny
         force = np.zeros((nx, ny, 3))
         e_pair = np.zeros((nx, ny))
-        tables = self.potential.tables
-        records = records if records is not None else self._collect_pairs()
-        for dx, dy, _fabric, within, r, unit in records:
-            if len(r) == 0:
-                continue
-            ofder = shift2d_into(self._xbuf_fder, f_der, dx, dy, fill=0.0)
-            if tables.n_types == 1:
-                rho_d = tables.rho[0].evaluate(r)[1]
-                rho_d_src = rho_d
-                rho_d_ctr = rho_d
-                phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
-            else:
-                otyp = shift2d_into(self._xbuf_typ, self.typ, dx, dy, fill=0)
-                t_src = otyp[within]
-                t_ctr = self.typ[within]
-                rho_d_src = np.zeros(len(r))
-                rho_d_ctr = np.zeros(len(r))
-                phi_v = np.zeros(len(r))
-                phi_d = np.zeros(len(r))
-                for t in range(tables.n_types):
-                    m = t_src == t
-                    if np.any(m):
-                        rho_d_src[m] = tables.rho[t].evaluate(r[m])[1]
-                    m = t_ctr == t
-                    if np.any(m):
-                        rho_d_ctr[m] = tables.rho[t].evaluate(r[m])[1]
-                for t1 in range(tables.n_types):
-                    for t2 in range(tables.n_types):
-                        m = (t_ctr == t1) & (t_src == t2)
-                        if np.any(m):
-                            v, dv = tables.phi_for(t1, t2).evaluate(r[m])
-                            phi_v[m] = v
-                            phi_d[m] = dv
-            s = f_der[within] * rho_d_src + ofder[within] * rho_d_ctr + phi_d
-            if self.force_symmetry:
-                # compute once, return the partner's (negated) share via
-                # the reverse reduction
-                fvec = self._xbuf_vec
-                fvec[...] = 0.0
-                fvec[within] = s[:, None] * unit
-                force += fvec
-                force -= shift2d_into(
-                    self._xbuf_vec_shift, fvec, -dx, -dy, fill=0.0
-                )
-                e_half = self._xbuf_scal
-                e_half[...] = 0.0
-                e_half[within] = 0.5 * phi_v
-                e_pair += e_half + shift2d_into(
-                    self._xbuf_scal_shift, e_half, -dx, -dy, fill=0.0
-                )
-            else:
-                force[within] += s[:, None] * unit
-                e_pair[within] += 0.5 * phi_v
-        return force, e_pair
+        pool = self._ensure_pool()
+        runner = pool if pool is not None else self._sweeps
+        t_ex, t_nb, _ = runner.force(
+            self.pos, self.occ, self.typ, f_der, force, e_pair
+        )
+        return force, e_pair, t_ex, t_nb
 
     def _integrate(self, force: np.ndarray) -> None:
         """Step 4b: leap-frog update, restricted to the occupied tiles.
@@ -540,14 +480,22 @@ class WseMd:
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative, got {n_steps}")
         tr = self.tracer
+        n_offsets = len(self._pass_offsets)
         for _ in range(n_steps):
             # the "step" envelope's self-time is the loop glue between
             # phases (LAMMPS's "Other" row), so traced time tiles the
-            # engine wall time
+            # engine wall time.  Each sweep reports its exchange /
+            # neighbor wall-time split, recorded as child spans so the
+            # taxonomy phases still tile the step: the machine performs
+            # two exchanges per step (candidates, then F'), exactly as
+            # the paper's timestep does.
             with tr.phase("step"):
-                records = self._collect_pairs()
                 with tr.phase("density") as ph:
-                    rho_bar, n_cand, n_int = self._density_pass(records)
+                    rho_bar, n_cand, n_int, t_ex, t_nb = (
+                        self._density_sweep()
+                    )
+                    tr.record("exchange", t_ex, {"offsets": n_offsets})
+                    tr.record("neighbor", t_nb, {"offsets": n_offsets})
                     ph.add(
                         candidates=int(n_cand.sum()),
                         interactions=int(n_int.sum()),
@@ -555,7 +503,9 @@ class WseMd:
                 with tr.phase("embedding"):
                     _, f_der = self._embed(rho_bar)
                 with tr.phase("pair_force"):
-                    force, _ = self._force_pass(f_der, records)
+                    force, _, t_ex, t_nb = self._force_sweep(f_der)
+                    tr.record("exchange", t_ex, {"offsets": n_offsets})
+                    tr.record("neighbor", t_nb, {"offsets": n_offsets})
                 with tr.phase("integrate"):
                     self._integrate(force)
                 with tr.phase("cycle_account"):
@@ -571,20 +521,24 @@ class WseMd:
 
     def compute_energy(self) -> float:
         """Total potential energy at the current positions (eV)."""
-        records = self._collect_pairs()
-        rho_bar, _, _ = self._density_pass(records)
+        rho_bar, _, _, _, _ = self._density_sweep()
         f_val, f_der = self._embed(rho_bar)
-        _, e_pair = self._force_pass(f_der, records)
+        _, e_pair, _, _ = self._force_sweep(f_der)
         return float(f_val[self.occ].sum() + e_pair[self.occ].sum())
 
     def compute_forces(self) -> np.ndarray:
         """Forces on the occupied tiles' atoms, id order, (N, 3)."""
-        records = self._collect_pairs()
-        rho_bar, _, _ = self._density_pass(records)
+        rho_bar, _, _, _, _ = self._density_sweep()
         _, f_der = self._embed(rho_bar)
-        force, _ = self._force_pass(f_der, records)
+        force, _, _, _ = self._force_sweep(f_der)
         order = np.argsort(self.aid[self.occ])
         return force[self.occ][order]
+
+    def close(self) -> None:
+        """Release the offset-dispatch pool (no-op when running serial)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def verify_coverage(self) -> int:
         """Check every interacting pair lies within the b-neighborhood.

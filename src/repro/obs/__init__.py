@@ -40,7 +40,11 @@ reference engine additionally emits ``parallel.pool`` — the one-time
 worker-pool spawn (fork + shared-memory arena), deliberately its own
 phase so pool setup never inflates ``neighbor`` and never counts
 against the ``repro profile --check`` wall-coverage gate (teardown
-happens outside the engine's measured wall time).  Sharded runs keep
+happens outside the engine's measured wall time).  The lockstep
+machine emits the same ``parallel.pool`` span when its offset-dispatch
+pool (``workers`` on a wse spec) spawns; its streaming sweeps report
+``exchange`` and ``neighbor`` as pre-measured child spans inside
+``density`` and ``pair_force``, so the wse taxonomy is unchanged.  Sharded runs keep
 the standard taxonomy: per-shard timings ride as span counters
 (``shard_sum_s``/``shard_max_s``) and ``parallel.*`` metrics, not as
 extra phases.  :data:`ENGINE_PHASES` names the subset each engine is

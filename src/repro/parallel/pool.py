@@ -113,17 +113,25 @@ class WorkerPool:
     the parent if any worker reported an error.
     """
 
-    def __init__(self, n_workers: int, shared: dict, cfg: dict) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        shared: dict,
+        cfg: dict,
+        *,
+        main=_worker_main,
+        name: str = "repro-shard",
+    ) -> None:
         ctx = multiprocessing.get_context("fork")
         self._conns = []
         self._procs = []
         for wid in range(n_workers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
-                target=_worker_main,
+                target=main,
                 args=(child_conn, wid, shared, cfg),
                 daemon=True,
-                name=f"repro-shard-{wid}",
+                name=f"{name}-{wid}",
             )
             proc.start()
             child_conn.close()

@@ -27,9 +27,25 @@ import numpy as np
 from repro.kernels import active_backend
 from repro.obs import NULL_TRACER, metrics
 from repro.potentials.base import PairDistanceCap, PairTable, Potential
-from repro.potentials.spline import UniformCubicSpline
+from repro.potentials.spline import SplineGroup, UniformCubicSpline
 
-__all__ = ["EAMTables", "EAMPotential"]
+__all__ = ["EAMTables", "GroupedEAMTables", "EAMPotential"]
+
+
+@dataclass(frozen=True)
+class GroupedEAMTables:
+    """Batched-evaluation view of an :class:`EAMTables` (see
+    :meth:`EAMTables.grouped`).
+
+    ``phi_index[t1, t2]`` maps an ordered type pair to its member slot
+    in the ``phi`` group, honoring the unordered ``(t1 <= t2)`` keying
+    of the underlying tables.
+    """
+
+    rho: SplineGroup
+    embed: SplineGroup
+    phi: SplineGroup
+    phi_index: np.ndarray
 
 
 @dataclass
@@ -83,6 +99,31 @@ class EAMTables:
     def phi_for(self, t1: int, t2: int) -> UniformCubicSpline:
         """Pair table for an (unordered) type pair."""
         return self.phi[(t1, t2) if t1 <= t2 else (t2, t1)]
+
+    def grouped(self) -> GroupedEAMTables:
+        """Fused :class:`~repro.potentials.spline.SplineGroup` banks.
+
+        Built once and cached: the streaming lockstep passes evaluate
+        whole offset chunks in one batch per table family instead of
+        looping types, with bitwise-identical per-point results.
+        """
+        cached = getattr(self, "_grouped", None)
+        if cached is not None:
+            return cached
+        nt = self.n_types
+        phi_keys = sorted(self.phi)
+        phi_index = np.empty((nt, nt), dtype=np.int64)
+        for slot, (t1, t2) in enumerate(phi_keys):
+            phi_index[t1, t2] = slot
+            phi_index[t2, t1] = slot
+        grouped = GroupedEAMTables(
+            rho=SplineGroup(self.rho),
+            embed=SplineGroup(self.embed),
+            phi=SplineGroup([self.phi[key] for key in phi_keys]),
+            phi_index=phi_index,
+        )
+        self._grouped = grouped
+        return grouped
 
     def sram_bytes(self, dtype_size: int = 4) -> int:
         """Total table footprint a WSE tile would hold (paper Sec. III-A)."""

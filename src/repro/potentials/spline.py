@@ -22,7 +22,11 @@ import numpy as np
 from repro.kernels import active_backend
 from repro.obs import metrics
 
-__all__ = ["UniformCubicSpline", "natural_cubic_second_derivatives"]
+__all__ = [
+    "UniformCubicSpline",
+    "SplineGroup",
+    "natural_cubic_second_derivatives",
+]
 
 
 def natural_cubic_second_derivatives(y: np.ndarray, h: float) -> np.ndarray:
@@ -187,6 +191,10 @@ class UniformCubicSpline:
         ys = np.asarray([fn(float(x)) for x in xs], dtype=np.float64)
         return cls(x0, (x1 - x0) / (n - 1), ys, **kwargs)
 
+    def group_with(self, *others: "UniformCubicSpline") -> "SplineGroup":
+        """Pack this spline with ``others`` into one :class:`SplineGroup`."""
+        return SplineGroup([self, *others])
+
     def nbytes(self, dtype_size: int = 4) -> int:
         """SRAM footprint of the table at a given element size.
 
@@ -195,3 +203,90 @@ class UniformCubicSpline:
         :mod:`repro.wse.tile`).
         """
         return 4 * (self.n - 1) * dtype_size
+
+
+class SplineGroup:
+    """Several uniform-knot splines fused into one coefficient bank.
+
+    The lockstep machine's streaming passes evaluate every candidate of
+    a whole offset chunk in one batch; with more than one atom type the
+    points of that batch hit *different* splines (per source type, per
+    type pair).  Rather than looping splines and masking, the group
+    concatenates the member tables into a single packed ``(sum nseg, 4)``
+    bank and maps each point's member index to a row offset, so one
+    fused :func:`~repro.kernels` ``spline_eval`` gather serves the whole
+    batch — exactly the per-point arithmetic of
+    :meth:`UniformCubicSpline.evaluate`, so results are bitwise
+    identical to the per-spline loops it replaces.
+
+    All members must share ``extrapolate_low`` and ``zero_above`` (true
+    for every EAM table family: all ``rho``, all ``phi``, all ``F`` of
+    one potential are built with one flag set).
+    """
+
+    def __init__(self, splines: list[UniformCubicSpline]) -> None:
+        if not splines:
+            raise ValueError("SplineGroup needs at least one member spline")
+        low = {s.extrapolate_low for s in splines}
+        above = {s.zero_above for s in splines}
+        if len(low) > 1 or len(above) > 1:
+            raise ValueError(
+                "grouped splines must share boundary handling, got "
+                f"extrapolate_low={sorted(low)}, zero_above={sorted(above)}"
+            )
+        self.members = list(splines)
+        self.extrapolate_low = splines[0].extrapolate_low
+        self.zero_above = splines[0].zero_above
+        self._x0 = np.array([s.x0 for s in splines], dtype=np.float64)
+        self._h = np.array([s.h for s in splines], dtype=np.float64)
+        self._nseg = np.array([s.n - 1 for s in splines], dtype=np.int64)
+        self._x_max = np.array([s.x_max for s in splines], dtype=np.float64)
+        self._y_last = np.array([s.y[-1] for s in splines], dtype=np.float64)
+        self._row0 = np.concatenate(
+            ([0], np.cumsum(self._nseg)[:-1])
+        ).astype(np.int64)
+        self.coeffs = np.ascontiguousarray(
+            np.concatenate([s.coeffs for s in splines], axis=0)
+        )
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    def evaluate(
+        self, x: np.ndarray, member: np.ndarray | int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Value and derivative at ``x``, point ``p`` using spline
+        ``member[p]``.
+
+        ``member`` broadcasts against ``x`` (a scalar evaluates the
+        whole batch through one member).  Per point the arithmetic is
+        identical to the member's own :meth:`UniformCubicSpline.evaluate`.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        g = np.asarray(member, dtype=np.int64)
+        x0 = self._x0[g]
+        h = self._h[g]
+        if self.extrapolate_low == "error" and np.any(x < x0):
+            bad = float(np.min(x - x0))
+            raise ValueError(f"evaluation below first knot by {-bad}")
+        t = (x - x0) / h
+        k = np.clip(np.floor(t).astype(np.int64), 0, self._nseg[g] - 1)
+        dx = x - (x0 + k * h)
+        if self.extrapolate_low == "clamp":
+            dx = np.where(x < x0, 0.0, dx)
+        metrics().counter("kernels.spline_eval.calls").inc()
+        val, der = active_backend().spline_eval(
+            self.coeffs, self._row0[g] + k, dx
+        )
+        x_max = self._x_max[g]
+        if self.zero_above:
+            above = x >= x_max
+            val = np.where(above, 0.0, val)
+            der = np.where(above, 0.0, der)
+        else:
+            above = x > x_max
+            if np.any(above):
+                val = np.where(above, self._y_last[g], val)
+                der = np.where(above, 0.0, der)
+        return val, der

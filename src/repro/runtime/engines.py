@@ -291,6 +291,8 @@ class WseEngine:
             "grid_ny": sim.grid.ny,
             "b": sim.b,
             "swap_count": sim.swap_count,
+            "offset_chunk": sim.effective_offset_chunk,
+            "workers": sim.workers,
         }
         phase_seconds: dict[str, float] = {}
         if sim.trace.n_steps > 0:
@@ -327,7 +329,8 @@ class WseEngine:
         self.sim.tracer.reset()
 
     def close(self) -> None:
-        """No pooled resources on the lockstep machine."""
+        """Release the machine's offset-dispatch pool (if spawned)."""
+        self.sim.close()
 
     # -- checkpoint hooks --------------------------------------------------
 
@@ -397,6 +400,8 @@ def build_engine(
             "dt_fs": spec.dt_fs,
             "swap_interval": spec.swap_interval,
             "force_symmetry": spec.force_symmetry,
+            "offset_chunk": spec.offset_chunk,
+            "workers": spec.workers,
             "rng": streams["engine"],
         }
         kwargs.update(engine_kwargs)

@@ -124,8 +124,19 @@ class RunSpec:
         keeps the process default.
     workers:
         Worker count for the ``parallel`` backend's sharded force
-        pipeline (0 = one per CPU).  Ignored by serial backends; like
-        ``backend``, it changes speed, never physics.
+        pipeline (0 = one per CPU), or — on the ``wse`` engine — for
+        the offset-dispatch pool that sweeps neighborhood-offset
+        slices in forked workers (0 = serial sweeps).  Like
+        ``backend``, it changes speed, never physics: wse trajectories
+        are bitwise-reproducible per worker count and ``workers=1``
+        matches the serial path bitwise.
+    offset_chunk:
+        WSE streaming-sweep batch size: how many neighborhood offsets
+        are stacked per exchange chunk (0 auto-sizes from the grid so
+        the chunk buffers stay around 100 MB).  Peak memory is
+        O(chunk x grid); any chunking yields bitwise-identical
+        trajectories, so this is a speed/memory knob, never physics.
+        Ignored by ``reference``.
     thermostat:
         Optional temperature control applied every step.  ``langevin``
         requires the reference engine (per-atom noise needs a stable
@@ -151,6 +162,7 @@ class RunSpec:
     skin: float = 0.5
     backend: str | None = None
     workers: int = 0
+    offset_chunk: int = 0
     thermostat: ThermostatSpec | None = None
     swap_interval: int = 0
     force_symmetry: bool = False
@@ -193,6 +205,10 @@ class RunSpec:
             )
         if self.workers < 0:
             raise SpecError(f"workers must be >= 0, got {self.workers}")
+        if self.offset_chunk < 0:
+            raise SpecError(
+                f"offset_chunk must be >= 0, got {self.offset_chunk}"
+            )
         if isinstance(self.thermostat, dict):
             object.__setattr__(
                 self, "thermostat", ThermostatSpec.from_dict(self.thermostat)
@@ -275,6 +291,8 @@ class RunSpec:
             out["backend"] = self.backend
         if self.workers:
             out["workers"] = int(self.workers)
+        if self.offset_chunk:
+            out["offset_chunk"] = int(self.offset_chunk)
         if self.thermostat is not None:
             out["thermostat"] = self.thermostat.to_dict()
         return out

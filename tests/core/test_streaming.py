@@ -1,0 +1,340 @@
+"""Streaming-sweep equivalence and memory-scaling tests.
+
+The streaming, offset-fused sweeps (:mod:`repro.core.streaming`)
+replaced the record-based lockstep passes that kept one full-grid
+record per neighborhood offset.  The contract is **bitwise** identity:
+per candidate, the arithmetic and the per-tile accumulation order are
+exactly those of the old passes.  This module pins that contract
+against a reference implementation of the record-based passes embedded
+below (the pre-streaming ``_collect_pairs`` / ``_density_pass`` /
+``_force_pass`` logic, verbatim in structure), across dtypes, chunk
+sizes, b values, non-square grids and the force-symmetry path.
+
+The memory tests assert the whole point of the restructuring: peak
+memory is O(chunk x grid), so paper-scale grids fit.  The expensive
+scale tiers are opt-in via ``REPRO_SCALE_TESTS`` (any value enables the
+~50k-atom smoke the CI scaling leg runs; ``paper`` additionally runs
+the 801,792-atom paper grid).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.exchange import iter_neighborhood, shift2d_into
+from repro.core.streaming import FAR, StreamingSweeps, auto_chunk
+from repro.core.wse_md import WseMd
+from repro.potentials.spline import SplineGroup, UniformCubicSpline
+from tests.conftest import bulk_state, small_slab_state
+
+SCALE_TESTS = os.environ.get("REPRO_SCALE_TESTS", "")
+
+
+# -- the reference (record-based) passes -------------------------------------
+#
+# A faithful transcription of the pre-streaming WseMd pass logic: one
+# full-grid record per offset, per-type spline loops, identical offset
+# and accumulation order.  Deliberately kept independent of
+# repro.core.streaming so the equivalence test has a second opinion.
+
+
+def reference_density_force(sim: WseMd):
+    """Record-based density + force passes on ``sim``'s current grids."""
+    nx, ny = sim.grid.nx, sim.grid.ny
+    tables = sim.potential.tables
+    rc2 = sim.potential.cutoff ** 2
+
+    def rho_values(r, src_types, deriv=False):
+        idx = 1 if deriv else 0
+        if tables.n_types == 1:
+            return tables.rho[0].evaluate(r)[idx]
+        vals = np.zeros(len(r))
+        for t in range(tables.n_types):
+            m = src_types == t
+            if np.any(m):
+                vals[m] = tables.rho[t].evaluate(r[m])[idx]
+        return vals
+
+    records = []
+    for dx, dy, fabric in iter_neighborhood(sim.grid, sim.b):
+        if sim.force_symmetry and not (dy > 0 or (dy == 0 and dx > 0)):
+            continue
+        opos = shift2d_into(
+            np.empty_like(sim.pos), sim.pos, dx, dy, fill=FAR
+        )
+        oocc = shift2d_into(
+            np.empty_like(sim.occ), sim.occ, dx, dy, fill=False
+        )
+        d = opos - sim.pos
+        both = sim.occ & oocc
+        np.copyto(d, 0.0, where=~both[:, :, None])
+        d = sim._minimum_image(d)
+        r2 = np.einsum("xyk,xyk->xy", d, d)
+        within = both & (r2 < rc2) & (r2 > 0.0)
+        if np.any(within):
+            r = np.sqrt(r2[within])
+            unit = d[within] / r[:, None]
+        else:
+            r = np.empty(0)
+            unit = np.empty((0, 3))
+        records.append((dx, dy, fabric, within, r, unit))
+
+    rho_bar = np.zeros((nx, ny))
+    n_cand = np.zeros((nx, ny), dtype=np.int64)
+    n_int = np.zeros((nx, ny), dtype=np.int64)
+    for dx, dy, fabric, within, r, _unit in records:
+        n_cand += fabric & sim.occ
+        n_int += within
+        if len(r) == 0:
+            continue
+        if tables.n_types == 1:
+            src_t = ctr_t = np.zeros(len(r), dtype=np.int64)
+        else:
+            otyp = shift2d_into(
+                np.empty_like(sim.typ), sim.typ, dx, dy, fill=0
+            )
+            src_t = otyp[within]
+            ctr_t = sim.typ[within]
+        rho_bar[within] += rho_values(r, src_t)
+        if sim.force_symmetry:
+            contrib = np.zeros((nx, ny))
+            contrib[within] = rho_values(r, ctr_t)
+            rho_bar += shift2d_into(
+                np.empty((nx, ny)), contrib, -dx, -dy, fill=0.0
+            )
+
+    _, f_der = sim._embed(rho_bar)
+    force = np.zeros((nx, ny, 3))
+    e_pair = np.zeros((nx, ny))
+    for dx, dy, _fabric, within, r, unit in records:
+        if len(r) == 0:
+            continue
+        ofder = shift2d_into(
+            np.empty((nx, ny)), f_der, dx, dy, fill=0.0
+        )
+        if tables.n_types == 1:
+            rho_d = tables.rho[0].evaluate(r)[1]
+            rho_d_src = rho_d_ctr = rho_d
+            phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
+        else:
+            otyp = shift2d_into(
+                np.empty_like(sim.typ), sim.typ, dx, dy, fill=0
+            )
+            t_src = otyp[within]
+            t_ctr = sim.typ[within]
+            rho_d_src = rho_values(r, t_src, deriv=True)
+            rho_d_ctr = rho_values(r, t_ctr, deriv=True)
+            phi_v = np.zeros(len(r))
+            phi_d = np.zeros(len(r))
+            for t1 in range(tables.n_types):
+                for t2 in range(tables.n_types):
+                    m = (t_ctr == t1) & (t_src == t2)
+                    if np.any(m):
+                        v, dv = tables.phi_for(t1, t2).evaluate(r[m])
+                        phi_v[m] = v
+                        phi_d[m] = dv
+        s = f_der[within] * rho_d_src + ofder[within] * rho_d_ctr + phi_d
+        if sim.force_symmetry:
+            fvec = np.zeros((nx, ny, 3))
+            fvec[within] = s[:, None] * unit
+            force += fvec
+            force -= shift2d_into(
+                np.empty((nx, ny, 3)), fvec, -dx, -dy, fill=0.0
+            )
+            e_half = np.zeros((nx, ny))
+            e_half[within] = 0.5 * phi_v
+            e_pair += e_half + shift2d_into(
+                np.empty((nx, ny)), e_half, -dx, -dy, fill=0.0
+            )
+        else:
+            force[within] += s[:, None] * unit
+            e_pair[within] += 0.5 * phi_v
+    return rho_bar, n_cand, n_int, force, e_pair
+
+
+# -- bitwise equivalence ------------------------------------------------------
+
+
+@pytest.mark.parametrize("force_symmetry", [False, True])
+@pytest.mark.parametrize(
+    "reps,dtype,chunk,b",
+    [
+        ((4, 4, 2), np.float64, 0, None),
+        ((4, 4, 2), np.float32, 1, None),
+        ((5, 3, 2), np.float64, 7, None),  # non-square grid
+        ((3, 5, 2), np.float64, 3, None),  # non-square, other axis
+        ((6, 6, 2), np.float64, 0, 5),  # wider-than-needed b
+        ((4, 4, 2), np.float64, 10_000, 4),  # chunk > n_offsets
+    ],
+)
+def test_sweeps_match_record_passes_bitwise(
+    ta_potential, reps, dtype, chunk, b, force_symmetry
+):
+    kw = {"b": b} if b is not None else {}
+    sim = WseMd(
+        small_slab_state(reps=reps),
+        ta_potential,
+        dtype=dtype,
+        offset_chunk=chunk,
+        force_symmetry=force_symmetry,
+        **kw,
+    )
+    sim.step(3)  # off-lattice positions exercise the minimum image
+    rho_ref, cand_ref, int_ref, force_ref, epair_ref = (
+        reference_density_force(sim)
+    )
+    rho, n_cand, n_int, _, _ = sim._density_sweep()
+    _, f_der = sim._embed(rho)
+    force, e_pair, _, _ = sim._force_sweep(f_der)
+    # bitwise: the streaming sweeps ARE the record passes, reordered
+    # only where reordering is exact
+    assert np.array_equal(rho, rho_ref)
+    assert np.array_equal(n_cand, cand_ref)
+    assert np.array_equal(n_int, int_ref)
+    assert np.array_equal(force, force_ref)
+    assert np.array_equal(e_pair, epair_ref)
+
+
+def test_periodic_box_matches_record_passes(ta_potential):
+    sim = WseMd(
+        bulk_state(reps=(3, 3, 3), temperature=400.0),
+        ta_potential,
+        offset_chunk=5,
+    )
+    sim.step(2)
+    rho_ref, _, _, force_ref, _ = reference_density_force(sim)
+    rho, *_ = sim._density_sweep()
+    _, f_der = sim._embed(rho)
+    force, _, _, _ = sim._force_sweep(f_der)
+    assert np.array_equal(rho, rho_ref)
+    assert np.array_equal(force, force_ref)
+
+
+@pytest.mark.parametrize("force_symmetry", [False, True])
+def test_trajectory_chunk_invariant(ta_potential, force_symmetry):
+    """Any chunking is a pure memory knob: trajectories are identical."""
+    outs = []
+    for chunk in (1, 7, 0):
+        sim = WseMd(
+            small_slab_state(reps=(4, 4, 2)),
+            ta_potential,
+            offset_chunk=chunk,
+            force_symmetry=force_symmetry,
+            swap_interval=4,
+        )
+        sim.step(10)
+        outs.append(sim.gather_state())
+    for other in outs[1:]:
+        assert np.array_equal(outs[0].positions, other.positions)
+        assert np.array_equal(outs[0].velocities, other.velocities)
+
+
+def test_auto_chunk_bounds():
+    assert auto_chunk(10, 10) == 16  # small grids cap at the max depth
+    assert auto_chunk(2000, 2000) == 1  # huge grids degrade to 1
+    nx = ny = 924  # ~the paper grid
+    chunk = auto_chunk(nx, ny)
+    assert 1 <= chunk <= 16
+    assert chunk * nx * ny <= 4_000_000
+
+
+def test_invalid_chunk_rejected(ta_potential):
+    with pytest.raises(ValueError, match="offset_chunk"):
+        WseMd(small_slab_state(reps=(4, 4, 2)), ta_potential,
+              offset_chunk=-1)
+    with pytest.raises(ValueError, match="workers"):
+        WseMd(small_slab_state(reps=(4, 4, 2)), ta_potential, workers=-1)
+
+
+# -- grouped spline evaluation ------------------------------------------------
+
+
+class TestSplineGroup:
+    def test_matches_member_evaluation_bitwise(self, ta_potential):
+        tables = ta_potential.tables
+        group = tables.grouped()
+        r = np.linspace(0.5, tables.rho[0].x_max * 1.1, 400)
+        v_ref, d_ref = tables.rho[0].evaluate(r)
+        v, d = group.rho.evaluate(r, 0)
+        assert np.array_equal(v, v_ref)
+        assert np.array_equal(d, d_ref)
+
+    def test_mixed_members_route_per_point(self):
+        a = UniformCubicSpline.from_function(np.sin, 0.0, 3.0, 20)
+        b = UniformCubicSpline.from_function(np.cos, 0.5, 4.0, 30)
+        group = a.group_with(b)
+        assert group.n_members == 2
+        x = np.linspace(0.6, 2.9, 57)
+        member = np.arange(len(x)) % 2
+        v, d = group.evaluate(x, member)
+        va, da = a.evaluate(x)
+        vb, db = b.evaluate(x)
+        assert np.array_equal(v[member == 0], va[member == 0])
+        assert np.array_equal(d[member == 0], da[member == 0])
+        assert np.array_equal(v[member == 1], vb[member == 1])
+        assert np.array_equal(d[member == 1], db[member == 1])
+
+    def test_mismatched_boundary_flags_rejected(self):
+        a = UniformCubicSpline.from_function(np.sin, 0.0, 3.0, 20)
+        b = UniformCubicSpline.from_function(
+            np.cos, 0.0, 3.0, 20, zero_above=False
+        )
+        with pytest.raises(ValueError, match="boundary handling"):
+            SplineGroup([a, b])
+
+    def test_grouped_tables_cached(self, ta_potential):
+        tables = ta_potential.tables
+        assert tables.grouped() is tables.grouped()
+
+
+# -- memory scaling -----------------------------------------------------------
+
+
+def _peak_rss_run(reps, steps=2):
+    """Peak RSS (bytes) of constructing + stepping a WseMd at ``reps``."""
+    from repro.bench import peak_rss_bytes, reset_peak_rss
+    from repro.potentials.elements import make_element_potential
+
+    state = small_slab_state(reps=reps, temperature=80.0)
+    if not reset_peak_rss():  # pragma: no cover - non-Linux
+        pytest.skip("peak-RSS reset unsupported on this platform")
+    sim = WseMd(state, make_element_potential("Ta"), force_symmetry=True)
+    sim.step(steps)
+    peak = peak_rss_bytes()
+    assert peak is not None
+    return peak, sim
+
+
+def test_streaming_buffers_are_chunk_sized(ta_potential):
+    """The sweeper's grid-proportional buffers obey the chunk budget."""
+    sweeps = StreamingSweeps(
+        nx=500, ny=500, dtype=np.float64,
+        lengths=(1e3, 1e3, 1e3), periodic=(False,) * 3,
+        cutoff=ta_potential.cutoff, tables=ta_potential.tables,
+        offsets=[(dx, dy) for dx in range(-5, 6) for dy in range(-5, 6)
+                 if (dx, dy) != (0, 0)],
+        chunk=0,
+    )
+    depth = min(auto_chunk(500, 500), 120)
+    # d-stack + occ + r2 + both per stacked tile; never O(offsets)
+    per_tile = 3 * 8 + 1 + 8 + 1
+    assert sweeps.buffer_bytes() == depth * 500 * 500 * per_tile
+
+
+@pytest.mark.skipif(not SCALE_TESTS, reason="set REPRO_SCALE_TESTS to run")
+def test_memory_smoke_50k_atoms():
+    """~50k-atom lockstep run stays under a 2 GB ceiling (CI leg)."""
+    peak, sim = _peak_rss_run((91, 92, 3))  # 50,232 atoms
+    assert sim.n_atoms == 50_232
+    assert peak < 2 * 1024**3, f"peak RSS {peak / 1e9:.2f} GB >= 2 GB"
+
+
+@pytest.mark.skipif(
+    SCALE_TESTS != "paper", reason="set REPRO_SCALE_TESTS=paper to run"
+)
+def test_memory_paper_grid_under_8gb():
+    """The paper's 801,792-atom slab runs 2 steps under 8 GB peak RSS."""
+    peak, sim = _peak_rss_run((256, 261, 6))
+    assert sim.n_atoms == 801_792
+    assert peak < 8 * 1024**3, f"peak RSS {peak / 1e9:.2f} GB >= 8 GB"

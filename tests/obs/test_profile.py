@@ -65,6 +65,23 @@ class TestProfileSpec:
         profiles = profile_spec(tiny_spec, engines=("reference",), steps=2)
         assert profiles["reference"].steps == 2
 
+    def test_wse_fit_at_scale_within_5_percent(self):
+        # the streaming sweeps must keep feeding true per-tile
+        # candidate/interaction counts into the Table II fit at the
+        # >=10k-atom grids the scaling CI leg watches
+        metrics().reset()
+        spec = RunSpec(
+            element="Ta", reps=(48, 48, 3), steps=3, force_symmetry=True
+        )
+        profiles = profile_spec(spec, engines=("wse",))
+        prof = profiles["wse"]
+        assert prof.counters["n_atoms"] >= 10_000
+        assert prof.missing_phases == ()
+        errors = prof.fit_rel_errors()
+        assert max(errors.values()) < 0.05
+        # the streaming phases still tile the wall time at scale
+        assert prof.coverage > 0.9
+
 
 class TestFitHelpers:
     def test_expected_constants_from_cycle_model(self, tiny_spec):
