@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI gate: the JIT tier must not lose to numpy on the Ta slab.
+
+Reads a ``repro bench`` report (v2 history format) and compares the
+newest ``numba-Ta`` rate against the newest ``ref-Ta`` rate measured in
+the same mode — the same slab under the numpy backend.  Exits non-zero
+when the numba case is missing (the leg that runs this installs numba,
+so a skip means the backend silently failed to import) or when its
+steps/s falls below ``--min-ratio`` times the numpy rate.
+
+Usage: ``python benchmarks/check_numba_tier.py BENCH_numba.json``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def newest_rate(report: dict, name: str) -> tuple[float, str] | None:
+    """Newest ``(steps_per_s, mode)`` for case ``name`` in the history."""
+    history = report.get("history") or [report]
+    for entry in reversed(history):
+        for r in entry.get("results", []):
+            if r.get("name") == name and r.get("steps_per_s"):
+                return float(r["steps_per_s"]), entry.get("mode", "?")
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="bench report JSON (repro-bench/2)")
+    ap.add_argument("--case", default="numba-Ta",
+                    help="JIT-tier case name (default numba-Ta)")
+    ap.add_argument("--ref", default="ref-Ta",
+                    help="numpy sibling case name (default ref-Ta)")
+    ap.add_argument("--min-ratio", type=float, default=1.0,
+                    help="required numba/numpy steps-per-s ratio "
+                         "(default 1.0: must not lose)")
+    args = ap.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+    got = newest_rate(report, args.case)
+    ref = newest_rate(report, args.ref)
+    if got is None:
+        print(f"FAIL: no {args.case!r} timing in {args.report} — the "
+              "numba backend did not run (import failure?)")
+        return 1
+    if ref is None:
+        print(f"FAIL: no {args.ref!r} timing in {args.report} to "
+              "compare against")
+        return 1
+    rate, mode = got
+    ref_rate, ref_mode = ref
+    if mode != ref_mode:
+        print(f"FAIL: {args.case} timed in {mode!r} mode but "
+              f"{args.ref} in {ref_mode!r} — rates are not comparable")
+        return 1
+    ratio = rate / ref_rate
+    verdict = "OK" if ratio >= args.min_ratio else "FAIL"
+    print(f"{verdict}: {args.case} {rate:.2f} steps/s = {ratio:.2f}x "
+          f"{args.ref} ({ref_rate:.2f} steps/s, {mode} mode); "
+          f"required >= {args.min_ratio:.2f}x")
+    return 0 if ratio >= args.min_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

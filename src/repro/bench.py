@@ -37,6 +37,7 @@ __all__ = [
     "SEED_BASELINE",
     "run_case",
     "run_bench",
+    "cross_backend_notes",
     "consistency_check",
     "baseline_for_case",
     "compare_to_baseline",
@@ -56,6 +57,11 @@ class BenchCase:
     not pollute the steady-state rate.  ``backend`` pins the kernel
     backend for this case (``None`` keeps whatever the harness was
     launched with); ``workers`` sizes the parallel pipeline's pool.
+    ``seed_key`` names the :data:`SEED_BASELINE` row this case gates
+    against — backend variants of a workload (``numba-Ta``,
+    ``par-Ta-w*``) share the serial numpy case's seed rate, so their
+    ``speedup_vs_seed`` answers "how much faster than the pre-kernel
+    tree on the *same physics*", not "vs nothing".
     """
 
     name: str
@@ -66,6 +72,7 @@ class BenchCase:
     warmup: tuple[int, int] = (2, 2)
     backend: str | None = None
     workers: int = 0
+    seed_key: str | None = None
 
 
 #: Standard workloads.  Reference slabs are bulk-like (the acceptance
@@ -86,11 +93,16 @@ CASES: tuple[BenchCase, ...] = (
     BenchCase("wse-Ta-100k", "wse", "Ta", (128, 131, 3), (5, 10), (1, 1)),
     BenchCase("wse-Ta-800k", "wse", "Ta", (256, 261, 6), (3, 3), (1, 1)),
     BenchCase("par-Ta-w1", "reference", "Ta", (20, 20, 20), (10, 40),
-              (2, 5), backend="parallel", workers=1),
+              (2, 5), backend="parallel", workers=1, seed_key="ref-Ta"),
     BenchCase("par-Ta-w2", "reference", "Ta", (20, 20, 20), (10, 40),
-              (2, 5), backend="parallel", workers=2),
+              (2, 5), backend="parallel", workers=2, seed_key="ref-Ta"),
     BenchCase("par-Ta-w4", "reference", "Ta", (20, 20, 20), (10, 40),
-              (2, 5), backend="parallel", workers=4),
+              (2, 5), backend="parallel", workers=4, seed_key="ref-Ta"),
+    # JIT tier on the acceptance workload: same slab as ref-Ta, whole
+    # run under the numba backend.  Skipped (with a progress note) on
+    # hosts without numba; gates against ref-Ta's seed rate.
+    BenchCase("numba-Ta", "reference", "Ta", (20, 20, 20), (10, 40),
+              (2, 5), backend="numba", seed_key="ref-Ta"),
 )
 
 #: Quick-mode replications (small slabs so CI finishes in seconds).
@@ -107,6 +119,7 @@ QUICK_REPS: dict[str, tuple[int, int, int]] = {
     "par-Ta-w1": (8, 8, 4),
     "par-Ta-w2": (8, 8, 4),
     "par-Ta-w4": (8, 8, 4),
+    "numba-Ta": (8, 8, 4),
 }
 
 #: steps/s measured on the seed tree (commit c12f1fa, this container)
@@ -226,8 +239,14 @@ def _execute(
     case: BenchCase, reps, steps: int, warmup: int, *, profile: bool = False
 ) -> BenchResult:
     """One timed case through the runtime factory — engine-agnostic."""
+    from repro.kernels import active_backend_name, warmup_backend
     from repro.runtime import RunSpec, build_engine
 
+    # Pay (and record) the backend's one-time JIT compile / cache-load
+    # cost before the engine exists, so it can never leak into either
+    # the warmup steps or the timed window.  0.0 for hook-less backends;
+    # cached after the first case on each backend.
+    jit_warmup_s = warmup_backend()
     spec = RunSpec(
         element=case.element,
         reps=reps,
@@ -253,6 +272,8 @@ def _execute(
     finally:
         engine.close()
     extra = _case_extra(case, telemetry)
+    extra["kernel_backend"] = active_backend_name()
+    extra["jit_warmup_s"] = round(jit_warmup_s, 4)
     peak = peak_rss_bytes()
     if peak is not None:
         extra["peak_rss_bytes"] = peak
@@ -280,7 +301,10 @@ def run_case(case: BenchCase, *, quick: bool = False,
     n_steps = steps if steps is not None else case.steps[1 if quick else 0]
     warmup = case.warmup[1 if quick else 0]
     result = _execute(case, reps, n_steps, warmup, profile=profile)
-    result.seed_steps_per_s = SEED_BASELINE.get(case.name, {}).get(mode)
+    # Backend variants (seed_key) gate against the serial numpy seed
+    # rate of the same workload, so speedup_vs_seed is cross-backend.
+    seed_name = case.seed_key or case.name
+    result.seed_steps_per_s = SEED_BASELINE.get(seed_name, {}).get(mode)
     return result
 
 
@@ -298,13 +322,21 @@ def run_bench(
 
     Each case pins its kernel backend explicitly (its own ``backend``
     or the backend active when the sweep started), so a ``parallel``
-    case never leaks its backend into the serial cases after it.
+    case never leaks its backend into the serial cases after it.  A
+    case pinned to a backend this host cannot import (``numba-Ta``
+    without numba, ``par-*`` without fork) is skipped with a progress
+    note rather than silently timing numpy under the wrong name.
     ``workers`` overrides the pool size of every parallel case (the
     ``repro bench --workers`` flag).
     """
-    from repro.kernels import active_backend_name, set_backend
+    from repro.kernels import (
+        active_backend_name,
+        available_backends,
+        set_backend,
+    )
 
     base_backend = active_backend_name()
+    usable = set(available_backends())
     results: list[BenchResult] = []
     for case in CASES:
         if elements and case.element not in elements:
@@ -315,6 +347,13 @@ def run_bench(
             # full-mode-only case (no CI-sized stand-in exists)
             if progress:
                 progress(f"  {case.name}: full mode only, skipped")
+            continue
+        if case.backend is not None and case.backend not in usable:
+            if progress:
+                progress(
+                    f"  {case.name}: backend {case.backend!r} "
+                    f"unavailable on this host, skipped"
+                )
             continue
         if (workers is not None
                 and (case.backend or base_backend) == "parallel"):
@@ -328,6 +367,52 @@ def run_bench(
         finally:
             set_backend(base_backend)
     return results
+
+
+def cross_backend_notes(
+    results: list[BenchResult],
+    baseline: dict | None = None,
+    *,
+    mode: str | None = None,
+) -> list[str]:
+    """Backend-vs-numpy comparison lines for ``repro bench`` output.
+
+    Every timed case pinned to a non-default backend whose ``seed_key``
+    names a numpy sibling (``numba-Ta`` / ``par-Ta-w*`` vs ``ref-Ta``)
+    yields one note stating its rate as a multiple of the sibling's.
+    The sibling's rate comes from this run when it was timed, else from
+    the newest ``baseline`` history entry that timed it (restricted to
+    ``mode`` — quick and full numbers are never comparable); a sibling
+    timed nowhere yields a note saying so, never a silent omission.
+    """
+    by_case = {c.name: c for c in CASES}
+    by_name = {r.name: r for r in results}
+    notes: list[str] = []
+    for r in results:
+        case = by_case.get(r.name)
+        if case is None or case.backend is None or case.seed_key is None:
+            continue
+        sibling = case.seed_key
+        ref = by_name.get(sibling)
+        ref_rate = ref.steps_per_s if ref is not None else None
+        source = "this run"
+        if not ref_rate and baseline is not None:
+            row = baseline_for_case(baseline, sibling, mode=mode)
+            if row is not None:
+                ref_rate = row["steps_per_s"]
+                source = "baseline history"
+        if not ref_rate:
+            notes.append(
+                f"{r.name}: no {sibling} timing in this run or the "
+                f"baseline to compare against"
+            )
+            continue
+        ratio = r.steps_per_s / ref_rate
+        notes.append(
+            f"{r.name} ({case.backend}): {r.steps_per_s:.2f} steps/s = "
+            f"{ratio:.2f}x {sibling} ({ref_rate:.2f} steps/s, {source})"
+        )
+    return notes
 
 
 def consistency_check(

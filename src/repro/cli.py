@@ -92,6 +92,8 @@ def _spec_from_run_args(args):
             overrides["backend"] = args.backend
         if args.workers is not None:
             overrides["workers"] = args.workers
+        if args.fuse_integrate:
+            overrides["fuse_integrate"] = True
         if args.offset_chunk is not None:
             overrides["offset_chunk"] = args.offset_chunk
         if args.checkpoint_interval is not None:
@@ -106,6 +108,7 @@ def _spec_from_run_args(args):
         seed=args.seed,
         backend=args.backend,
         workers=args.workers or 0,
+        fuse_integrate=args.fuse_integrate,
         offset_chunk=args.offset_chunk or 0,
         swap_interval=args.swap_interval,
         force_symmetry=args.force_symmetry,
@@ -232,6 +235,7 @@ def _cmd_bench(args) -> int:
     from repro.bench import (
         compare_to_baseline,
         consistency_check,
+        cross_backend_notes,
         latest_results,
         run_bench,
         write_report,
@@ -268,13 +272,17 @@ def _cmd_bench(args) -> int:
                    if r.speedup_vs_seed is not None else "")
         print(f"  {r.name}: {r.n_atoms} atoms, {r.steps} steps in "
               f"{r.wall_s:.2f} s -> {r.steps_per_s:.2f} steps/s{speedup}")
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    for line in cross_backend_notes(results, baseline, mode=mode):
+        print(f"  vs numpy: {line}")
     report = write_report(args.out, results, quick=args.quick,
                           backend=backend)
     print(f"wrote {args.out} ({len(latest_results(report))} cases, "
           f"{len(report['history'])} runs in history)")
-    if args.baseline:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
+    if baseline is not None:
         failures, notes = compare_to_baseline(results, baseline,
                                               max_drop=args.max_drop,
                                               mode=mode)
@@ -523,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="wse streaming-sweep batch size in offsets "
                           "(default: auto-sized from the grid); a "
                           "speed/memory knob, never physics")
+    run.add_argument("--fuse-integrate", action="store_true",
+                     help="fold the leap-frog kick+drift into the kernel "
+                          "backend's force_integrate pass (reference "
+                          "engine; a speed knob, never physics)")
     run.add_argument("--checkpoint", default=None, metavar="PREFIX",
                      help="write checkpoints under this path prefix "
                           "(<prefix>.npz/.json/.xyz)")
@@ -559,7 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small slabs (CI-sized, seconds not minutes)")
     bench.add_argument("--out", default="BENCH_kernels.json")
     bench.add_argument("--backend", default=None,
-                       help="kernel backend (numpy, numba, parallel)")
+                       choices=["numpy", "numba", "parallel"],
+                       help="kernel backend for every case (overrides "
+                            "each case's own pin)")
     bench.add_argument("--workers", type=int, default=None,
                        help="worker count for parallel-backend cases "
                             "(par-Ta-*) and --check (default: each "

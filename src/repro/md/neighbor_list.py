@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import active_backend
 from repro.md.boundary import Box
 from repro.md.cell_list import CellList
 from repro.obs import metrics
@@ -89,14 +90,13 @@ class NeighborList:
         """
         self._cells.build(positions)
         ci, cj = self._cells.candidate_pairs()
-        rij = positions[cj] - positions[ci]
-        if self._any_periodic:
-            rij = self.box.minimum_image(rij)
-        r2 = np.einsum("ij,ij->i", rij, rij)
         reach = self.cutoff + self.skin
-        keep = r2 <= reach * reach
-        self._cand_i = ci[keep]
-        self._cand_j = cj[keep]
+        # inclusive filter at the reach; rebuilds only need the kept
+        # indices, so the kernel skips materializing rij/r
+        self._cand_i, self._cand_j, _, _ = active_backend().neighbor_prefilter(
+            positions, ci, cj, self.box.lengths, self.box.periodic,
+            reach, inclusive=True, compute_r=False,
+        )
         self._ref_positions = np.array(positions, copy=True)
         self._built_n_atoms = len(self._ref_positions)
         self.n_builds += 1
@@ -123,21 +123,14 @@ class NeighborList:
             reg.counter(f"neighbor.rebuilds.{reason}").inc()
         else:
             reg.counter("neighbor.reuses").inc()
-        i, j = self._cand_i, self._cand_j
-        rij = positions[j] - positions[i]
-        if self._any_periodic:
-            # minimum_image copies even when every dim is open; skip it
-            # entirely for fully open boxes (the common bench workload).
-            rij = self.box.minimum_image(rij)
-        r2 = np.einsum("ij,ij->i", rij, rij)
-        keep = r2 < self.cutoff * self.cutoff
-        table = PairTable(
-            i=i[keep],
-            j=j[keep],
-            rij=rij[keep],
-            r=np.sqrt(r2[keep]),
-            half=True,
+        # strict filter at the true cutoff, minimum image applied along
+        # the periodic dimensions inside the kernel
+        i, j, rij, r = active_backend().neighbor_prefilter(
+            positions, self._cand_i, self._cand_j,
+            self.box.lengths, self.box.periodic,
+            self.cutoff, inclusive=False, compute_r=True,
         )
+        table = PairTable(i=i, j=j, rij=rij, r=r, half=True)
         self.last_pair_count = table.n_pairs
         return table
 

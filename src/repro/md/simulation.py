@@ -16,6 +16,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.constants import MVV2E
 from repro.md.integrators import LeapfrogVerlet
 from repro.md.neighbor_list import NeighborList
 from repro.md.observables import EnergyReport, energy_report
@@ -97,6 +98,13 @@ class Simulation:
         Worker count for the sharded force pipeline when the
         ``parallel`` kernel backend is active (``None``/0 = one per
         CPU).  Ignored under serial backends.
+    fuse_integrate:
+        Fold the leap-frog kick+drift into the active kernel backend's
+        ``force_integrate`` pass instead of the Python-level
+        :class:`~repro.md.integrators.LeapfrogVerlet` update.  A speed
+        knob, never physics: the fused pass performs the identical
+        arithmetic (bitwise under numpy; 1e-9-gated under compiled
+        backends).
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class Simulation:
         thermostat: BerendsenThermostat | None = None,
         tracer=None,
         workers: int | None = None,
+        fuse_integrate: bool = False,
     ) -> None:
         from repro.kernels import active_backend, active_backend_name
 
@@ -117,6 +126,7 @@ class Simulation:
         self.dt_fs = float(dt_fs)
         self.skin = float(skin)
         self.workers = workers
+        self.fuse_integrate = bool(fuse_integrate)
         self.integrator = LeapfrogVerlet(dt_fs)
         self.neighbors = NeighborList(state.box, potential.cutoff, skin=skin)
         self.thermostat = thermostat
@@ -238,7 +248,22 @@ class Simulation:
                 energies, forces = self.compute_forces()
                 t0 = time.perf_counter()
                 with tr.phase("integrate"):
-                    self.integrator.step(self.state, forces)
+                    if self.fuse_integrate:
+                        # kick+drift folded into one backend pass over
+                        # the force output (same arithmetic as
+                        # LeapfrogVerlet.step)
+                        from repro.kernels import active_backend
+
+                        active_backend().force_integrate(
+                            self.state.positions,
+                            self.state.velocities,
+                            forces,
+                            self.state.atom_masses,
+                            self.integrator.dt,
+                            MVV2E,
+                        )
+                    else:
+                        self.integrator.step(self.state, forces)
                     if self.thermostat is not None:
                         self.thermostat.apply(self.state, self.dt_fs)
                 self.stats.time_integrate_s += time.perf_counter() - t0

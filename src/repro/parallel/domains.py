@@ -27,11 +27,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import active_backend
 from repro.md.boundary import Box
 from repro.md.cell_list import CellList
 from repro.potentials.base import PairTable
 
 __all__ = ["plan_columns", "ShardPairs", "build_shard_pairs"]
+
+#: Shard boxes are fully open: the distance kernel never wraps, so the
+#: box lengths it receives are irrelevant placeholders.
+_OPEN_PERIODIC = np.zeros(3, dtype=bool)
+_OPEN_LENGTHS = np.ones(3, dtype=np.float64)
 
 
 def plan_columns(
@@ -92,16 +98,11 @@ class ShardPairs:
 
     def pairs(self, positions: np.ndarray, cutoff: float) -> PairTable:
         """Half interacting pairs at the current positions (open box)."""
-        rij = positions[self.gj] - positions[self.gi]
-        r2 = np.einsum("ij,ij->i", rij, rij)
-        keep = r2 < cutoff * cutoff
-        return PairTable(
-            i=self.gi[keep],
-            j=self.gj[keep],
-            rij=rij[keep],
-            r=np.sqrt(r2[keep]),
-            half=True,
+        i, j, rij, r = active_backend().neighbor_prefilter(
+            positions, self.gi, self.gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
+            cutoff, inclusive=False, compute_r=True,
         )
+        return PairTable(i=i, j=j, rij=rij, r=r, half=True)
 
 
 def build_shard_pairs(
@@ -146,7 +147,8 @@ def build_shard_pairs(
     # Verlet prefilter at the build positions — identical semantics to
     # the serial NeighborList.rebuild, so shard unions reproduce the
     # serial candidate set exactly.
-    rij = positions[gj] - positions[gi]
-    r2 = np.einsum("ij,ij->i", rij, rij)
-    keep = r2 <= reach * reach
-    return ShardPairs(gi[keep], gj[keep], len(local), n_owned)
+    gi, gj, _, _ = active_backend().neighbor_prefilter(
+        positions, gi, gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
+        reach, inclusive=True, compute_r=False,
+    )
+    return ShardPairs(gi, gj, len(local), n_owned)

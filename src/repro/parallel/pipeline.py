@@ -75,12 +75,19 @@ class ShardedForcePipeline:
             }
         )
         self.arena["types"][:] = self._types
+        # Shard inner loops call the active backend's fused passes; the
+        # worker-side backend defaults to numpy and may be switched to
+        # the JIT tier (sharding x compiled kernels compose) via env.
+        self.inner_backend = os.environ.get(
+            "REPRO_PARALLEL_INNER_BACKEND", "numpy"
+        )
         cfg = {
             "potential": potential,
             "box": state.box,
             "cutoff": self.cutoff,
             "reach": self.reach,
             "n_atoms": n,
+            "inner_backend": self.inner_backend,
         }
         self.pool = WorkerPool(self.n_workers, self.arena.arrays, cfg)
         self._ref_positions: np.ndarray | None = None

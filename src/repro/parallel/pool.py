@@ -48,9 +48,11 @@ def _worker_main(conn, wid: int, shared: dict, cfg: dict) -> None:
     from repro.kernels import set_backend
     from repro.md.cell_list import CellList
 
-    # Workers always run the serial numpy kernels; the "parallel"
-    # backend name only means "drive a pool from the parent".
-    set_backend("numpy")
+    # The "parallel" backend name only means "drive a pool from the
+    # parent"; each worker's inner loops run a serial backend — numpy
+    # by default, or numba when the pipeline was configured to stack
+    # the JIT tier on top of sharding (REPRO_PARALLEL_INNER_BACKEND).
+    set_backend(cfg.get("inner_backend", "numpy"))
     positions = shared["positions"]
     types = shared["types"]
     f_der = shared["f_der"]

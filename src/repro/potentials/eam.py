@@ -31,6 +31,10 @@ from repro.potentials.spline import SplineGroup, UniformCubicSpline
 
 __all__ = ["EAMTables", "GroupedEAMTables", "EAMPotential"]
 
+#: Placeholder type arrays for single-type fused passes: the kernels
+#: never read per-pair types when the rho bank has one member.
+_EMPTY_TYPES = np.empty(0, dtype=np.int64)
+
 
 @dataclass(frozen=True)
 class GroupedEAMTables:
@@ -181,19 +185,19 @@ class EAMPotential(Potential):
     def embed(
         self, rho_bar: np.ndarray, types: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Embedding energy ``F_i`` and derivative ``F'_i`` per atom."""
+        """Embedding energy ``F_i`` and derivative ``F'_i`` per atom.
+
+        One grouped-bank batch through the active backend: each atom
+        evaluates its own type's ``F`` spline, with per-point arithmetic
+        identical to the per-type masked loops this replaces.
+        """
         n_atoms = len(rho_bar)
         types = self._types(n_atoms, types)
-        f_val = np.empty(n_atoms, dtype=np.float64)
-        f_der = np.empty(n_atoms, dtype=np.float64)
-        for t in range(self.tables.n_types):
-            mask = types == t
-            if not np.any(mask):
-                continue
-            v, d = self.tables.embed[t].evaluate(rho_bar[mask])
-            f_val[mask] = v
-            f_der[mask] = d
-        return f_val, f_der
+        grouped = self.tables.grouped()
+        member = 0 if self.tables.n_types == 1 else types
+        return grouped.embed.evaluate(
+            np.asarray(rho_bar, dtype=np.float64), member
+        )
 
     # -- stage 3: pair energy and forces -----------------------------------
 
@@ -326,6 +330,13 @@ class EAMPotential(Potential):
         ``(n_atoms,)`` array — zero where no pair touches an atom) and a
         cache of per-pair density derivatives for
         :meth:`fused_pair_force`.
+
+        The whole stage is one ``fused_density_pass`` kernel call:
+        spline lookups and both scatter halves run inside the active
+        backend (a single compiled loop under numba).  Single-type
+        tables evaluate the rho spline once per pair and share the
+        value between directions, so the per-pair type gathers are
+        skipped too.
         """
         types = self._types(n_atoms, types)
         self.cap.check(pairs.r)
@@ -333,46 +344,18 @@ class EAMPotential(Potential):
         p = pairs.n_pairs
         if p == 0:
             return np.zeros(n_atoms, dtype=np.float64), {}
-        tables = self.tables
-        i, j, r = pairs.i, pairs.j, pairs.r
-        if tables.n_types == 1:
-            # rho value + derivative in one fused segment-lookup pass
-            rho_v, rho_d = tables.rho[0].evaluate(r)
-            rho_ji_v = rho_ij_v = rho_v  # j's density at i / i's at j
-            rho_ji_d = rho_ij_d = rho_d
-            cache = {"rho_ji_d": rho_ji_d, "rho_ij_d": rho_ij_d}
+        i, j = pairs.i, pairs.j
+        if self.tables.n_types == 1:
+            ti = tj = _EMPTY_TYPES  # ignored by single-member banks
         else:
             ti = types[i]
             tj = types[j]
-            rho_ji_v = np.empty(p)  # rho_{type(j)}(r): j's density at i
-            rho_ji_d = np.empty(p)
-            rho_ij_v = np.empty(p)  # rho_{type(i)}(r): i's density at j
-            rho_ij_d = np.empty(p)
-            for t in range(tables.n_types):
-                m_i = ti == t
-                m_j = tj == t
-                m_any = m_i | m_j
-                if not np.any(m_any):
-                    continue
-                v_any = np.empty(p)
-                d_any = np.empty(p)
-                v_any[m_any], d_any[m_any] = tables.rho[t].evaluate(
-                    r[m_any]
-                )
-                rho_ji_v[m_j] = v_any[m_j]
-                rho_ji_d[m_j] = d_any[m_j]
-                rho_ij_v[m_i] = v_any[m_i]
-                rho_ij_d[m_i] = d_any[m_i]
-            cache = {
-                "rho_ji_d": rho_ji_d,
-                "rho_ij_d": rho_ij_d,
-                "ti": ti,
-                "tj": tj,
-            }
-        rho_bar = backend.accumulate_scalar(i, rho_ji_v, n_atoms)
-        rho_bar += backend.accumulate_scalar(j, rho_ij_v, n_atoms)
-        metrics().counter("kernels.accumulate_scalar.calls").inc(2.0)
-        return rho_bar, cache
+        rho_bar, rho_ji_d, rho_ij_d = backend.fused_density_pass(
+            i, j, pairs.r, ti, tj,
+            self.tables.grouped().rho.bank(), n_atoms,
+        )
+        metrics().counter("kernels.fused_density_pass.calls").inc()
+        return rho_bar, {"rho_ji_d": rho_ji_d, "rho_ij_d": rho_ij_d}
 
     def fused_pair_force(
         self,
@@ -388,6 +371,11 @@ class EAMPotential(Potential):
         ``f_der`` is the *globally reduced* embedding derivative
         ``F'(rho_bar)`` per atom; ``cache`` comes from
         :meth:`fused_density` over the same pair table.
+
+        The stage is one ``fused_force_pass`` kernel call: the phi
+        spline lookup, the Eq. 4 radial scalar, the unit-vector
+        projection and all four scatter halves run inside the active
+        backend (a single compiled loop under numba).
         """
         types = self._types(n_atoms, types)
         p = pairs.n_pairs
@@ -397,39 +385,18 @@ class EAMPotential(Potential):
                 np.zeros((n_atoms, 3), dtype=np.float64),
             )
         backend = active_backend()
-        tables = self.tables
-        i, j, r = pairs.i, pairs.j, pairs.r
-        if tables.n_types == 1:
-            phi_v, phi_d = tables.phi_for(0, 0).evaluate(r)
+        grouped = self.tables.grouped()
+        i, j = pairs.i, pairs.j
+        if self.tables.n_types == 1:
+            member = 0
         else:
-            ti = cache["ti"]
-            tj = cache["tj"]
-            phi_v = np.empty(p)
-            phi_d = np.empty(p)
-            for t1 in range(tables.n_types):
-                for t2 in range(t1, tables.n_types):
-                    m = (ti == t1) & (tj == t2)
-                    if t1 != t2:
-                        m |= (ti == t2) & (tj == t1)
-                    if not np.any(m):
-                        continue
-                    phi_v[m], phi_d[m] = tables.phi[(t1, t2)].evaluate(
-                        r[m]
-                    )
-
-        # Eq. 4 radial scalar, one term per undirected pair.
-        s = f_der[i] * cache["rho_ji_d"] + f_der[j] * cache["rho_ij_d"] + phi_d
-        with np.errstate(invalid="raise", divide="raise"):
-            unit = pairs.rij / r[:, None]
-        fvec = s[:, None] * unit
-        forces = backend.accumulate_vec3(i, fvec, n_atoms)
-        forces -= backend.accumulate_vec3(j, fvec, n_atoms)
-
-        e_pair = backend.accumulate_scalar(i, 0.5 * phi_v, n_atoms)
-        e_pair += backend.accumulate_scalar(j, 0.5 * phi_v, n_atoms)
-        reg = metrics()
-        reg.counter("kernels.accumulate_scalar.calls").inc(2.0)
-        reg.counter("kernels.accumulate_vec3.calls").inc(2.0)
+            member = grouped.phi_index[types[i], types[j]]
+        e_pair, forces = backend.fused_force_pass(
+            i, j, pairs.rij, pairs.r, f_der,
+            cache["rho_ji_d"], cache["rho_ij_d"],
+            grouped.phi.bank(), member, n_atoms,
+        )
+        metrics().counter("kernels.fused_force_pass.calls").inc()
         return e_pair, forces
 
     def _compute_half_fused(

@@ -248,10 +248,37 @@ class SplineGroup:
         self.coeffs = np.ascontiguousarray(
             np.concatenate([s.coeffs for s in splines], axis=0)
         )
+        self._bank: tuple | None = None
 
     @property
     def n_members(self) -> int:
         return len(self.members)
+
+    def bank(self) -> tuple:
+        """The packed coefficient bank as a kernel-ready tuple.
+
+        This is the argument the :mod:`repro.kernels`
+        ``grouped_spline_eval`` / ``fused_density_pass`` /
+        ``fused_force_pass`` kernels take: ``(coeffs, row0, x0, h,
+        nseg, x_max, y_last, clamp_low, zero_above)``, all per-member
+        arrays C-contiguous.  Built once and cached — compiled backends
+        key their dispatch on these exact array objects.
+        """
+        cached = self._bank
+        if cached is None:
+            cached = (
+                self.coeffs,
+                self._row0,
+                self._x0,
+                self._h,
+                self._nseg,
+                self._x_max,
+                self._y_last,
+                self.extrapolate_low == "clamp",
+                self.zero_above,
+            )
+            self._bank = cached
+        return cached
 
     def evaluate(
         self, x: np.ndarray, member: np.ndarray | int
@@ -261,32 +288,14 @@ class SplineGroup:
 
         ``member`` broadcasts against ``x`` (a scalar evaluates the
         whole batch through one member).  Per point the arithmetic is
-        identical to the member's own :meth:`UniformCubicSpline.evaluate`.
+        identical to the member's own :meth:`UniformCubicSpline.evaluate`
+        — the batch dispatches to the active backend's
+        ``grouped_spline_eval`` whole-pass kernel.
         """
         x = np.asarray(x, dtype=np.float64)
         g = np.asarray(member, dtype=np.int64)
-        x0 = self._x0[g]
-        h = self._h[g]
-        if self.extrapolate_low == "error" and np.any(x < x0):
-            bad = float(np.min(x - x0))
+        if self.extrapolate_low == "error" and np.any(x < self._x0[g]):
+            bad = float(np.min(x - self._x0[g]))
             raise ValueError(f"evaluation below first knot by {-bad}")
-        t = (x - x0) / h
-        k = np.clip(np.floor(t).astype(np.int64), 0, self._nseg[g] - 1)
-        dx = x - (x0 + k * h)
-        if self.extrapolate_low == "clamp":
-            dx = np.where(x < x0, 0.0, dx)
         metrics().counter("kernels.spline_eval.calls").inc()
-        val, der = active_backend().spline_eval(
-            self.coeffs, self._row0[g] + k, dx
-        )
-        x_max = self._x_max[g]
-        if self.zero_above:
-            above = x >= x_max
-            val = np.where(above, 0.0, val)
-            der = np.where(above, 0.0, der)
-        else:
-            above = x > x_max
-            if np.any(above):
-                val = np.where(above, self._y_last[g], val)
-                der = np.where(above, 0.0, der)
-        return val, der
+        return active_backend().grouped_spline_eval(self.bank(), x, g)

@@ -387,6 +387,7 @@ def build_engine(
             "skin": spec.skin,
             "thermostat": thermostat,
             "workers": spec.workers or None,
+            "fuse_integrate": spec.fuse_integrate,
         }
         kwargs.update(engine_kwargs)
         sim = Simulation(state, potential, **kwargs)

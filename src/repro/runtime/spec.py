@@ -130,6 +130,15 @@ class RunSpec:
         ``backend``, it changes speed, never physics: wse trajectories
         are bitwise-reproducible per worker count and ``workers=1``
         matches the serial path bitwise.
+    fuse_integrate:
+        Reference-engine fusion of the leap-frog kick+drift onto the
+        force output (the active kernel backend's ``force_integrate``
+        pass).  Like ``backend``, a speed knob, never physics: the
+        fused update performs the identical arithmetic — bitwise under
+        the numpy backend, within the 1e-9 equivalence gate under
+        compiled backends — so it is excluded from the spec hash and a
+        checkpoint can be resumed with the knob flipped.  Ignored by
+        ``wse``.
     offset_chunk:
         WSE streaming-sweep batch size: how many neighborhood offsets
         are stacked per exchange chunk (0 auto-sizes from the grid so
@@ -162,6 +171,7 @@ class RunSpec:
     skin: float = 0.5
     backend: str | None = None
     workers: int = 0
+    fuse_integrate: bool = False
     offset_chunk: int = 0
     thermostat: ThermostatSpec | None = None
     swap_interval: int = 0
@@ -291,6 +301,8 @@ class RunSpec:
             out["backend"] = self.backend
         if self.workers:
             out["workers"] = int(self.workers)
+        if self.fuse_integrate:
+            out["fuse_integrate"] = True
         if self.offset_chunk:
             out["offset_chunk"] = int(self.offset_chunk)
         if self.thermostat is not None:

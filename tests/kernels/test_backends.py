@@ -5,8 +5,10 @@ import pytest
 
 import repro.kernels as kernels
 from repro.kernels import (
+    CORE_KERNEL_FUNCTIONS,
     DEFAULT_BACKEND,
     ENV_VAR,
+    FUSED_KERNEL_FUNCTIONS,
     KERNEL_FUNCTIONS,
     active_backend,
     active_backend_name,
@@ -14,6 +16,7 @@ from repro.kernels import (
     backend_status,
     register_backend,
     set_backend,
+    warmup_backend,
 )
 from repro.kernels import numpy_backend
 
@@ -71,6 +74,88 @@ class TestRegistry:
 
     def test_status_reports_ok_for_numpy(self):
         assert backend_status()["numpy"] == "ok"
+
+    def test_interface_is_two_tiered(self):
+        assert set(KERNEL_FUNCTIONS) == (
+            set(CORE_KERNEL_FUNCTIONS) | set(FUSED_KERNEL_FUNCTIONS)
+        )
+        assert not set(CORE_KERNEL_FUNCTIONS) & set(FUSED_KERNEL_FUNCTIONS)
+
+    def test_core_only_backend_degrades_per_function(self):
+        """A backend with just the core tier keeps working when the
+        interface widens: missing fused kernels are filled from numpy,
+        announced by exactly one warning naming them."""
+        import warnings as _warnings
+
+        class CoreOnly:
+            spline_eval = staticmethod(numpy_backend.spline_eval)
+            accumulate_scalar = staticmethod(numpy_backend.accumulate_scalar)
+            accumulate_vec3 = staticmethod(numpy_backend.accumulate_vec3)
+
+        register_backend("core-only-probe", lambda: CoreOnly())
+        try:
+            with pytest.warns(RuntimeWarning) as caught:
+                assert set_backend("core-only-probe") == "core-only-probe"
+            runtime = [w for w in caught
+                       if issubclass(w.category, RuntimeWarning)]
+            assert len(runtime) == 1
+            msg = str(runtime[0].message)
+            for fn in FUSED_KERNEL_FUNCTIONS:
+                assert fn in msg
+            backend = active_backend()
+            assert backend.missing_kernels == tuple(
+                f for f in FUSED_KERNEL_FUNCTIONS if f in msg
+            )
+            for fn in KERNEL_FUNCTIONS:
+                assert callable(getattr(backend, fn))
+            # the numpy fill is the real numpy implementation
+            assert backend.fused_density_pass \
+                is numpy_backend.fused_density_pass
+            # re-activating must not warn again (once per process)
+            with _warnings.catch_warnings(record=True) as again:
+                _warnings.simplefilter("always")
+                set_backend(DEFAULT_BACKEND)
+                set_backend("core-only-probe")
+            assert [w for w in again
+                    if issubclass(w.category, RuntimeWarning)] == []
+        finally:
+            kernels._loaders.pop("core-only-probe", None)
+            kernels._resolved.pop("core-only-probe", None)
+            kernels._warned_fallbacks.discard("core-only-probe:partial")
+
+    def test_warmup_returns_float_and_caches(self):
+        set_backend(DEFAULT_BACKEND)
+        kernels._warmups.pop("numpy", None)
+        first = warmup_backend()
+        assert isinstance(first, float)
+        assert first == 0.0  # numpy has no warmup hook
+        assert warmup_backend("numpy") == first
+
+    def test_warmup_runs_hook_once(self):
+        calls = []
+
+        class Hooked:
+            spline_eval = staticmethod(numpy_backend.spline_eval)
+            accumulate_scalar = staticmethod(numpy_backend.accumulate_scalar)
+            accumulate_vec3 = staticmethod(numpy_backend.accumulate_vec3)
+            for _fn in FUSED_KERNEL_FUNCTIONS:
+                locals()[_fn] = staticmethod(getattr(numpy_backend, _fn))
+            del _fn
+
+            @staticmethod
+            def warmup():
+                calls.append(1)
+
+        register_backend("hooked-probe", lambda: Hooked())
+        try:
+            t1 = warmup_backend("hooked-probe")
+            t2 = warmup_backend("hooked-probe")
+            assert calls == [1]
+            assert t1 == t2 >= 0.0
+        finally:
+            kernels._loaders.pop("hooked-probe", None)
+            kernels._resolved.pop("hooked-probe", None)
+            kernels._warmups.pop("hooked-probe", None)
 
     def test_fallback_warns_once_per_name(self):
         # a campaign calling set_backend per run must not spam warnings;

@@ -1,0 +1,89 @@
+"""The force+integrate fusion knob: off by default, physics-identical.
+
+``fuse_integrate`` folds the leap-frog kick+drift into the kernel
+backend's ``force_integrate`` pass.  It is a speed knob: under the
+numpy backend the fused update is the same vectorized arithmetic as
+:class:`~repro.md.integrators.LeapfrogVerlet`, so trajectories must be
+**bitwise** identical with the knob on or off, and the knob must never
+enter the physics hash (a checkpoint resumes with it flipped).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import DEFAULT_BACKEND, set_backend
+from repro.runtime import RunSpec, build_engine
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    yield
+    set_backend(DEFAULT_BACKEND)
+
+
+def _trajectory(spec: RunSpec):
+    engine = build_engine(spec)
+    try:
+        engine.step(spec.steps)
+        return (
+            engine.state.positions.copy(),
+            engine.state.velocities.copy(),
+            engine.total_energy(),
+        )
+    finally:
+        engine.close()
+
+
+class TestFuseIntegrateKnob:
+    def test_default_off(self):
+        assert RunSpec().fuse_integrate is False
+        from repro.md.simulation import Simulation
+
+        assert Simulation.__init__.__kwdefaults__["fuse_integrate"] is False
+
+    def test_excluded_from_spec_hash(self):
+        base = RunSpec(engine="reference", steps=4)
+        fused = RunSpec(engine="reference", steps=4, fuse_integrate=True)
+        assert base.spec_hash() == fused.spec_hash()
+
+    def test_round_trips_through_dict(self):
+        fused = RunSpec(engine="reference", fuse_integrate=True)
+        assert fused.to_dict()["fuse_integrate"] is True
+        assert RunSpec.from_dict(fused.to_dict()).fuse_integrate is True
+        # off is the default, so it is omitted from the serialized form
+        assert "fuse_integrate" not in RunSpec().to_dict()
+
+    def test_bitwise_identical_trajectory_under_numpy(self):
+        set_backend("numpy")
+        base = RunSpec(
+            engine="reference", reps=(4, 4, 2), steps=8, temperature=150.0
+        )
+        pos_a, vel_a, e_a = _trajectory(base)
+        pos_b, vel_b, e_b = _trajectory(
+            RunSpec(
+                engine="reference",
+                reps=(4, 4, 2),
+                steps=8,
+                temperature=150.0,
+                fuse_integrate=True,
+            )
+        )
+        assert np.array_equal(pos_a, pos_b)
+        assert np.array_equal(vel_a, vel_b)
+        assert e_a == e_b
+
+    def test_fused_with_thermostat(self):
+        """The thermostat still applies after the fused update."""
+        set_backend("numpy")
+        thermo = {"kind": "berendsen", "temperature": 100.0, "tau_fs": 50.0}
+        kw = dict(
+            engine="reference",
+            reps=(3, 3, 2),
+            steps=6,
+            temperature=300.0,
+            thermostat=dict(thermo),
+        )
+        pos_a, vel_a, _ = _trajectory(RunSpec(**kw))
+        pos_b, vel_b, _ = _trajectory(RunSpec(**kw, fuse_integrate=True))
+        assert np.array_equal(pos_a, pos_b)
+        assert np.array_equal(vel_a, vel_b)
