@@ -39,6 +39,8 @@ __all__ = [
     "run_bench",
     "cross_backend_notes",
     "consistency_check",
+    "multiwafer_comparison",
+    "attach_multiwafer",
     "baseline_for_case",
     "compare_to_baseline",
     "write_report",
@@ -73,6 +75,8 @@ class BenchCase:
     backend: str | None = None
     workers: int = 0
     seed_key: str | None = None
+    topology: tuple[int, int] | None = None
+    transport: str | None = None
 
 
 #: Standard workloads.  Reference slabs are bulk-like (the acceptance
@@ -98,6 +102,13 @@ CASES: tuple[BenchCase, ...] = (
               (2, 5), backend="parallel", workers=2, seed_key="ref-Ta"),
     BenchCase("par-Ta-w4", "reference", "Ta", (20, 20, 20), (10, 40),
               (2, 5), backend="parallel", workers=4, seed_key="ref-Ta"),
+    # 2D domain grid on the same slab and worker count as par-Ta-w4:
+    # the measured counterpart of the Table VI multi-wafer projection
+    # (each tile plays one wafer-node; the halo ring plays the ghost
+    # shell).  The report attaches a measured-vs-modeled comparison.
+    BenchCase("par-Ta-2x2", "reference", "Ta", (20, 20, 20), (10, 40),
+              (2, 5), backend="parallel", seed_key="ref-Ta",
+              topology=(2, 2)),
     # JIT tier on the acceptance workload: same slab as ref-Ta, whole
     # run under the numba backend.  Skipped (with a progress note) on
     # hosts without numba; gates against ref-Ta's seed rate.
@@ -119,6 +130,7 @@ QUICK_REPS: dict[str, tuple[int, int, int]] = {
     "par-Ta-w1": (8, 8, 4),
     "par-Ta-w2": (8, 8, 4),
     "par-Ta-w4": (8, 8, 4),
+    "par-Ta-2x2": (8, 8, 4),
     "numba-Ta": (8, 8, 4),
 }
 
@@ -184,10 +196,19 @@ def _case_extra(case: BenchCase, telemetry) -> dict:
             "time_force_s": round(ph["force"], 4),
             "time_integrate_s": round(ph["integrate"], 4),
         }
+        # topology/transport land in every reference entry (null for
+        # serial runs) so 1D, 2D and socket entries in the history are
+        # distinguishable and gate against the right baselines.
+        out["topology"] = c.get("topology")
+        out["transport"] = c.get("transport")
         if "workers" in c:
-            # sharded run: worker count + cumulative per-stage shard
-            # seconds, so imbalance is visible in the report
+            # sharded run: worker count, layout, halo traffic and
+            # cumulative per-stage shard seconds, so imbalance and
+            # seam cost are visible in the report
             out["workers"] = c["workers"]
+            out["halo_bytes_sent"] = c["halo_bytes_sent"]
+            out["halo_bytes_recv"] = c["halo_bytes_recv"]
+            out["halo_seconds"] = c["halo_seconds"]
             out["shard_seconds"] = c["shard_seconds"]
         return out
     return {
@@ -254,6 +275,8 @@ def _execute(
         steps=steps,
         backend=case.backend,
         workers=case.workers,
+        topology=case.topology,
+        transport=case.transport,
         # the lockstep case benches the paper's force-symmetry path
         force_symmetry=(case.engine == "wse"),
     )
@@ -274,6 +297,9 @@ def _execute(
     extra = _case_extra(case, telemetry)
     extra["kernel_backend"] = active_backend_name()
     extra["jit_warmup_s"] = round(jit_warmup_s, 4)
+    if case.topology is not None:
+        # the multiwafer comparison hook needs the slab geometry
+        extra["reps"] = list(reps)
     peak = peak_rss_bytes()
     if peak is not None:
         extra["peak_rss_bytes"] = peak
@@ -316,6 +342,7 @@ def run_bench(
     steps: int | None = None,
     profile: bool = False,
     workers: int | None = None,
+    transport: str | None = None,
     progress=None,
 ) -> list[BenchResult]:
     """Run the selected cases in declaration order.
@@ -326,8 +353,14 @@ def run_bench(
     case pinned to a backend this host cannot import (``numba-Ta``
     without numba, ``par-*`` without fork) is skipped with a progress
     note rather than silently timing numpy under the wrong name.
-    ``workers`` overrides the pool size of every parallel case (the
-    ``repro bench --workers`` flag).
+    ``workers`` overrides the pool size of every 1D parallel case
+    (topology cases keep their grid — a worker override would conflict
+    with it) and ``transport`` overrides every parallel case's
+    transport (the ``repro bench --workers``/``--transport`` flags).
+    After the sweep, every 2D-topology result gains its
+    measured-vs-multiwafer-model comparison when a sibling rate was
+    timed (:func:`attach_multiwafer` re-runs with the baseline for the
+    cross-run case).
     """
     from repro.kernels import (
         active_backend_name,
@@ -355,9 +388,11 @@ def run_bench(
                     f"unavailable on this host, skipped"
                 )
             continue
-        if (workers is not None
-                and (case.backend or base_backend) == "parallel"):
+        is_parallel = (case.backend or base_backend) == "parallel"
+        if workers is not None and is_parallel and case.topology is None:
             case = replace(case, workers=workers)
+        if transport is not None and is_parallel:
+            case = replace(case, transport=transport)
         if progress:
             progress(f"  {case.name} ({case.engine}) ...")
         set_backend(case.backend or base_backend)
@@ -366,6 +401,7 @@ def run_bench(
                                     profile=profile))
         finally:
             set_backend(base_backend)
+    attach_multiwafer(results)
     return results
 
 
@@ -416,28 +452,40 @@ def cross_backend_notes(
 
 
 def consistency_check(
-    *, workers: int = 2, steps: int = 5, tol: float = 1e-9
+    *,
+    workers: int = 2,
+    steps: int = 5,
+    tol: float = 1e-9,
+    topology: tuple[int, int] | None = None,
+    transport: str | None = None,
 ) -> list[str]:
     """Parallel-vs-numpy physics agreement smoke (``bench --check``).
 
     Runs the tier-1-sized Ta workload ``steps`` steps under the numpy
-    backend and under the parallel backend with ``workers`` shards,
-    and compares total energy (relative) and the worst per-atom
-    position deviation against ``tol``.  Returns human-readable failure
-    lines (empty = pass).  When the parallel backend is unavailable on
-    the host the check degrades to comparing numpy against itself,
-    which the registry has already warned about.
+    backend and under the parallel backend with ``workers`` shards —
+    or a ``topology`` domain grid, over ``transport`` — and compares
+    total energy (relative) and the worst per-atom position deviation
+    against ``tol``.  Returns human-readable failure lines (empty =
+    pass).  When the parallel backend is unavailable on the host the
+    check degrades to comparing numpy against itself, which the
+    registry has already warned about.
     """
     from repro.kernels import active_backend_name, set_backend
     from repro.runtime import RunSpec, build_engine
 
     base_backend = active_backend_name()
     failures: list[str] = []
+    label = (
+        f"{topology[0]}x{topology[1]}" if topology else f"w={workers}"
+    )
+    if transport:
+        label += f", {transport}"
 
-    def _run(backend: str, w: int):
+    def _run(backend: str, w: int, topo, tkind):
         set_backend(backend)
         engine = build_engine(
-            RunSpec(element="Ta", reps=(6, 6, 3), steps=steps, workers=w)
+            RunSpec(element="Ta", reps=(6, 6, 3), steps=steps, workers=w,
+                    topology=topo, transport=tkind)
         )
         try:
             engine.step(steps)
@@ -446,14 +494,16 @@ def consistency_check(
             engine.close()
 
     try:
-        e_ref, pos_ref = _run("numpy", 0)
-        e_par, pos_par = _run("parallel", workers)
+        e_ref, pos_ref = _run("numpy", 0, None, None)
+        e_par, pos_par = _run(
+            "parallel", 0 if topology else workers, topology, transport
+        )
     finally:
         set_backend(base_backend)
     rel = abs(e_par - e_ref) / max(abs(e_ref), 1e-300)
     if rel > tol:
         failures.append(
-            f"total energy: parallel(w={workers}) vs numpy relative "
+            f"total energy: parallel({label}) vs numpy relative "
             f"difference {rel:.3e} > {tol:g}"
         )
     max_dpos = float(np.max(np.abs(pos_par - pos_ref)))
@@ -463,6 +513,102 @@ def consistency_check(
             f"{steps} steps"
         )
     return failures
+
+
+def multiwafer_comparison(result: BenchResult, single_rate: float,
+                          sibling: str) -> dict:
+    """Measured-vs-modeled Table VI hook for a 2D-topology bench case.
+
+    Maps the measured 2D run onto the multi-wafer ghost-region model:
+    each tile plays one wafer-node holding ``n_atoms / n_domains``
+    interior atoms, the halo ring plays the ghost shell (``lambda``
+    sized so the model grants at least one step per refresh period),
+    and the same-worker-count 1D sibling's measured rate plays the
+    single-wafer rate.  Returns a JSON-ready dict with the modeled
+    fraction-of-single-wafer next to the measured ratio, so Table VI
+    is an experiment, not just a projection.
+    """
+    import math
+
+    from repro.perfmodel.multiwafer import MultiWaferModel
+    from repro.potentials.elements import ELEMENTS
+
+    topo = result.extra.get("topology")
+    reps = result.extra.get("reps")
+    el = ELEMENTS[result.element]
+    n_domains = topo[0] * topo[1]
+    lam = max(1, math.ceil(2.0 * el.cutoff_nn))
+    # BCC slab: 2 atoms per cell, reps[2] cells thick
+    z_sites = max(1, 2 * int(reps[2]))
+    per_domain = max(1, result.n_atoms // n_domains)
+    x_sites = max(2 * lam + 1, int(round((per_domain / z_sites) ** 0.5)))
+    point = MultiWaferModel().evaluate(
+        result.element, x_sites, z_sites, lam, el.cutoff_nn,
+        1.0 / single_rate, single_rate,
+    )
+    return {
+        "model": {
+            "x_sites": point.x_sites,
+            "z_sites": point.z_sites,
+            "lambda": point.lam,
+            "k_steps": point.k_steps,
+            "n_ghost": point.n_ghost,
+            "fraction_of_single_wafer": round(
+                point.fraction_of_single_wafer, 4
+            ),
+        },
+        "measured": {
+            "single_wafer_case": sibling,
+            "single_wafer_steps_per_s": round(single_rate, 3),
+            "steps_per_s": round(result.steps_per_s, 3),
+            "fraction_of_single_wafer": round(
+                result.steps_per_s / single_rate, 4
+            ),
+        },
+    }
+
+
+def attach_multiwafer(results: list[BenchResult],
+                      baseline: dict | None = None,
+                      *, mode: str | None = None) -> list[str]:
+    """Attach the Table VI comparison to every 2D-topology result.
+
+    The single-wafer stand-in is the same-worker-count 1D sibling
+    (``par-Ta-w4`` for a 2x2 grid), taken from this run or, failing
+    that, the newest matching ``baseline`` history entry.  Returns one
+    human-readable note per 2D case (including cases with no sibling
+    rate anywhere — never a silent omission).
+    """
+    by_name = {r.name: r for r in results}
+    notes: list[str] = []
+    for r in results:
+        topo = r.extra.get("topology")
+        if not topo or topo[1] == 1:
+            continue
+        n_domains = topo[0] * topo[1]
+        sibling = f"par-{r.element}-w{n_domains}"
+        ref = by_name.get(sibling)
+        rate = ref.steps_per_s if ref is not None else None
+        if not rate and baseline is not None:
+            row = baseline_for_case(baseline, sibling, mode=mode)
+            if row is not None:
+                rate = row["steps_per_s"]
+        if not rate:
+            notes.append(
+                f"{r.name}: no {sibling} rate in this run or the "
+                f"baseline; multiwafer comparison skipped"
+            )
+            continue
+        comp = multiwafer_comparison(r, rate, sibling)
+        r.extra["multiwafer"] = comp
+        notes.append(
+            f"{r.name}: measured {comp['measured']['fraction_of_single_wafer']:.2f}x "
+            f"of {sibling} vs modeled Table-VI fraction "
+            f"{comp['model']['fraction_of_single_wafer']:.2f} "
+            f"(lambda={comp['model']['lambda']}, "
+            f"k={comp['model']['k_steps']})"
+        )
+    return notes
 
 
 def _git_sha() -> str | None:

@@ -64,6 +64,19 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _parse_topology(value: str) -> tuple[int, int]:
+    """argparse type for ``--topology PXxPY`` (e.g. ``2x2``)."""
+    parts = value.lower().split("x")
+    if len(parts) != 2 or not all(p.isdigit() for p in parts):
+        raise argparse.ArgumentTypeError(
+            f"expected PXxPY (e.g. 2x2), got {value!r}"
+        )
+    px, py = int(parts[0]), int(parts[1])
+    if px < 1 or py < 1:
+        raise argparse.ArgumentTypeError("topology factors must be >= 1")
+    return px, py
+
+
 def _set_backend(name: str | None) -> str:
     from repro.kernels import active_backend_name, set_backend
 
@@ -92,6 +105,10 @@ def _spec_from_run_args(args):
             overrides["backend"] = args.backend
         if args.workers is not None:
             overrides["workers"] = args.workers
+        if args.topology is not None:
+            overrides["topology"] = args.topology
+        if args.transport is not None:
+            overrides["transport"] = args.transport
         if args.fuse_integrate:
             overrides["fuse_integrate"] = True
         if args.offset_chunk is not None:
@@ -108,6 +125,8 @@ def _spec_from_run_args(args):
         seed=args.seed,
         backend=args.backend,
         workers=args.workers or 0,
+        topology=args.topology,
+        transport=args.transport,
         fuse_integrate=args.fuse_integrate,
         offset_chunk=args.offset_chunk or 0,
         swap_interval=args.swap_interval,
@@ -233,6 +252,7 @@ def _cmd_bench(args) -> int:
     import json
 
     from repro.bench import (
+        attach_multiwafer,
         compare_to_baseline,
         consistency_check,
         cross_backend_notes,
@@ -246,14 +266,21 @@ def _cmd_bench(args) -> int:
     print(f"repro bench: {mode} mode, {backend} kernels")
     if args.check:
         workers = args.workers if args.workers is not None else 2
-        failures = consistency_check(workers=workers)
+        label = (f"{args.topology[0]}x{args.topology[1]}"
+                 if args.topology else f"w={workers}")
+        if args.transport:
+            label += f", {args.transport} transport"
+        failures = consistency_check(
+            workers=workers, topology=args.topology,
+            transport=args.transport,
+        )
         if failures:
-            print(f"CONSISTENCY CHECK FAILED (parallel w={workers} vs "
+            print(f"CONSISTENCY CHECK FAILED (parallel {label} vs "
                   f"numpy):", file=sys.stderr)
             for line in failures:
                 print(f"  {line}", file=sys.stderr)
             return 1
-        print(f"consistency check passed: parallel (w={workers}) matches "
+        print(f"consistency check passed: parallel ({label}) matches "
               f"numpy")
     results = run_bench(
         quick=args.quick,
@@ -262,6 +289,7 @@ def _cmd_bench(args) -> int:
         steps=args.steps,
         profile=args.profile,
         workers=args.workers,
+        transport=args.transport,
         progress=print,
     )
     if not results:
@@ -270,14 +298,24 @@ def _cmd_bench(args) -> int:
     for r in results:
         speedup = (f", {r.speedup_vs_seed:.2f}x vs seed"
                    if r.speedup_vs_seed is not None else "")
+        layout = ""
+        topo = r.extra.get("topology")
+        if topo:
+            layout = f" [{topo[0]}x{topo[1]}, {r.extra.get('transport')}]"
+        elif r.extra.get("workers"):
+            layout = (f" [w={r.extra['workers']}, "
+                      f"{r.extra.get('transport')}]")
         print(f"  {r.name}: {r.n_atoms} atoms, {r.steps} steps in "
-              f"{r.wall_s:.2f} s -> {r.steps_per_s:.2f} steps/s{speedup}")
+              f"{r.wall_s:.2f} s -> {r.steps_per_s:.2f} steps/s"
+              f"{speedup}{layout}")
     baseline = None
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
     for line in cross_backend_notes(results, baseline, mode=mode):
         print(f"  vs numpy: {line}")
+    for line in attach_multiwafer(results, baseline, mode=mode):
+        print(f"  multiwafer: {line}")
     report = write_report(args.out, results, quick=args.quick,
                           backend=backend)
     print(f"wrote {args.out} ({len(latest_results(report))} cases, "
@@ -527,6 +565,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: os.cpu_count()), or for the wse "
                           "engine's offset-dispatch pool (default: "
                           "serial sweeps)")
+    run.add_argument("--topology", type=_parse_topology, default=None,
+                     metavar="PXxPY",
+                     help="2D domain grid for the parallel backend "
+                          "(e.g. 2x2; implies px*py workers; default: "
+                          "1D columns, one per worker)")
+    run.add_argument("--transport", default=None,
+                     choices=["shared", "socket"],
+                     help="parallel-backend transport (default: shared "
+                          "memory, or $REPRO_PARALLEL_TRANSPORT)")
     run.add_argument("--offset-chunk", type=int, default=None,
                      help="wse streaming-sweep batch size in offsets "
                           "(default: auto-sized from the grid); a "
@@ -578,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker count for parallel-backend cases "
                             "(par-Ta-*) and --check (default: each "
                             "case's own, check 2)")
+    bench.add_argument("--topology", type=_parse_topology, default=None,
+                       metavar="PXxPY",
+                       help="2D domain grid for --check (e.g. 2x2; "
+                            "timed topology cases keep their own grid)")
+    bench.add_argument("--transport", default=None,
+                       choices=["shared", "socket"],
+                       help="transport for parallel-backend cases and "
+                            "--check (default: shared memory)")
     bench.add_argument("--check", action="store_true",
                        help="first verify the parallel backend matches "
                             "numpy on total energy (<= 1e-9 relative) "

@@ -98,6 +98,14 @@ class Simulation:
         Worker count for the sharded force pipeline when the
         ``parallel`` kernel backend is active (``None``/0 = one per
         CPU).  Ignored under serial backends.
+    topology:
+        ``(px, py)`` domain-grid shape for the sharded pipeline
+        (``None`` = 1D ``workers x 1`` columns).  Layout, never
+        physics.  Ignored under serial backends.
+    transport:
+        Sharded-pipeline transport (``"shared"``/``"socket"``;
+        ``None`` reads ``REPRO_PARALLEL_TRANSPORT``).  Ignored under
+        serial backends.
     fuse_integrate:
         Fold the leap-frog kick+drift into the active kernel backend's
         ``force_integrate`` pass instead of the Python-level
@@ -117,6 +125,8 @@ class Simulation:
         thermostat: BerendsenThermostat | None = None,
         tracer=None,
         workers: int | None = None,
+        topology: tuple[int, int] | None = None,
+        transport: str | None = None,
         fuse_integrate: bool = False,
     ) -> None:
         from repro.kernels import active_backend, active_backend_name
@@ -126,6 +136,8 @@ class Simulation:
         self.dt_fs = float(dt_fs)
         self.skin = float(skin)
         self.workers = workers
+        self.topology = topology
+        self.transport = transport
         self.fuse_integrate = bool(fuse_integrate)
         self.integrator = LeapfrogVerlet(dt_fs)
         self.neighbors = NeighborList(state.box, potential.cutoff, skin=skin)
@@ -169,6 +181,8 @@ class Simulation:
                 self.potential,
                 skin=self.skin,
                 workers=self.workers,
+                topology=self.topology,
+                transport=self.transport,
             )
 
     def add_observer(

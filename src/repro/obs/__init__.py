@@ -44,12 +44,17 @@ happens outside the engine's measured wall time).  The lockstep
 machine emits the same ``parallel.pool`` span when its offset-dispatch
 pool (``workers`` on a wse spec) spawns; its streaming sweeps report
 ``exchange`` and ``neighbor`` as pre-measured child spans inside
-``density`` and ``pair_force``, so the wse taxonomy is unchanged.  Sharded runs keep
-the standard taxonomy: per-shard timings ride as span counters
-(``shard_sum_s``/``shard_max_s``) and ``parallel.*`` metrics, not as
-extra phases.  :data:`ENGINE_PHASES` names the subset each engine is
+``density`` and ``pair_force``, so the wse taxonomy is unchanged.
+Sharded runs keep the standard taxonomy — per-shard timings ride as
+span counters (``shard_sum_s``/``shard_max_s``) and ``parallel.*``
+metrics — plus one extra leaf: each command round's exposed
+communication time lands as a pre-measured ``halo_exchange`` child
+span (with ``bytes_sent``/``bytes_recv`` counters from the transport)
+inside its enclosing phase, the host analogue of the wafer's exchange
+cost.  :data:`ENGINE_PHASES` names the subset each engine is
 *required* to produce, which the ``repro profile --check`` CI smoke
-asserts.
+asserts; ``required_phases(..., sharded=True)`` adds ``halo_exchange``
+for runs the sharded pipeline actually drove.
 """
 
 from repro.obs.metrics import (
@@ -107,13 +112,21 @@ ENGINE_PHASES = {
 }
 
 
-def required_phases(engine: str, *, swap_interval: int = 0) -> tuple[str, ...]:
+def required_phases(
+    engine: str, *, swap_interval: int = 0, sharded: bool = False
+) -> tuple[str, ...]:
     """The phases a run of ``engine`` must produce.
 
     ``swap`` only fires when swapping is enabled, so it is required of
-    the lockstep engine only when ``swap_interval > 0``.
+    the lockstep engine only when ``swap_interval > 0``; likewise
+    ``halo_exchange`` only fires when the sharded force pipeline drove
+    the run (``sharded=True`` — the caller knows from the engine's
+    telemetry, since a parallel spec can legitimately fall back to the
+    serial path).
     """
     phases = ENGINE_PHASES[engine]
     if engine == "wse" and swap_interval == 0:
         phases = tuple(p for p in phases if p != "swap")
+    if sharded and engine == "reference":
+        phases = (*phases, "halo_exchange")
     return phases

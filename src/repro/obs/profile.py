@@ -155,8 +155,13 @@ def profile_spec(
             totals = tracer.phase_totals()
             wall = telemetry.wall_time_s
             coverage = tracer.total_s() / wall if wall > 0 else 0.0
+            # A parallel spec can legitimately degrade to the serial
+            # path (no fork, periodic box); the telemetry says whether
+            # the sharded pipeline — and so ``halo_exchange`` — ran.
             required = required_phases(
-                name, swap_interval=espec.swap_interval
+                name,
+                swap_interval=espec.swap_interval,
+                sharded="transport" in telemetry.counters,
             )
             missing = tuple(p for p in required if p not in totals)
             fit = None

@@ -1,21 +1,31 @@
-"""``repro.parallel``: shared-memory domain-sharded execution layer.
+"""``repro.parallel``: domain-sharded execution over pluggable transports.
 
 The paper's speedup is spatial decomposition — one atom per PE with a
 locality-preserving cell-to-fabric mapping.  This package is the
-host-side analogue: the box is sliced into cell-aligned **column
-domains** (:mod:`~repro.parallel.domains`), a persistent pool of forked
-workers (:mod:`~repro.parallel.pool`) owns one column each, and all
-per-step array traffic rides a :class:`~repro.parallel.shm.SharedArena`
-so a timestep ships no pickled arrays.  The
-:class:`~repro.parallel.pipeline.ShardedForcePipeline` drives the EAM
-two-pass per step with halo overlap (halo width = cutoff + skin) and a
-deterministic fixed-order seam reduction.
+host-side analogue, split into two orthogonal layers:
+
+* **Domains** (:mod:`~repro.parallel.domains`): the box is tiled into a
+  cell-aligned ``px x py`` :class:`~repro.parallel.domains.DomainGrid`
+  of rectangular domains with balanced atom counts, halo regions of
+  width cutoff + skin, and an own-smaller-global-id seam rule that
+  keeps the tile union bit-identical to the serial candidate set.  The
+  historical 1D column layout is the ``px x 1`` special case.
+* **Transport** (:mod:`~repro.parallel.transport`): how bytes reach the
+  workers — the fork + :class:`~repro.parallel.shm.SharedArena`
+  shared-memory path, or the same worker protocol over TCP sockets so
+  shards can live in other processes or hosts.
+
+The :class:`~repro.parallel.pipeline.ShardedForcePipeline` drives the
+EAM two-pass per step over whichever transport with a deterministic
+fixed-order seam reduction, so trajectories are bitwise-reproducible
+per (topology, transport) — and bitwise-identical across transports.
 
 Selection is the kernel-backend tier: ``backend="parallel"`` (or
 ``REPRO_KERNEL_BACKEND=parallel``) turns the pipeline on;
 :func:`unsupported_reason` gates the cases it cannot shard (periodic
 boxes, potentials without the fused two-stage split, no fork), which
 fall back to the serial path with a once-per-reason warning.
+``REPRO_PARALLEL_TRANSPORT=socket`` flips the default transport.
 """
 
 from __future__ import annotations
@@ -24,18 +34,38 @@ import warnings
 
 import numpy as np
 
-from repro.parallel.domains import ShardPairs, build_shard_pairs, plan_columns
+from repro.parallel.domains import (
+    DomainGrid,
+    ShardPairs,
+    build_shard_pairs,
+    build_tile_pairs,
+    plan_columns,
+    plan_grid,
+)
 from repro.parallel.pipeline import ShardedForcePipeline
 from repro.parallel.pool import WorkerPool, fork_available
 from repro.parallel.shm import SharedArena
+from repro.parallel.transport import (
+    TRANSPORTS,
+    ForkTransport,
+    SocketTransport,
+    make_transport,
+)
 
 __all__ = [
     "ShardedForcePipeline",
     "SharedArena",
     "WorkerPool",
+    "DomainGrid",
     "ShardPairs",
     "build_shard_pairs",
+    "build_tile_pairs",
     "plan_columns",
+    "plan_grid",
+    "ForkTransport",
+    "SocketTransport",
+    "make_transport",
+    "TRANSPORTS",
     "fork_available",
     "unsupported_reason",
     "warn_fallback",
@@ -50,7 +80,7 @@ def unsupported_reason(box, potential) -> str | None:
     """Why the sharded pipeline cannot run this workload, or ``None``.
 
     The pipeline shards fully open boxes (the paper's slab workloads;
-    periodic images across column seams are out of scope) for
+    periodic images across domain seams are out of scope) for
     potentials exposing the fused two-stage EAM split.
     """
     if not fork_available():

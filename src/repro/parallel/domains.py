@@ -1,28 +1,35 @@
-"""Spatial column decomposition for the sharded force pipeline.
+"""Spatial domain decomposition for the sharded force pipeline.
 
 The paper maps atoms to PEs through a locality-preserving assignment of
 spatial cells to the fabric's rows and columns; the host-side analogue
-here slices the (fully open) box into contiguous **columns along x**,
-one per worker.  Everything in this module is pure array logic — the
-worker processes call it, and the test suite calls it single-process to
-pin down the decomposition invariants without any multiprocessing.
+here tiles the (fully open) box into a :class:`DomainGrid` of
+``px x py`` contiguous rectangles — ``px`` columns along x crossed with
+``py`` rows along y — one tile per worker.  The historical 1D x-column
+decomposition (:func:`plan_columns`) is the ``px x 1`` special case.
+Everything in this module is pure array logic — the worker processes
+call it, and the test suite calls it single-process to pin down the
+decomposition invariants without any multiprocessing.
 
 Invariants
 ----------
-* The owned intervals ``[edges[k], edges[k+1])`` partition the real
-  line (``edges[0] = -inf``, ``edges[-1] = +inf``), so every atom is
-  owned by exactly one shard.
-* A shard's *local* set is its owned slab dilated by the halo width
-  (``cutoff + skin``): every pair a shard is responsible for has both
-  members local, because a candidate pair's build-time separation never
-  exceeds the halo width.
-* A pair is kept by the shard that **owns the smaller global id** — a
-  total tie-free rule, so across shards each undirected candidate pair
+* Each axis's owned intervals ``[edges[k], edges[k+1])`` partition the
+  real line (``edges[0] = -inf``, ``edges[-1] = +inf``), so the tile
+  rectangles partition the plane and every atom is owned by exactly
+  one tile.
+* A tile's *local* set is its owned rectangle dilated by the halo width
+  (``cutoff + skin``) along x and y: every pair a tile is responsible
+  for has both members local, because a candidate pair's build-time
+  separation never exceeds the halo width.
+* A pair is kept by the tile that **owns the smaller global id** — a
+  total tie-free rule, so across tiles each undirected candidate pair
   appears exactly once (the seam analogue of the half pair list).
+  Nothing in the rule depends on the edges being balanced or
+  cell-aligned; any partition of the plane works.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,49 +39,165 @@ from repro.md.boundary import Box
 from repro.md.cell_list import CellList
 from repro.potentials.base import PairTable
 
-__all__ = ["plan_columns", "ShardPairs", "build_shard_pairs"]
+__all__ = [
+    "DomainGrid",
+    "plan_axis",
+    "plan_grid",
+    "plan_columns",
+    "ShardPairs",
+    "build_tile_pairs",
+    "build_shard_pairs",
+]
 
 #: Shard boxes are fully open: the distance kernel never wraps, so the
 #: box lengths it receives are irrelevant placeholders.
 _OPEN_PERIODIC = np.zeros(3, dtype=bool)
 _OPEN_LENGTHS = np.ones(3, dtype=np.float64)
 
+#: Degenerate-decomposition warnings already issued (once per distinct
+#: (axis, requested, available) shape per process, mirroring the
+#: registry's once-per-name policy).
+_warned_degenerate: set[tuple] = set()
 
-def plan_columns(
-    x: np.ndarray, n_shards: int, cell_width: float
+
+def plan_axis(
+    coords: np.ndarray, n_parts: int, cell_width: float, *, axis: str = "x"
 ) -> np.ndarray:
-    """Cell-aligned column edges with near-equal atom counts.
+    """Cell-aligned interval edges with near-equal atom counts.
 
-    Returns ``(n_shards + 1,)`` edges with ``edges[0] = -inf`` and
-    ``edges[-1] = +inf``; shard ``k`` owns ``[edges[k], edges[k+1])``.
-    Interior edges lie on boundaries of a global x-column grid of width
+    Returns ``(n_parts + 1,)`` edges with ``edges[0] = -inf`` and
+    ``edges[-1] = +inf``; part ``k`` owns ``[edges[k], edges[k+1])``.
+    Interior edges lie on boundaries of a global column grid of width
     >= ``cell_width`` (the cell size the shards bin at, so domains
     align with whole cell columns), chosen where the cumulative atom
     histogram crosses each equal share.
+
+    When ``n_parts`` exceeds the number of cell columns the data spans,
+    the effective part count is capped at the column count (the balance
+    targets are spread over the cap, and the trailing parts stay empty)
+    and a once-per-shape :class:`RuntimeWarning` says so — many silently
+    empty shards otherwise look like a balanced decomposition.
     """
-    if n_shards < 1:
-        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-    edges = np.full(n_shards + 1, np.inf)
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    edges = np.full(n_parts + 1, np.inf)
     edges[0] = -np.inf
-    if n_shards == 1 or len(x) == 0:
+    if n_parts == 1 or len(coords) == 0:
         return edges
     eps = 1e-9
-    lo = float(x.min()) - eps
-    hi = float(x.max()) + eps
+    lo = float(coords.min()) - eps
+    hi = float(coords.max()) + eps
     extent = max(hi - lo, cell_width)
     ncol = max(1, int(np.floor(extent / cell_width)))
+    effective = min(n_parts, ncol)
+    if effective < n_parts:
+        key = (axis, n_parts, ncol)
+        if key not in _warned_degenerate:
+            _warned_degenerate.add(key)
+            warnings.warn(
+                f"{axis}-axis decomposition requested {n_parts} domains "
+                f"but the data spans only {ncol} cell column(s); capping "
+                f"at {effective} ({n_parts - effective} shard(s) stay "
+                f"empty)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
     width = extent / ncol
-    col = np.clip((x - lo) // width, 0, ncol - 1).astype(np.int64)
+    col = np.clip((coords - lo) // width, 0, ncol - 1).astype(np.int64)
     cum = np.cumsum(np.bincount(col, minlength=ncol))
-    n = len(x)
-    for k in range(1, n_shards):
-        target = k * n / n_shards
+    n = len(coords)
+    for k in range(1, effective):
+        target = k * n / effective
         idx = int(np.searchsorted(cum, target))
         edges[k] = lo + (idx + 1) * width
     # Monotonicity: crowded columns can make consecutive targets pick
     # the same boundary; the duplicate edge just yields an empty shard.
     np.maximum.accumulate(edges, out=edges)
     return edges
+
+
+def plan_columns(
+    x: np.ndarray, n_shards: int, cell_width: float
+) -> np.ndarray:
+    """1D x-column edges — the ``px x 1`` special case of :func:`plan_grid`."""
+    return plan_axis(x, n_shards, cell_width, axis="x")
+
+
+@dataclass(frozen=True)
+class DomainGrid:
+    """A ``px x py`` rectangular tiling of the xy-plane.
+
+    Tile ``k`` sits at column ``ix = k % px`` and row ``iy = k // px``
+    and owns the half-open rectangle
+    ``[x_edges[ix], x_edges[ix+1]) x [y_edges[iy], y_edges[iy+1])``.
+    Both edge arrays run from ``-inf`` to ``+inf``, so the tiles
+    partition the plane and the z-axis is never decomposed (the paper's
+    thin-slab workloads are at most a few cells thick in z).
+
+    The grid is a plain picklable value: the parent plans it on a
+    rebuild step and broadcasts it to the workers over whatever
+    transport is in use.
+    """
+
+    px: int
+    py: int
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.px < 1 or self.py < 1:
+            raise ValueError(
+                f"topology must be at least 1x1, got {self.px}x{self.py}"
+            )
+        if len(self.x_edges) != self.px + 1 or len(self.y_edges) != self.py + 1:
+            raise ValueError(
+                f"edge arrays must have px+1/py+1 entries, got "
+                f"{len(self.x_edges)}/{len(self.y_edges)} for "
+                f"{self.px}x{self.py}"
+            )
+
+    @property
+    def n_tiles(self) -> int:
+        return self.px * self.py
+
+    def tile_coords(self, tile: int) -> tuple[int, int]:
+        """``(ix, iy)`` of tile ``tile`` (row-major over columns first)."""
+        return tile % self.px, tile // self.px
+
+    def tile_bounds(self, tile: int) -> tuple[float, float, float, float]:
+        """``(xlo, xhi, ylo, yhi)`` of the tile's owned rectangle."""
+        ix, iy = self.tile_coords(tile)
+        return (
+            float(self.x_edges[ix]),
+            float(self.x_edges[ix + 1]),
+            float(self.y_edges[iy]),
+            float(self.y_edges[iy + 1]),
+        )
+
+    def owner_of(self, positions: np.ndarray) -> np.ndarray:
+        """Owning tile index per atom (total: every atom has one)."""
+        ix = np.searchsorted(self.x_edges, positions[:, 0], side="right") - 1
+        iy = np.searchsorted(self.y_edges, positions[:, 1], side="right") - 1
+        ix = np.clip(ix, 0, self.px - 1)
+        iy = np.clip(iy, 0, self.py - 1)
+        return iy * self.px + ix
+
+
+def plan_grid(
+    positions: np.ndarray, px: int, py: int, cell_width: float
+) -> DomainGrid:
+    """Balanced cell-aligned ``px x py`` tiling of the current positions.
+
+    Each axis is planned independently (a tensor-product grid), so tile
+    atom counts are near-equal for near-separable densities — the
+    paper's uniform slabs — and the seam rule stays correct regardless.
+    """
+    return DomainGrid(
+        px=px,
+        py=py,
+        x_edges=plan_axis(positions[:, 0], px, cell_width, axis="x"),
+        y_edges=plan_axis(positions[:, 1], py, cell_width, axis="y"),
+    )
 
 
 @dataclass
@@ -105,27 +228,32 @@ class ShardPairs:
         return PairTable(i=i, j=j, rij=rij, r=r, half=True)
 
 
-def build_shard_pairs(
+def build_tile_pairs(
     positions: np.ndarray,
-    edges: np.ndarray,
-    shard: int,
+    grid: DomainGrid,
+    tile: int,
     *,
     box: Box,
     reach: float,
     cells: CellList | None = None,
 ) -> ShardPairs:
-    """One shard's Verlet-prefiltered candidate pairs.
+    """One tile's Verlet-prefiltered candidate pairs.
 
     ``reach`` is ``cutoff + skin``: it is the Verlet prefilter radius
     *and* the halo width (a kept pair's build separation is <= reach,
-    so the partner of any owned atom lies inside the halo slab).
+    so the partner of any owned atom lies inside the halo ring).
     ``cells`` lets a persistent worker reuse its :class:`CellList`
     buffers across rebuilds.
     """
-    lo, hi = float(edges[shard]), float(edges[shard + 1])
+    xlo, xhi, ylo, yhi = grid.tile_bounds(tile)
     x = positions[:, 0]
-    local = np.nonzero((x >= lo - reach) & (x < hi + reach))[0]
-    n_owned = int(np.count_nonzero((x >= lo) & (x < hi)))
+    y = positions[:, 1]
+    local = np.nonzero(
+        (x >= xlo - reach) & (x < xhi + reach)
+        & (y >= ylo - reach) & (y < yhi + reach)
+    )[0]
+    owned = (x >= xlo) & (x < xhi) & (y >= ylo) & (y < yhi)
+    n_owned = int(np.count_nonzero(owned))
     empty = np.empty(0, dtype=np.int64)
     if len(local) == 0:
         return ShardPairs(empty, empty, 0, n_owned)
@@ -135,20 +263,41 @@ def build_shard_pairs(
     ci, cj = cells.candidate_pairs()
     gi = local[ci]
     gj = local[cj]
-    # Seam rule: keep the pair iff this shard owns the smaller global
-    # id.  Ownership intervals partition the line, so exactly one shard
+    # Seam rule: keep the pair iff this tile owns the smaller global
+    # id.  Tile rectangles partition the plane, so exactly one tile
     # keeps each undirected candidate pair.
-    xa = x[np.minimum(gi, gj)]
-    keep = (xa >= lo) & (xa < hi)
+    keep = owned[np.minimum(gi, gj)]
     gi = gi[keep]
     gj = gj[keep]
     if len(gi) == 0:
         return ShardPairs(empty, empty, len(local), n_owned)
     # Verlet prefilter at the build positions — identical semantics to
-    # the serial NeighborList.rebuild, so shard unions reproduce the
+    # the serial NeighborList.rebuild, so tile unions reproduce the
     # serial candidate set exactly.
     gi, gj, _, _ = active_backend().neighbor_prefilter(
         positions, gi, gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
         reach, inclusive=True, compute_r=False,
     )
     return ShardPairs(gi, gj, len(local), n_owned)
+
+
+def build_shard_pairs(
+    positions: np.ndarray,
+    edges: np.ndarray,
+    shard: int,
+    *,
+    box: Box,
+    reach: float,
+    cells: CellList | None = None,
+) -> ShardPairs:
+    """1D column shard pairs — :func:`build_tile_pairs` on a ``px x 1`` grid."""
+    edges = np.asarray(edges, dtype=np.float64)
+    grid = DomainGrid(
+        px=len(edges) - 1,
+        py=1,
+        x_edges=edges,
+        y_edges=np.array([-np.inf, np.inf]),
+    )
+    return build_tile_pairs(
+        positions, grid, shard, box=box, reach=reach, cells=cells
+    )

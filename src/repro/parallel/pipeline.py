@@ -1,23 +1,33 @@
-"""The sharded force pipeline: per-step orchestration over the pool.
+"""The sharded force pipeline: per-step orchestration over a transport.
 
 One timestep's force evaluation becomes three lockstep rounds, the
 host analogue of the paper's communicate/compute cadence:
 
-1. **neighbor** — the parent publishes positions to the arena, applies
-   the (global) skin/2 rebuild policy, and on a rebuild broadcasts
-   fresh balanced column edges; each shard rebuilds or reuses its
-   candidate pairs and distance-filters them to the true cutoff.
-2. **density** — each shard accumulates its partial ``rho_bar`` into
-   its arena slot; the parent reduces the slots **in fixed worker
-   order** (the seam reduction), evaluates the embedding stage, and
-   broadcasts ``F'(rho_bar)``.
-3. **force** — each shard evaluates pair forces/energies into its
+1. **neighbor** — the parent publishes positions, applies the (global)
+   skin/2 rebuild policy, and on a rebuild broadcasts a fresh balanced
+   :class:`~repro.parallel.domains.DomainGrid`; each tile rebuilds or
+   reuses its candidate pairs and distance-filters them to the true
+   cutoff.
+2. **density** — each tile accumulates its partial ``rho_bar`` into
+   its slot; the parent reduces the slots **in fixed rank order** (the
+   seam reduction), evaluates the embedding stage, and broadcasts
+   ``F'(rho_bar)``.
+3. **force** — each tile evaluates pair forces/energies into its
    slots; the parent reduces again in fixed order.
 
 The fixed-order slot reduction makes a run bitwise-reproducible for a
-given worker count; across worker counts the physics agrees to
-floating-point summation tolerance (~1e-12 relative), exactly like any
+given (topology, transport) — and since both transports deliver the
+same float64 bits into the same slot layout, bitwise-identical across
+transports too.  Across topologies the physics agrees to floating-
+point summation tolerance (~1e-12 relative), exactly like any
 domain-decomposed MD code.
+
+Halo accounting: each round's *exposed* communication time — publish
+cost plus the slack between the command's wall time and the slowest
+worker's compute time — is emitted as a pre-measured ``halo_exchange``
+child span inside the enclosing phase, with the transport's byte
+deltas as counters, so ``repro profile`` shows what the decomposition
+pays for its seams.
 """
 
 from __future__ import annotations
@@ -28,9 +38,8 @@ import time
 import numpy as np
 
 from repro.obs import NULL_TRACER, metrics
-from repro.parallel.domains import plan_columns
-from repro.parallel.pool import WorkerPool
-from repro.parallel.shm import SharedArena
+from repro.parallel.domains import plan_grid
+from repro.parallel.transport import make_transport
 
 __all__ = ["ShardedForcePipeline"]
 
@@ -41,10 +50,17 @@ class ShardedForcePipeline:
     """Persistent domain-sharded evaluator for one simulation's forces.
 
     Construct once per :class:`~repro.md.simulation.Simulation` (the
-    construction cost — arena + fork — is what the ``parallel.pool``
-    phase accounts for) and call :meth:`compute` once per force
-    evaluation.  Must be :meth:`close`\\ d to reap the workers; an
-    abandoned pipeline is cleaned up by GC/daemon semantics.
+    construction cost — arena/sockets + worker spawn — is what the
+    ``parallel.pool`` phase accounts for) and call :meth:`compute` once
+    per force evaluation.  Must be :meth:`close`\\ d to reap the
+    workers; an abandoned pipeline is cleaned up by GC/daemon
+    semantics.
+
+    ``topology`` is the ``(px, py)`` domain grid; ``None`` keeps the
+    historical 1D column layout (``workers x 1``).  ``transport``
+    selects how bytes reach the workers (``"shared"`` or ``"socket"``;
+    ``None`` reads ``REPRO_PARALLEL_TRANSPORT``, defaulting to shared
+    memory).
     """
 
     def __init__(
@@ -54,27 +70,32 @@ class ShardedForcePipeline:
         *,
         skin: float = 0.5,
         workers: int | None = None,
+        topology: tuple[int, int] | None = None,
+        transport: str | None = None,
     ) -> None:
         n = state.n_atoms
-        w = workers if workers else (os.cpu_count() or 1)
-        self.n_workers = max(1, int(w))
+        if topology is not None:
+            px, py = int(topology[0]), int(topology[1])
+            if px < 1 or py < 1:
+                raise ValueError(
+                    f"topology must be at least 1x1, got {px}x{py}"
+                )
+            if workers and workers != px * py:
+                raise ValueError(
+                    f"workers={workers} conflicts with topology "
+                    f"{px}x{py} ({px * py} tiles)"
+                )
+        else:
+            w = workers if workers else (os.cpu_count() or 1)
+            px, py = max(1, int(w)), 1
+        self.topology = (px, py)
+        self.n_workers = px * py
         self.skin = float(skin)
         self.cutoff = float(potential.cutoff)
         self.reach = self.cutoff + self.skin
         self.n_atoms = n
         self.potential = potential
         self._types = np.asarray(state.types, dtype=np.int64)
-        self.arena = SharedArena(
-            {
-                "positions": ((n, 3), np.float64),
-                "types": ((n,), np.int64),
-                "f_der": ((n,), np.float64),
-                "rho": ((self.n_workers, n), np.float64),
-                "epair": ((self.n_workers, n), np.float64),
-                "forces": ((self.n_workers, n, 3), np.float64),
-            }
-        )
-        self.arena["types"][:] = self._types
         # Shard inner loops call the active backend's fused passes; the
         # worker-side backend defaults to numpy and may be switched to
         # the JIT tier (sharding x compiled kernels compose) via env.
@@ -89,15 +110,48 @@ class ShardedForcePipeline:
             "n_atoms": n,
             "inner_backend": self.inner_backend,
         }
-        self.pool = WorkerPool(self.n_workers, self.arena.arrays, cfg)
+        kind = transport or os.environ.get(
+            "REPRO_PARALLEL_TRANSPORT", "shared"
+        )
+        self.transport = make_transport(
+            kind,
+            self.n_workers,
+            inputs={
+                "positions": ((n, 3), np.float64),
+                "types": ((n,), np.int64),
+                "f_der": ((n,), np.float64),
+            },
+            outputs={
+                "rho": ((n,), np.float64),
+                "epair": ((n,), np.float64),
+                "forces": ((n, 3), np.float64),
+            },
+            cfg=cfg,
+        )
+        self.transport.publish("types", self._types)
         self._ref_positions: np.ndarray | None = None
+        self._closed = False
         self.n_builds = 0
         self.last_pair_count = 0
         #: cumulative per-worker seconds per stage (bench telemetry)
         self.shard_seconds: dict[str, list[float]] = {
             s: [0.0] * self.n_workers for s in _STAGES
         }
-        metrics().gauge("parallel.workers").set(float(self.n_workers))
+        #: cumulative exposed halo-exchange seconds (bench telemetry)
+        self.halo_seconds = 0.0
+        reg = metrics()
+        reg.gauge("parallel.workers").set(float(self.n_workers))
+        reg.gauge("parallel.topology.px").set(float(px))
+        reg.gauge("parallel.topology.py").set(float(py))
+
+    @property
+    def transport_kind(self) -> str:
+        return self.transport.kind
+
+    @property
+    def halo_bytes(self) -> tuple[int, int]:
+        """Cumulative (sent, received) halo bytes over the transport."""
+        return self.transport.bytes_sent, self.transport.bytes_recv
 
     # -- rebuild policy (global twin of NeighborList's) --------------------
 
@@ -126,15 +180,16 @@ class ShardedForcePipeline:
         caller's :class:`~repro.md.simulation.SimStats`.
         """
         reg = metrics()
-        pos_view = self.arena["positions"]
+        tp = self.transport
         t0 = time.perf_counter()
         with tr.phase("neighbor") as ph:
-            np.copyto(pos_view, positions)
+            tp.publish("positions", positions)
+            t_pub = time.perf_counter() - t0
             reason = self._rebuild_reason(positions)
-            edges = None
+            grid = None
             if reason is not None:
-                edges = plan_columns(
-                    positions[:, 0], self.n_workers, self.reach
+                grid = plan_grid(
+                    positions, self.topology[0], self.topology[1], self.reach
                 )
                 self._ref_positions = np.array(positions, copy=True)
                 self.n_builds += 1
@@ -142,24 +197,26 @@ class ShardedForcePipeline:
                 reg.counter(f"neighbor.rebuilds.{reason}").inc()
             else:
                 reg.counter("neighbor.reuses").inc()
-            replies = self.pool.command(("neighbor", edges))
+            replies = self._round("neighbor", ("neighbor", grid), tr, t_pub)
             n_pairs = int(sum(r[0] for r in replies))
             self._account_stage("neighbor", replies, ph)
             ph.add(pairs=n_pairs, rebuilds=0 if reason is None else 1)
         t1 = time.perf_counter()
         with tr.phase("density", pairs=n_pairs) as ph:
-            replies = self.pool.command(("density",))
-            # Seam reduction: fixed worker order makes the sum (and the
-            # whole trajectory) bitwise-reproducible per worker count.
-            rho_bar = np.sum(self.arena["rho"], axis=0)
+            replies = self._round("density", ("density",), tr)
+            # Seam reduction: fixed rank order makes the sum (and the
+            # whole trajectory) bitwise-reproducible per topology.
+            rho_bar = np.sum(tp.slots("rho"), axis=0)
             self._account_stage("density", replies, ph)
         with tr.phase("embedding"):
             f_val, f_der = self.potential.embed(rho_bar, self._types)
-            np.copyto(self.arena["f_der"], f_der)
         with tr.phase("pair_force", pairs=n_pairs) as ph:
-            replies = self.pool.command(("force",))
-            forces = np.sum(self.arena["forces"], axis=0)
-            e_pair = np.sum(self.arena["epair"], axis=0)
+            tpub0 = time.perf_counter()
+            tp.publish("f_der", f_der)
+            t_pub = time.perf_counter() - tpub0
+            replies = self._round("force", ("force",), tr, t_pub)
+            forces = np.sum(tp.slots("forces"), axis=0)
+            e_pair = np.sum(tp.slots("epair"), axis=0)
             self._account_stage("force", replies, ph)
         t2 = time.perf_counter()
         self.last_pair_count = n_pairs
@@ -172,6 +229,38 @@ class ShardedForcePipeline:
             "t_force": t2 - t1,
         }
         return e_pair + f_val, forces, info
+
+    def _round(
+        self, stage: str, msg: tuple, tr, t_pub: float = 0.0
+    ) -> list[tuple]:
+        """One command round, with halo-exchange accounting.
+
+        The round's exposed communication time is the publish cost plus
+        the command wall time not covered by the slowest worker's
+        compute time; it lands as a pre-measured ``halo_exchange``
+        child span of the current phase, with the transport's byte
+        deltas attached as counters.
+        """
+        tp = self.transport
+        sent0, recv0 = tp.bytes_sent, tp.bytes_recv
+        t0 = time.perf_counter()
+        replies = tp.command(msg)
+        wall = time.perf_counter() - t0
+        compute = max((r[1] for r in replies), default=0.0)
+        exposed = t_pub + max(0.0, wall - compute)
+        d_sent = tp.bytes_sent - sent0
+        d_recv = tp.bytes_recv - recv0
+        tr.record(
+            "halo_exchange",
+            exposed,
+            {"bytes_sent": d_sent, "bytes_recv": d_recv, "stage": stage},
+        )
+        self.halo_seconds += exposed
+        reg = metrics()
+        reg.counter("parallel.halo.seconds").inc(exposed)
+        reg.counter("parallel.halo.bytes_sent").inc(float(d_sent))
+        reg.counter("parallel.halo.bytes_recv").inc(float(d_recv))
+        return replies
 
     def _account_stage(self, stage: str, replies, ph) -> None:
         """Attach per-shard timings to the span, metrics and telemetry."""
@@ -186,8 +275,11 @@ class ShardedForcePipeline:
         """Zero the cumulative shard timings (steady-state benching)."""
         for stage in self.shard_seconds:
             self.shard_seconds[stage] = [0.0] * self.n_workers
+        self.halo_seconds = 0.0
 
     def close(self) -> None:
-        """Reap the workers and release the arena (idempotent)."""
-        self.pool.close()
-        self.arena.close()
+        """Reap the workers and release the transport (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.transport.close()

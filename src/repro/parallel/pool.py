@@ -1,12 +1,13 @@
-"""Persistent fork-based worker pool for the sharded force pipeline.
+"""Persistent fork-based worker pool: spawn, command, reap.
 
-Each worker is a long-lived forked process driven over a private pipe
-by three tiny commands per timestep — ``neighbor``, ``density``,
-``force`` — mirroring the EAM two-pass structure (the globally reduced
-``rho_bar`` must pass through the parent's embedding stage between the
-density and force halves).  All array traffic rides the shared-memory
-arena the workers inherited at fork; a command message carries at most
-the new column edges on a rebuild step.
+The pool is deliberately protocol-agnostic plumbing: it forks
+``n_workers`` long-lived daemon processes running a caller-supplied
+``main(conn, wid, shared, cfg)`` and gives the parent one collective —
+:meth:`WorkerPool.command` broadcasts a message and gathers one reply
+per worker in rank order.  The shard worker protocol itself lives in
+:mod:`repro.parallel.transport` (``worker_loop``), and the WSE
+offset-dispatch pool (:mod:`repro.parallel.offsets`) reuses this class
+with its own main.
 
 Workers are daemons: an abandoned pool dies with the parent instead of
 orphaning processes.
@@ -15,11 +16,6 @@ orphaning processes.
 from __future__ import annotations
 
 import multiprocessing
-import time
-
-import numpy as np
-
-from repro.parallel.domains import build_shard_pairs
 
 __all__ = ["WorkerPool", "fork_available"]
 
@@ -32,87 +28,22 @@ _RERAISABLE = {
     "RuntimeError": RuntimeError,
 }
 
+#: Seconds to wait for a worker to exit before terminating it.
+_REAP_TIMEOUT_S = 5.0
+
 
 def fork_available() -> bool:
     """Whether this platform supports the fork start method."""
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _worker_main(conn, wid: int, shared: dict, cfg: dict) -> None:
-    """Worker loop: serve neighbor/density/force commands until stop.
-
-    ``shared`` holds numpy views over the fork-inherited arena;
-    ``cfg`` carries the (static) potential, box and geometry scalars.
-    Everything mutable per step lives in the arena or in this frame.
-    """
-    from repro.kernels import set_backend
-    from repro.md.cell_list import CellList
-
-    # The "parallel" backend name only means "drive a pool from the
-    # parent"; each worker's inner loops run a serial backend — numpy
-    # by default, or numba when the pipeline was configured to stack
-    # the JIT tier on top of sharding (REPRO_PARALLEL_INNER_BACKEND).
-    set_backend(cfg.get("inner_backend", "numpy"))
-    positions = shared["positions"]
-    types = shared["types"]
-    f_der = shared["f_der"]
-    rho_slot = shared["rho"][wid]
-    epair_slot = shared["epair"][wid]
-    force_slot = shared["forces"][wid]
-    potential = cfg["potential"]
-    cutoff = cfg["cutoff"]
-    reach = cfg["reach"]
-    n_atoms = cfg["n_atoms"]
-    cells = CellList(cfg["box"], reach)  # buffers reused across rebuilds
-    shard = None
-    table = None
-    cache: dict = {}
-    while True:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            break
-        cmd = msg[0]
-        if cmd == "stop":
-            break
-        t0 = time.perf_counter()
-        try:
-            if cmd == "neighbor":
-                edges = msg[1]
-                if edges is not None:
-                    shard = build_shard_pairs(
-                        positions, edges, wid,
-                        box=cfg["box"], reach=reach, cells=cells,
-                    )
-                table = shard.pairs(positions, cutoff)
-                conn.send(
-                    ("ok", table.n_pairs, time.perf_counter() - t0)
-                )
-            elif cmd == "density":
-                rho, cache = potential.fused_density(n_atoms, table, types)
-                rho_slot[:] = rho
-                conn.send(("ok", table.n_pairs, time.perf_counter() - t0))
-            elif cmd == "force":
-                e_pair, forces = potential.fused_pair_force(
-                    n_atoms, table, f_der, types, cache=cache
-                )
-                epair_slot[:] = e_pair
-                force_slot[:] = forces
-                conn.send(("ok", table.n_pairs, time.perf_counter() - t0))
-            else:
-                conn.send(("error", "ValueError", f"unknown command {cmd!r}"))
-        except Exception as exc:  # report, keep serving
-            conn.send(("error", type(exc).__name__, str(exc)))
-    conn.close()
-
-
 class WorkerPool:
-    """Spawn, command and reap the shard workers.
+    """Spawn, command and reap a set of forked workers.
 
     Construction forks ``n_workers`` processes that inherit ``shared``
-    (arena views) and ``cfg`` by copy-on-write; :meth:`command`
-    broadcasts one message and gathers one reply per worker, raising in
-    the parent if any worker reported an error.
+    (typically shared-memory array views) and ``cfg`` by copy-on-write;
+    :meth:`command` broadcasts one message and gathers one reply per
+    worker, raising in the parent if any worker reported an error.
     """
 
     def __init__(
@@ -120,8 +51,8 @@ class WorkerPool:
         n_workers: int,
         shared: dict,
         cfg: dict,
+        main,
         *,
-        main=_worker_main,
         name: str = "repro-shard",
     ) -> None:
         ctx = multiprocessing.get_context("fork")
@@ -149,17 +80,28 @@ class WorkerPool:
 
         Replies are ``(n_pairs, seconds)`` per worker.  Every reply is
         drained before any error is raised, so the pool stays in a
-        consistent idle state even when one shard fails.
+        consistent idle state even when one shard fails.  A worker
+        that died (broken pipe on send, EOF on receive) surfaces as a
+        RuntimeError instead of hanging the step.
         """
-        for conn in self._conns:
-            conn.send(msg)
         replies: list[tuple] = []
         error: tuple | None = None
+        down: set[int] = set()
         for wid, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                down.add(wid)
+                if error is None:
+                    error = (wid, "RuntimeError", f"worker died: {exc}")
+        for wid, conn in enumerate(self._conns):
+            if wid in down:
+                replies.append((0, 0.0))
+                continue
             try:
                 reply = conn.recv()
             except (EOFError, OSError) as exc:
-                reply = ("error", "RuntimeError", f"worker {wid} died: {exc}")
+                reply = ("error", "RuntimeError", f"worker died: {exc}")
             if reply[0] == "error" and error is None:
                 error = (wid, reply[1], reply[2])
             replies.append(reply[1:])
@@ -170,16 +112,25 @@ class WorkerPool:
         return replies
 
     def close(self) -> None:
-        """Stop and join every worker (idempotent)."""
+        """Stop and join every worker (idempotent, dead-worker safe).
+
+        A worker that already exited — crashed, killed, or double-close
+        — must not hang the parent: sends to broken pipes are
+        swallowed, joins are bounded by a timeout, and anything still
+        alive after the timeout is terminated.
+        """
         for conn in self._conns:
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
         self._conns = []
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            proc.join(timeout=_REAP_TIMEOUT_S)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1.0)

@@ -1,0 +1,449 @@
+"""Pluggable transports: how the pipeline reaches its shard workers.
+
+The sharded force pipeline needs exactly three collectives per
+timestep, and this module pins them down as the :class:`Transport`
+protocol so the decomposition logic never knows how bytes move:
+
+* **scatter** — :meth:`Transport.publish` makes a named parent array
+  (positions, types, the embedding derivative) visible to every
+  worker before the next command.
+* **barrier + gather** — :meth:`Transport.command` broadcasts one
+  small message and blocks for every worker's reply, in rank order.
+  Replies are ``(n_pairs, seconds)`` tails; worker errors re-raise in
+  the parent by exception name, exactly like the serial path.
+* **typed buffer channels** — :meth:`Transport.slots` exposes each
+  per-worker output (partial density, pair energy, forces) as one
+  ``(n_workers, ...)`` float64 array.  The parent always reduces with
+  ``np.sum(slots, axis=0)`` — fixed rank order — so a trajectory is
+  bitwise-reproducible for a given (topology, transport), and because
+  both transports deliver the identical float64 bits into the same
+  slot layout, it is bitwise-identical *across* transports too.
+
+Two implementations:
+
+* :class:`ForkTransport` ("shared") — the historical single-host path:
+  forked workers inherit a :class:`~repro.parallel.shm.SharedArena`,
+  commands ride per-worker pipes, array traffic is zero-copy.
+* :class:`SocketTransport` ("socket") — the same worker protocol over
+  TCP (:mod:`multiprocessing.connection`): arrays are shipped as
+  pickled buffers piggybacked on commands and replies, so shards can
+  live in other processes or on other hosts (``repro.parallel.worker``
+  is the remote entry point; CI exercises loopback).
+
+Both count ``bytes_sent``/``bytes_recv`` with the same logical rule —
+a published array costs ``nbytes x n_workers`` (the broadcast fan-out),
+a gathered stage costs the slot bytes — so halo-traffic numbers are
+comparable across transports even though the fork path never copies.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Protocol
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool, _RERAISABLE
+from repro.parallel.shm import SharedArena
+
+__all__ = [
+    "Transport",
+    "ForkTransport",
+    "SocketTransport",
+    "make_transport",
+    "worker_loop",
+    "remote_worker_main",
+    "TRANSPORTS",
+]
+
+TRANSPORTS = ("shared", "socket")
+
+#: Seconds to wait for a worker to exit before terminating it.
+_REAP_TIMEOUT_S = 5.0
+
+
+class Transport(Protocol):
+    """What :class:`~repro.parallel.pipeline.ShardedForcePipeline` needs."""
+
+    kind: str
+    n_workers: int
+    bytes_sent: int
+    bytes_recv: int
+
+    def publish(self, name: str, data: np.ndarray) -> None: ...
+
+    def command(self, msg: tuple) -> list[tuple]: ...
+
+    def barrier(self) -> None: ...
+
+    def slots(self, name: str) -> np.ndarray: ...
+
+    def close(self) -> None: ...
+
+
+# -- the worker protocol (transport-independent) ---------------------------
+
+
+def worker_loop(channel, wid: int, cfg: dict) -> None:
+    """Serve neighbor/density/force commands until stop.
+
+    ``channel`` abstracts the byte movement: :meth:`get` yields the
+    current value of a published input array, :meth:`put` stages one
+    output slot for the parent, ``recv``/``send`` move command/reply
+    messages.  The compute body is identical under every transport —
+    that is what makes cross-transport trajectories bitwise-equal.
+    """
+    from repro.kernels import set_backend
+    from repro.md.cell_list import CellList
+    from repro.parallel.domains import build_tile_pairs
+
+    # The "parallel" backend name only means "drive workers from the
+    # parent"; each worker's inner loops run a serial backend — numpy
+    # by default, or numba when the pipeline was configured to stack
+    # the JIT tier on top of sharding (REPRO_PARALLEL_INNER_BACKEND).
+    set_backend(cfg.get("inner_backend", "numpy"))
+    potential = cfg["potential"]
+    cutoff = cfg["cutoff"]
+    reach = cfg["reach"]
+    n_atoms = cfg["n_atoms"]
+    cells = CellList(cfg["box"], reach)  # buffers reused across rebuilds
+    shard = None
+    table = None
+    cache: dict = {}
+    while True:
+        try:
+            msg = channel.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        if cmd == "stop":
+            break
+        t0 = time.perf_counter()
+        try:
+            if cmd == "neighbor":
+                grid = msg[1]
+                positions = channel.get("positions")
+                if grid is not None:
+                    shard = build_tile_pairs(
+                        positions, grid, wid,
+                        box=cfg["box"], reach=reach, cells=cells,
+                    )
+                table = shard.pairs(positions, cutoff)
+                channel.send(("ok", table.n_pairs, time.perf_counter() - t0))
+            elif cmd == "density":
+                types = channel.get("types")
+                rho, cache = potential.fused_density(n_atoms, table, types)
+                channel.put("rho", rho)
+                channel.send(("ok", table.n_pairs, time.perf_counter() - t0))
+            elif cmd == "force":
+                types = channel.get("types")
+                f_der = channel.get("f_der")
+                e_pair, forces = potential.fused_pair_force(
+                    n_atoms, table, f_der, types, cache=cache
+                )
+                channel.put("epair", e_pair)
+                channel.put("forces", forces)
+                channel.send(("ok", table.n_pairs, time.perf_counter() - t0))
+            elif cmd == "ping":
+                channel.send(("ok", 0, time.perf_counter() - t0))
+            else:
+                channel.send(
+                    ("error", "ValueError", f"unknown command {cmd!r}")
+                )
+        except Exception as exc:  # report, keep serving
+            channel.send(("error", type(exc).__name__, str(exc)))
+    channel.close()
+
+
+class _ArenaChannel:
+    """Worker-side channel over fork-inherited shared memory + a pipe.
+
+    Inputs are live arena views (a parent publish is instantly
+    visible); outputs are written straight into this worker's slot of
+    the ``(n_workers, ...)`` arena arrays.
+    """
+
+    def __init__(self, conn, wid: int, shared: dict, outputs: tuple) -> None:
+        self._conn = conn
+        self._in = {k: v for k, v in shared.items() if k not in outputs}
+        self._out = {k: shared[k][wid] for k in outputs}
+
+    def recv(self):
+        return self._conn.recv()
+
+    def send(self, reply: tuple) -> None:
+        self._conn.send(reply)
+
+    def get(self, name: str) -> np.ndarray:
+        return self._in[name]
+
+    def put(self, name: str, data: np.ndarray) -> None:
+        self._out[name][:] = data
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class _SocketChannel:
+    """Worker-side channel over one ``multiprocessing.connection`` link.
+
+    Incoming messages are ``(msg, buffers)`` — the buffers refresh the
+    local input cache; outputs staged with :meth:`put` piggyback on the
+    next reply as ``(reply, outputs)``.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._in: dict[str, np.ndarray] = {}
+        self._staged: dict[str, np.ndarray] = {}
+
+    def recv(self):
+        msg, bufs = self._conn.recv()
+        self._in.update(bufs)
+        return msg
+
+    def send(self, reply: tuple) -> None:
+        self._conn.send((reply, self._staged))
+        self._staged = {}
+
+    def get(self, name: str) -> np.ndarray:
+        return self._in[name]
+
+    def put(self, name: str, data: np.ndarray) -> None:
+        self._staged[name] = np.ascontiguousarray(data)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _fork_worker_entry(conn, wid: int, shared: dict, cfg: dict) -> None:
+    """Fork-pool entry: wrap the inherited arena into a channel."""
+    worker_loop(_ArenaChannel(conn, wid, shared, cfg["outputs"]), wid, cfg)
+
+
+def remote_worker_main(address, authkey: bytes, rank: int) -> None:
+    """Socket-transport worker entry: connect, handshake, serve.
+
+    Runs in a separate process (loopback CI) or on another host
+    (``python -m repro.parallel.worker``).  The handshake carries the
+    rank so the parent can order connections deterministically, then
+    the parent ships the full worker config (potential included) in a
+    ``setup`` message before the first command.
+    """
+    from multiprocessing.connection import Client
+
+    conn = Client(address, authkey=authkey)
+    conn.send(("hello", rank))
+    msg = conn.recv()
+    if msg[0] != "setup":  # pragma: no cover - protocol violation
+        conn.close()
+        raise RuntimeError(f"expected setup message, got {msg[0]!r}")
+    cfg = msg[1]
+    worker_loop(_SocketChannel(conn), rank, cfg)
+
+
+# -- parent-side transports ------------------------------------------------
+
+
+class ForkTransport:
+    """Shared-memory transport: SharedArena + forked worker pool.
+
+    ``inputs``/``outputs`` are ``{name: (shape, dtype)}`` specs;
+    outputs get a leading ``n_workers`` slot dimension in the arena.
+    """
+
+    kind = "shared"
+
+    def __init__(
+        self,
+        n_workers: int,
+        inputs: dict,
+        outputs: dict,
+        cfg: dict,
+        *,
+        name: str = "repro-shard",
+    ) -> None:
+        self.n_workers = n_workers
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+        specs = dict(inputs)
+        for oname, (shape, dtype) in outputs.items():
+            specs[oname] = ((n_workers, *shape), dtype)
+        self.arena = SharedArena(specs)
+        cfg = dict(cfg, outputs=tuple(outputs))
+        self.pool = WorkerPool(
+            n_workers, self.arena.arrays, cfg, main=_fork_worker_entry,
+            name=name,
+        )
+
+    def publish(self, name: str, data) -> None:
+        np.copyto(self.arena[name], data)
+        self.bytes_sent += self.arena[name].nbytes * self.n_workers
+
+    def command(self, msg: tuple) -> list[tuple]:
+        return self.pool.command(msg)
+
+    def barrier(self) -> None:
+        self.pool.command(("ping",))
+
+    def slots(self, name: str) -> np.ndarray:
+        arr = self.arena[name]
+        self.bytes_recv += arr.nbytes
+        return arr
+
+    def close(self) -> None:
+        self.pool.close()
+        self.arena.close()
+
+
+class SocketTransport:
+    """TCP transport over :mod:`multiprocessing.connection`.
+
+    The parent listens on loopback, spawns (or, via
+    ``repro.parallel.worker``, awaits) one worker per rank, and pushes
+    published arrays as pickled buffers on the next command; workers
+    return their stage outputs piggybacked on replies.  Pickling
+    preserves float64 bits, so the slot reduction matches the
+    shared-memory transport bitwise.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        n_workers: int,
+        inputs: dict,
+        outputs: dict,
+        cfg: dict,
+        *,
+        name: str = "repro-shard",
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        spawn_workers: bool = True,
+    ) -> None:
+        from multiprocessing.connection import Listener
+
+        self.n_workers = n_workers
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+        self._staged = {
+            iname: np.zeros(shape, dtype)
+            for iname, (shape, dtype) in inputs.items()
+        }
+        self._dirty: set[str] = set()
+        self._slots = {
+            oname: np.zeros((n_workers, *shape), dtype)
+            for oname, (shape, dtype) in outputs.items()
+        }
+        authkey = os.urandom(16)
+        self._listener = Listener(address, authkey=authkey)
+        self._procs = []
+        if spawn_workers:
+            ctx = multiprocessing.get_context("fork")
+            for rank in range(n_workers):
+                proc = ctx.Process(
+                    target=remote_worker_main,
+                    args=(self._listener.address, authkey, rank),
+                    daemon=True,
+                    name=f"{name}-sock-{rank}",
+                )
+                proc.start()
+                self._procs.append(proc)
+        # Accept in arrival order, then seat by handshake rank so the
+        # slot reduction order is the topology's, not the race's.
+        self._conns: list = [None] * n_workers
+        for _ in range(n_workers):
+            conn = self._listener.accept()
+            hello = conn.recv()
+            if hello[0] != "hello":  # pragma: no cover - protocol violation
+                raise RuntimeError(f"expected hello, got {hello[0]!r}")
+            rank = int(hello[1])
+            if not 0 <= rank < n_workers or self._conns[rank] is not None:
+                raise RuntimeError(f"bad worker rank {rank}")
+            self._conns[rank] = conn
+        setup = ("setup", dict(cfg, outputs=tuple(outputs)))
+        for conn in self._conns:
+            conn.send(setup)
+
+    def publish(self, name: str, data) -> None:
+        np.copyto(self._staged[name], data)
+        self._dirty.add(name)
+
+    def command(self, msg: tuple) -> list[tuple]:
+        bufs = {iname: self._staged[iname] for iname in sorted(self._dirty)}
+        self._dirty.clear()
+        payload = (msg, bufs)
+        nbytes = sum(b.nbytes for b in bufs.values())
+        for conn in self._conns:
+            conn.send(payload)
+            self.bytes_sent += nbytes
+        replies: list[tuple] = []
+        error: tuple | None = None
+        for wid, conn in enumerate(self._conns):
+            try:
+                reply, out = conn.recv()
+            except (EOFError, OSError) as exc:
+                reply = ("error", "RuntimeError", f"worker {wid} died: {exc}")
+                out = {}
+            for oname, arr in out.items():
+                self._slots[oname][wid] = arr
+                self.bytes_recv += arr.nbytes
+            if reply[0] == "error" and error is None:
+                error = (wid, reply[1], reply[2])
+            replies.append(reply[1:])
+        if error is not None:
+            wid, kind, text = error
+            exc_type = _RERAISABLE.get(kind, RuntimeError)
+            raise exc_type(f"shard worker {wid}: {text}")
+        return replies
+
+    def barrier(self) -> None:
+        self.command(("ping",))
+
+    def slots(self, name: str) -> np.ndarray:
+        return self._slots[name]
+
+    def close(self) -> None:
+        """Stop and reap the workers (idempotent, dead-worker safe)."""
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send((("stop",), {}))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._conns = []
+        for proc in self._procs:
+            proc.join(timeout=_REAP_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+def make_transport(
+    kind: str | None,
+    n_workers: int,
+    inputs: dict,
+    outputs: dict,
+    cfg: dict,
+    *,
+    name: str = "repro-shard",
+) -> ForkTransport | SocketTransport:
+    """Construct the named transport (``None`` = ``"shared"``)."""
+    kind = kind or "shared"
+    if kind == "shared":
+        return ForkTransport(n_workers, inputs, outputs, cfg, name=name)
+    if kind == "socket":
+        return SocketTransport(n_workers, inputs, outputs, cfg, name=name)
+    raise ValueError(
+        f"unknown transport {kind!r}; expected one of {TRANSPORTS}"
+    )

@@ -1,0 +1,63 @@
+"""Standalone socket-transport shard worker.
+
+Lets a shard live outside the parent process — another container, or
+another host on the same trusted network::
+
+    python -m repro.parallel.worker --connect HOST:PORT \\
+        --rank 3 --authkey-hex 6f70656e20736179732e2e2e
+
+The parent side is a :class:`~repro.parallel.transport.SocketTransport`
+constructed with ``spawn_workers=False`` and a routable listen address;
+it blocks until every rank has dialed in, ships the worker config
+(potential, box, geometry scalars) in the setup handshake, then drives
+the normal three-round step protocol.  The process exits when the
+parent sends ``stop`` or hangs up.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.parallel.transport import remote_worker_main
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.parallel.worker",
+        description="connect one shard worker to a SocketTransport parent",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the parent's listener address",
+    )
+    parser.add_argument(
+        "--rank",
+        required=True,
+        type=int,
+        help="this worker's rank (its tile index in the domain grid)",
+    )
+    parser.add_argument(
+        "--authkey-hex",
+        required=True,
+        help="connection auth key as hex (printed by the parent)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    if args.rank < 0:
+        parser.error(f"--rank must be >= 0, got {args.rank}")
+    try:
+        authkey = bytes.fromhex(args.authkey_hex)
+    except ValueError:
+        parser.error("--authkey-hex is not valid hex")
+    remote_worker_main((host, int(port)), authkey, args.rank)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    raise SystemExit(main())

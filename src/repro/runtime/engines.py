@@ -168,6 +168,12 @@ class ReferenceEngine:
         pipeline = getattr(self.sim, "_pipeline", None)
         if pipeline is not None:
             counters["workers"] = pipeline.n_workers
+            counters["topology"] = list(pipeline.topology)
+            counters["transport"] = pipeline.transport_kind
+            sent, recv = pipeline.halo_bytes
+            counters["halo_bytes_sent"] = sent
+            counters["halo_bytes_recv"] = recv
+            counters["halo_seconds"] = round(pipeline.halo_seconds, 6)
             counters["shard_seconds"] = {
                 stage: [round(s, 4) for s in secs]
                 for stage, secs in pipeline.shard_seconds.items()
@@ -387,6 +393,8 @@ def build_engine(
             "skin": spec.skin,
             "thermostat": thermostat,
             "workers": spec.workers or None,
+            "topology": spec.topology,
+            "transport": spec.transport,
             "fuse_integrate": spec.fuse_integrate,
         }
         kwargs.update(engine_kwargs)

@@ -130,6 +130,20 @@ class RunSpec:
         ``backend``, it changes speed, never physics: wse trajectories
         are bitwise-reproducible per worker count and ``workers=1``
         matches the serial path bitwise.
+    topology:
+        Domain-grid shape ``(px, py)`` for the ``parallel`` backend's
+        2D decomposition (``None`` keeps the 1D ``workers x 1`` column
+        layout; accepts a ``"PXxPY"`` string in spec files).  Implies
+        ``px * py`` workers — setting ``workers`` to a conflicting
+        count is an error.  Like ``workers``, a layout/speed knob,
+        never physics: trajectories are bitwise-reproducible per
+        (topology, transport) and excluded from the spec hash.
+    transport:
+        How the sharded pipeline reaches its workers: ``"shared"``
+        (fork + shared memory, the default) or ``"socket"`` (the same
+        protocol over TCP, for out-of-process or remote shards).
+        Never physics — both transports produce bitwise-identical
+        trajectories — so it is excluded from the spec hash.
     fuse_integrate:
         Reference-engine fusion of the leap-frog kick+drift onto the
         force output (the active kernel backend's ``force_integrate``
@@ -171,6 +185,8 @@ class RunSpec:
     skin: float = 0.5
     backend: str | None = None
     workers: int = 0
+    topology: tuple[int, int] | None = None
+    transport: str | None = None
     fuse_integrate: bool = False
     offset_chunk: int = 0
     thermostat: ThermostatSpec | None = None
@@ -215,6 +231,39 @@ class RunSpec:
             )
         if self.workers < 0:
             raise SpecError(f"workers must be >= 0, got {self.workers}")
+        if self.topology is not None:
+            topo = self.topology
+            if isinstance(topo, str):
+                parts = topo.lower().split("x")
+                if len(parts) != 2 or not all(p.isdigit() for p in parts):
+                    raise SpecError(
+                        f"topology must be 'PXxPY', got {self.topology!r}"
+                    )
+                topo = (int(parts[0]), int(parts[1]))
+            try:
+                topo = tuple(int(p) for p in topo)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(
+                    f"topology must be two positive ints, got {self.topology!r}"
+                ) from exc
+            if len(topo) != 2 or topo[0] < 1 or topo[1] < 1:
+                raise SpecError(
+                    f"topology must be two positive ints, got {self.topology!r}"
+                )
+            object.__setattr__(self, "topology", topo)
+            if self.workers and self.workers != topo[0] * topo[1]:
+                raise SpecError(
+                    f"workers={self.workers} conflicts with topology "
+                    f"{topo[0]}x{topo[1]} ({topo[0] * topo[1]} domains)"
+                )
+        if self.transport is not None:
+            from repro.parallel.transport import TRANSPORTS
+
+            if self.transport not in TRANSPORTS:
+                raise SpecError(
+                    f"unknown transport {self.transport!r}; "
+                    f"expected one of {TRANSPORTS}"
+                )
         if self.offset_chunk < 0:
             raise SpecError(
                 f"offset_chunk must be >= 0, got {self.offset_chunk}"
@@ -301,6 +350,10 @@ class RunSpec:
             out["backend"] = self.backend
         if self.workers:
             out["workers"] = int(self.workers)
+        if self.topology is not None:
+            out["topology"] = list(self.topology)
+        if self.transport is not None:
+            out["transport"] = self.transport
         if self.fuse_integrate:
             out["fuse_integrate"] = True
         if self.offset_chunk:

@@ -1,0 +1,219 @@
+"""2D domain-grid invariants: axis planning, tiling, seam ownership.
+
+Property-based in spirit: the seam suite sweeps random point clouds and
+several topologies and asserts the two decomposition theorems the
+pipeline's correctness rests on — every undirected candidate pair is
+kept by *exactly one* tile, and the union over tiles is the serial
+:class:`~repro.md.neighbor_list.NeighborList` candidate set.  All
+single-process, like ``test_domains.py``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.md.boundary import Box
+from repro.md.neighbor_list import NeighborList
+from repro.parallel import domains
+from repro.parallel.domains import (
+    DomainGrid,
+    build_shard_pairs,
+    build_tile_pairs,
+    plan_axis,
+    plan_columns,
+    plan_grid,
+)
+from tests.conftest import small_slab_state
+
+TOPOLOGIES = [(1, 1), (2, 1), (1, 3), (2, 2), (3, 2), (4, 4)]
+
+
+def _pair_set(i, j):
+    lo = np.minimum(i, j)
+    hi = np.maximum(i, j)
+    return set(zip(lo.tolist(), hi.tolist()))
+
+
+def _random_cloud(seed, n=300, span=(18.0, 12.0, 6.0)):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, 1.0, size=(n, 3)) * np.asarray(span)
+    box = Box.open(np.asarray(span) + 10.0)
+    return positions, box
+
+
+def _serial_candidates(positions, box, reach):
+    nl = NeighborList(box, reach - 0.5, 0.5)
+    nl.rebuild(positions)
+    return _pair_set(nl._cand_i, nl._cand_j)
+
+
+class TestPlanAxisDegenerate:
+    """Satellite regression: n_parts > available cell columns."""
+
+    def setup_method(self):
+        domains._warned_degenerate.clear()
+
+    def test_caps_and_warns_once(self):
+        x = np.full(50, 2.5)  # one cell column, however wide the cells
+        with pytest.warns(RuntimeWarning, match="capping"):
+            edges = plan_axis(x, 4, cell_width=3.0)
+        # warned once per (axis, requested, available) shape
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            edges2 = plan_axis(x, 4, cell_width=3.0)
+        np.testing.assert_array_equal(edges, edges2)
+        # a different shape warns again
+        with pytest.warns(RuntimeWarning):
+            plan_axis(x, 5, cell_width=3.0)
+
+    def test_capped_edges_still_partition(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.0, 4.0, size=200)  # ~2 columns at width 2
+        with pytest.warns(RuntimeWarning):
+            edges = plan_axis(x, 8, cell_width=2.0)
+        assert edges.shape == (9,)
+        assert np.all(edges[:-1] <= edges[1:])  # inf-safe monotonicity
+        owner = np.searchsorted(edges, x, side="right") - 1
+        counts = np.bincount(owner, minlength=8)
+        assert counts.sum() == len(x)
+        # trailing shards beyond the cap are empty, earlier ones are not
+        assert counts[0] > 0 and np.all(counts[2:] == 0)
+
+    def test_plan_columns_inherits_the_cap(self):
+        with pytest.warns(RuntimeWarning, match="x-axis"):
+            plan_columns(np.full(10, 1.0), 3, cell_width=5.0)
+
+    def test_adequate_columns_do_not_warn(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.0, 40.0, size=500)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan_axis(x, 4, cell_width=2.0)
+
+
+class TestDomainGrid:
+    def test_tiles_partition_every_atom(self):
+        positions, _ = _random_cloud(5)
+        for px, py in TOPOLOGIES:
+            grid = plan_grid(positions, px, py, cell_width=3.0)
+            owner = grid.owner_of(positions)
+            assert owner.min() >= 0 and owner.max() < grid.n_tiles
+            # owner_of agrees with the per-tile rectangle masks
+            counts = np.bincount(owner, minlength=grid.n_tiles)
+            for tile in range(grid.n_tiles):
+                xlo, xhi, ylo, yhi = grid.tile_bounds(tile)
+                x, y = positions[:, 0], positions[:, 1]
+                in_rect = (x >= xlo) & (x < xhi) & (y >= ylo) & (y < yhi)
+                assert counts[tile] == int(np.count_nonzero(in_rect))
+
+    def test_tile_coords_round_trip(self):
+        positions, _ = _random_cloud(6)
+        grid = plan_grid(positions, 3, 2, cell_width=3.0)
+        seen = set()
+        for tile in range(grid.n_tiles):
+            ix, iy = grid.tile_coords(tile)
+            assert 0 <= ix < 3 and 0 <= iy < 2
+            seen.add((ix, iy))
+        assert len(seen) == grid.n_tiles
+
+    def test_balanced_counts_on_uniform_cloud(self):
+        positions, _ = _random_cloud(7, n=4000, span=(40.0, 40.0, 4.0))
+        grid = plan_grid(positions, 2, 2, cell_width=2.0)
+        counts = np.bincount(grid.owner_of(positions), minlength=4)
+        assert counts.max() <= 1.5 * len(positions) / 4
+
+    def test_rejects_bad_shapes(self):
+        inf = np.array([-np.inf, np.inf])
+        with pytest.raises(ValueError, match="1x1"):
+            DomainGrid(px=0, py=1, x_edges=inf, y_edges=inf)
+        with pytest.raises(ValueError, match="px"):
+            DomainGrid(px=2, py=1, x_edges=inf, y_edges=inf)
+
+
+class TestSeamRule:
+    """The decomposition theorems, swept over random configurations."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_each_pair_kept_exactly_once_and_union_is_serial(
+        self, seed, topology
+    ):
+        positions, box = _random_cloud(seed)
+        reach = 3.0
+        px, py = topology
+        grid = plan_grid(positions, px, py, cell_width=reach)
+        serial = _serial_candidates(positions, box, reach)
+        union: set = set()
+        total = 0
+        for tile in range(grid.n_tiles):
+            sp = build_tile_pairs(
+                positions, grid, tile, box=box, reach=reach
+            )
+            total += sp.n_candidates
+            union |= _pair_set(sp.gi, sp.gj)
+        assert total == len(union)  # no tile overlap
+        assert union == serial
+
+    @pytest.mark.parametrize("topology", [(2, 2), (3, 2)])
+    def test_owned_counts_partition_atoms(self, topology):
+        positions, box = _random_cloud(9)
+        px, py = topology
+        grid = plan_grid(positions, px, py, cell_width=3.0)
+        owned = [
+            build_tile_pairs(
+                positions, grid, t, box=box, reach=3.0
+            ).n_owned
+            for t in range(grid.n_tiles)
+        ]
+        assert sum(owned) == len(positions)
+
+    def test_physical_slab_2x2_matches_serial(self, ta_potential):
+        state = small_slab_state("Ta", (5, 5, 2), temperature=400.0)
+        reach = ta_potential.cutoff + 0.5
+        grid = plan_grid(state.positions, 2, 2, reach)
+        nl = NeighborList(state.box, ta_potential.cutoff, 0.5)
+        nl.rebuild(state.positions)
+        serial = _pair_set(nl._cand_i, nl._cand_j)
+        union: set = set()
+        for tile in range(4):
+            sp = build_tile_pairs(
+                state.positions, grid, tile, box=state.box, reach=reach
+            )
+            union |= _pair_set(sp.gi, sp.gj)
+        assert union == serial
+
+    def test_seam_rule_survives_unbalanced_edges(self):
+        # the ownership theorem must not depend on balanced planning:
+        # hand the tiles a deliberately lopsided grid
+        positions, box = _random_cloud(12)
+        grid = DomainGrid(
+            px=2, py=2,
+            x_edges=np.array([-np.inf, 2.0, np.inf]),
+            y_edges=np.array([-np.inf, 9.5, np.inf]),
+        )
+        serial = _serial_candidates(positions, box, 3.0)
+        union: set = set()
+        total = 0
+        for tile in range(4):
+            sp = build_tile_pairs(positions, grid, tile, box=box, reach=3.0)
+            total += sp.n_candidates
+            union |= _pair_set(sp.gi, sp.gj)
+        assert total == len(union)
+        assert union == serial
+
+
+class TestColumnCompatibility:
+    def test_build_shard_pairs_is_the_px_by_1_special_case(self):
+        positions, box = _random_cloud(20)
+        edges = plan_columns(positions[:, 0], 3, 3.0)
+        grid = DomainGrid(
+            px=3, py=1, x_edges=edges,
+            y_edges=np.array([-np.inf, np.inf]),
+        )
+        for k in range(3):
+            a = build_shard_pairs(positions, edges, k, box=box, reach=3.0)
+            b = build_tile_pairs(positions, grid, k, box=box, reach=3.0)
+            np.testing.assert_array_equal(a.gi, b.gi)
+            np.testing.assert_array_equal(a.gj, b.gj)
+            assert a.n_owned == b.n_owned

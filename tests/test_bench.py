@@ -9,9 +9,11 @@ from repro.bench import (
     QUICK_REPS,
     SEED_BASELINE,
     BenchResult,
+    attach_multiwafer,
     compare_to_baseline,
     cross_backend_notes,
     latest_results,
+    multiwafer_comparison,
     run_bench,
     run_case,
     write_report,
@@ -58,10 +60,21 @@ class TestCaseTable:
 
     def test_parallel_worker_sweep_present(self):
         sweep = {c.name: c for c in CASES if c.backend == "parallel"}
-        assert set(sweep) == {"par-Ta-w1", "par-Ta-w2", "par-Ta-w4"}
-        assert [sweep[n].workers for n in sorted(sweep)] == [1, 2, 4]
+        assert set(sweep) == {"par-Ta-w1", "par-Ta-w2", "par-Ta-w4",
+                              "par-Ta-2x2"}
+        assert [sweep[f"par-Ta-w{w}"].workers for w in (1, 2, 4)] == [1, 2, 4]
         # the acceptance workload: same slab as ref-Ta
         assert all(c.reps == (20, 20, 20) for c in sweep.values())
+
+    def test_2d_topology_case_present(self):
+        # the Table VI hook: a 2x2 grid on the acceptance workload,
+        # with the same-worker-count 1D sibling available for the
+        # measured single-wafer stand-in
+        case = next(c for c in CASES if c.name == "par-Ta-2x2")
+        assert case.topology == (2, 2)
+        assert not case.workers  # sized by the topology, not a pool count
+        assert case.seed_key == "ref-Ta"
+        assert any(c.name == "par-Ta-w4" for c in CASES)
 
     def test_acceptance_workload_present(self):
         # the 2x-vs-seed criterion is defined on the full Ta slab
@@ -223,6 +236,75 @@ class TestCrossBackendNotes:
         assert cross_backend_notes([fake_result(name="ref-Ta")]) == []
 
 
+def fake_2d_result(steps_per_s=20.0):
+    return BenchResult(
+        name="par-Ta-2x2", engine="reference", element="Ta",
+        n_atoms=512, steps=10, wall_s=10 / steps_per_s,
+        steps_per_s=steps_per_s,
+        extra={"topology": [2, 2], "transport": "shared",
+               "reps": [8, 8, 4]},
+    )
+
+
+class TestMultiwafer:
+    def test_comparison_shape(self):
+        comp = multiwafer_comparison(fake_2d_result(), 22.0, "par-Ta-w4")
+        assert comp["model"]["k_steps"] >= 1
+        assert comp["model"]["n_ghost"] > 0
+        assert 0 < comp["model"]["fraction_of_single_wafer"] <= 1.0
+        measured = comp["measured"]
+        assert measured["single_wafer_case"] == "par-Ta-w4"
+        assert measured["fraction_of_single_wafer"] == pytest.approx(
+            20.0 / 22.0, rel=1e-3
+        )
+
+    def test_attach_uses_sibling_from_same_run(self):
+        r2d = fake_2d_result()
+        sibling = fake_result(name="par-Ta-w4", steps_per_s=25.0)
+        notes = attach_multiwafer([sibling, r2d])
+        assert len(notes) == 1
+        assert "par-Ta-2x2" in notes[0] and "Table-VI" in notes[0]
+        assert "multiwafer" in r2d.extra
+        assert "multiwafer" not in sibling.extra
+
+    def test_attach_falls_back_to_baseline_history(self):
+        r2d = fake_2d_result()
+        baseline = {
+            "schema": "repro-bench/2",
+            "history": [
+                {"mode": "quick", "results": [
+                    fake_result(name="par-Ta-w4", steps_per_s=40.0)
+                    .to_json()
+                ]},
+            ],
+        }
+        notes = attach_multiwafer([r2d], baseline, mode="quick")
+        assert len(notes) == 1
+        assert r2d.extra["multiwafer"]["measured"][
+            "single_wafer_steps_per_s"] == 40.0
+
+    def test_missing_sibling_is_noted_not_silent(self):
+        r2d = fake_2d_result()
+        notes = attach_multiwafer([r2d])
+        assert len(notes) == 1
+        assert "skipped" in notes[0]
+        assert "multiwafer" not in r2d.extra
+
+    def test_1d_results_left_alone(self):
+        assert attach_multiwafer(
+            [fake_result(name="par-Ta-w2", steps_per_s=10.0)]
+        ) == []
+
+    def test_layout_lands_in_history_entry(self, tmp_path):
+        # satellite acceptance: every history entry records the layout
+        path = tmp_path / "bench.json"
+        write_report(str(path), [fake_2d_result()], quick=True,
+                     backend="parallel")
+        entry = json.loads(path.read_text())["history"][-1]["results"][0]
+        assert entry["topology"] == [2, 2]
+        assert entry["transport"] == "shared"
+
+
 class TestExecution:
     def test_run_case_quick_wse(self):
         case = next(c for c in CASES if c.name == "wse-Ta")
@@ -270,7 +352,7 @@ class TestExecution:
         skipped = {ln.split(":")[0].strip() for ln in lines
                    if "unavailable" in ln}
         assert skipped == {"par-Ta-w1", "par-Ta-w2", "par-Ta-w4",
-                           "numba-Ta"}
+                           "par-Ta-2x2", "numba-Ta"}
 
     def test_write_report_round_trip(self, tmp_path):
         path = tmp_path / "bench.json"
