@@ -8,6 +8,18 @@ Commands
     Run a thin-slab simulation through the unified runtime — from CLI
     flags or a declarative ``--spec`` TOML/JSON file — with optional
     checkpointing (``--checkpoint``) and resume (``--resume``).
+``serve``
+    Start the job server (:mod:`repro.serve`): a bounded pool of
+    runner slots behind a JSON-lines TCP API, with an on-disk result
+    cache keyed by ``(spec_hash, n_steps)`` — identical submissions
+    return the stored telemetry, longer ones resume from the stored
+    checkpoint.
+``submit``
+    Submit a run (or a ``--replicas``/``--sweep`` ensemble) to a
+    running server and wait for — or ``--watch`` — the result.
+``jobs``
+    List a server's job table; ``--cancel``, ``--stats``,
+    ``--shutdown``.
 ``validate``
     Run the same workload through both engines and report trajectory
     equivalence with a pass/fail exit code.
@@ -26,12 +38,15 @@ Commands
     regress to the cycle model's (A, B, C) calibration targets.
 
 Exit codes: 0 success, :data:`EXIT_RUN_FAILED` (1) for a run/validation
-failure, :data:`EXIT_BAD_SPEC` (2) for a malformed or inconsistent spec.
+failure, :data:`EXIT_BAD_SPEC` (2) for a malformed or inconsistent spec
+— including a ``--resume`` prefix whose checkpoint is missing, torn, or
+physics-incompatible (the *request* is unusable, nothing was run).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 EXIT_OK = 0
@@ -200,6 +215,16 @@ def _cmd_run(args) -> int:
             runner = Runner.from_spec(
                 spec, checkpoint_prefix=args.checkpoint
             )
+    except CheckpointError as exc:
+        # a missing/torn/mismatched --resume checkpoint means the
+        # request itself is unusable — bad input (2), not a run
+        # failure (1); nothing was computed
+        print(f"error: cannot resume: {exc}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+    except Exception as exc:
+        print(f"error: run failed: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+    try:
         try:
             return _report_run(runner, spec)
         finally:
@@ -210,6 +235,144 @@ def _cmd_run(args) -> int:
     except Exception as exc:
         print(f"error: run failed: {exc}", file=sys.stderr)
         return EXIT_RUN_FAILED
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import run_server
+
+    return run_server(
+        args.host,
+        args.port,
+        slots=args.slots,
+        cache_dir=args.cache_dir,
+        cache_bytes=args.cache_bytes,
+        progress_interval=args.progress_interval or 0,
+    )
+
+
+def _describe_served_job(job: dict, verbose: bool = True) -> None:
+    line = (f"{job['id']}: {job['state']}  {job['element']} "
+            f"{tuple(job['reps'])} x {job['steps']} steps "
+            f"[{job['engine']}]")
+    if job.get("cache"):
+        line += f"  cache={job['cache']}"
+    if job.get("resume_step"):
+        line += f" (resumed at step {job['resume_step']})"
+    if job.get("coalesced"):
+        line += f"  coalesced={job['coalesced']}"
+    if job.get("ensemble"):
+        line += f"  ensemble={job['ensemble']}"
+    print(line)
+    if job.get("error"):
+        print(f"  error: {job['error']}")
+    if verbose:
+        for entry in job.get("log") or []:
+            print(f"  | {entry}")
+
+
+def _cmd_submit(args) -> int:
+    from repro.runtime import SpecError
+    from repro.serve import ServeClient
+
+    try:
+        spec = _spec_from_run_args(args)
+    except SpecError as exc:
+        print(f"error: invalid run spec: {exc}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+    sweep = None
+    if args.sweep:
+        name, _, values = args.sweep.partition("=")
+        if not values:
+            print("error: --sweep expects FIELD=V1,V2,...", file=sys.stderr)
+            return EXIT_BAD_SPEC
+        sweep = {name: [_parse_sweep_value(v) for v in values.split(",")]}
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+
+    def on_event(event) -> None:
+        kind, payload = event["kind"], event["payload"]
+        if kind == "progress":
+            temp = payload.get("temperature")
+            suffix = f"  T={temp:.0f} K" if temp is not None else ""
+            print(f"{event['job_id']}: step {payload['step']}"
+                  f"/{payload['of']}{suffix}")
+        elif kind == "state":
+            print(f"{event['job_id']}: -> {payload['state']}")
+        elif kind == "log":
+            print(f"{event['job_id']}: {payload['line']}")
+
+    try:
+        response = client.submit(
+            spec.to_dict(),
+            replicas=args.replicas,
+            sweep=sweep,
+            wait=not args.no_wait,
+            watch=args.watch,
+            on_event=on_event if args.watch else None,
+        )
+    except OSError as exc:
+        print(f"error: cannot reach server at {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return int(response.get("code") or EXIT_RUN_FAILED)
+    failed = False
+    for job in response["jobs"]:
+        _describe_served_job(job, verbose=not args.watch)
+        if job["state"] == "failed":
+            failed = True
+    return EXIT_RUN_FAILED if failed else EXIT_OK
+
+
+def _parse_sweep_value(text: str):
+    """Best-effort typing for --sweep values (int, float, or string)."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_jobs(args) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.cancel:
+            response = client.cancel(args.cancel)
+            print(f"{args.cancel}: "
+                  f"{'cancelled' if response.get('cancelled') else 'not cancellable'}")
+            return EXIT_OK
+        if args.shutdown:
+            client.shutdown()
+            print("server stopping")
+            return EXIT_OK
+        if args.stats:
+            stats = client.stats()["stats"]
+            print(f"slots: {stats['slots']}, jobs: {stats['jobs']}, "
+                  f"states: {stats['states']}")
+            cache = stats.get("cache")
+            if cache:
+                print(f"cache: {cache['entries']} entries, "
+                      f"{cache['bytes']:,} bytes "
+                      f"(cap {cache['max_bytes']:,}); "
+                      f"{cache['hits']} hits, {cache['misses']} misses, "
+                      f"{cache['resumes']} resumes, "
+                      f"{cache['evictions']} evictions")
+            return EXIT_OK
+        response = client.jobs()
+    except OSError as exc:
+        print(f"error: cannot reach server at {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return EXIT_RUN_FAILED
+    jobs = response.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+        return EXIT_OK
+    for job in jobs:
+        _describe_served_job(job, verbose=args.verbose)
+    return EXIT_OK
 
 
 def _cmd_validate(args) -> int:
@@ -543,54 +706,114 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="machine and element summary")
 
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        """The flags shared by ``run`` and ``submit`` (one RunSpec)."""
+        p.add_argument("--spec", default=None, metavar="FILE",
+                       help="declarative RunSpec file (.toml or .json); "
+                            "workload flags below are ignored when given")
+        p.add_argument("--element", choices=["Cu", "W", "Ta"], default="Ta")
+        p.add_argument("--reps", type=int, nargs=3, default=[8, 8, 3],
+                       metavar=("NX", "NY", "NZ"))
+        p.add_argument("--steps", type=int, default=None,
+                       help="timesteps (default 100, or the spec file's)")
+        p.add_argument("--temperature", type=float, default=290.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--engine", choices=["wse", "reference"],
+                       default="wse")
+        p.add_argument("--swap-interval", type=int, default=0)
+        p.add_argument("--force-symmetry", action="store_true")
+        p.add_argument("--backend", default=None,
+                       help="kernel backend (numpy, numba, parallel); "
+                            "default: $REPRO_KERNEL_BACKEND or numpy")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the parallel backend "
+                            "(default: os.cpu_count()), or for the wse "
+                            "engine's offset-dispatch pool (default: "
+                            "serial sweeps)")
+        p.add_argument("--topology", type=_parse_topology, default=None,
+                       metavar="PXxPY",
+                       help="2D domain grid for the parallel backend "
+                            "(e.g. 2x2; implies px*py workers; default: "
+                            "1D columns, one per worker)")
+        p.add_argument("--transport", default=None,
+                       choices=["shared", "socket"],
+                       help="parallel-backend transport (default: shared "
+                            "memory, or $REPRO_PARALLEL_TRANSPORT)")
+        p.add_argument("--offset-chunk", type=int, default=None,
+                       help="wse streaming-sweep batch size in offsets "
+                            "(default: auto-sized from the grid); a "
+                            "speed/memory knob, never physics")
+        p.add_argument("--fuse-integrate", action="store_true",
+                       help="fold the leap-frog kick+drift into the kernel "
+                            "backend's force_integrate pass (reference "
+                            "engine; a speed knob, never physics)")
+        p.add_argument("--checkpoint-interval", type=int, default=None,
+                       help="also checkpoint every N steps (default: only "
+                            "a final checkpoint)")
+
     run = sub.add_parser("run", help="run a thin-slab simulation")
-    run.add_argument("--spec", default=None, metavar="FILE",
-                     help="declarative RunSpec file (.toml or .json); "
-                          "workload flags below are ignored when given")
-    run.add_argument("--element", choices=["Cu", "W", "Ta"], default="Ta")
-    run.add_argument("--reps", type=int, nargs=3, default=[8, 8, 3],
-                     metavar=("NX", "NY", "NZ"))
-    run.add_argument("--steps", type=int, default=None,
-                     help="timesteps (default 100, or the spec file's)")
-    run.add_argument("--temperature", type=float, default=290.0)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--engine", choices=["wse", "reference"], default="wse")
-    run.add_argument("--swap-interval", type=int, default=0)
-    run.add_argument("--force-symmetry", action="store_true")
-    run.add_argument("--backend", default=None,
-                     help="kernel backend (numpy, numba, parallel); "
-                          "default: $REPRO_KERNEL_BACKEND or numpy")
-    run.add_argument("--workers", type=int, default=None,
-                     help="worker processes for the parallel backend "
-                          "(default: os.cpu_count()), or for the wse "
-                          "engine's offset-dispatch pool (default: "
-                          "serial sweeps)")
-    run.add_argument("--topology", type=_parse_topology, default=None,
-                     metavar="PXxPY",
-                     help="2D domain grid for the parallel backend "
-                          "(e.g. 2x2; implies px*py workers; default: "
-                          "1D columns, one per worker)")
-    run.add_argument("--transport", default=None,
-                     choices=["shared", "socket"],
-                     help="parallel-backend transport (default: shared "
-                          "memory, or $REPRO_PARALLEL_TRANSPORT)")
-    run.add_argument("--offset-chunk", type=int, default=None,
-                     help="wse streaming-sweep batch size in offsets "
-                          "(default: auto-sized from the grid); a "
-                          "speed/memory knob, never physics")
-    run.add_argument("--fuse-integrate", action="store_true",
-                     help="fold the leap-frog kick+drift into the kernel "
-                          "backend's force_integrate pass (reference "
-                          "engine; a speed knob, never physics)")
+    add_workload_args(run)
     run.add_argument("--checkpoint", default=None, metavar="PREFIX",
                      help="write checkpoints under this path prefix "
                           "(<prefix>.npz/.json/.xyz)")
-    run.add_argument("--checkpoint-interval", type=int, default=None,
-                     help="also checkpoint every N steps (default: only "
-                          "a final checkpoint)")
     run.add_argument("--resume", default=None, metavar="PREFIX",
                      help="resume from this checkpoint prefix (spec "
-                          "physics must match its spec_hash)")
+                          "physics must match its spec_hash; a missing "
+                          "or corrupt checkpoint exits 2, nothing runs)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the job server (slots + result cache over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 = pick a free one; default 7421)")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent engine runs (default 2); "
+                            "further jobs queue")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory keyed by "
+                            "(spec_hash, steps); omit to disable caching")
+    serve.add_argument("--cache-bytes", type=int, default=2 * 1024**3,
+                       help="cache LRU size cap in bytes (default 2 GiB)")
+    serve.add_argument("--progress-interval", type=int, default=None,
+                       help="steps between streamed progress events "
+                            "(default: a tenth of each job)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a run to a job server and await the result"
+    )
+    add_workload_args(submit)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7421)
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="client socket timeout in seconds")
+    submit.add_argument("--replicas", type=int, default=1,
+                        help="ensemble size: N jobs at seed, seed+1, ... "
+                             "sharing lattice+potential construction")
+    submit.add_argument("--sweep", default=None, metavar="FIELD=V1,V2",
+                        help="parameter sweep, e.g. "
+                             "temperature=100,200,300 (crossed with "
+                             "--replicas)")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream job events (state changes, progress, "
+                             "log lines) while waiting")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return the queued job id immediately")
+
+    jobs = sub.add_parser("jobs", help="inspect a job server")
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=7421)
+    jobs.add_argument("--timeout", type=float, default=600.0)
+    jobs.add_argument("--verbose", action="store_true",
+                      help="include each job's log lines")
+    jobs.add_argument("--cancel", default=None, metavar="JOB",
+                      help="cancel a queued or running job")
+    jobs.add_argument("--stats", action="store_true",
+                      help="scheduler + cache counters instead of the "
+                           "job table")
+    jobs.add_argument("--shutdown", action="store_true",
+                      help="stop the server (drains running jobs)")
 
     validate = sub.add_parser(
         "validate",
@@ -695,6 +918,9 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "info": _cmd_info,
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "profile": _cmd_profile,
@@ -703,7 +929,13 @@ def main(argv: list[str] | None = None) -> int:
         "table6": _cmd_table6,
         "fig1": _cmd_fig1,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that closed early; not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

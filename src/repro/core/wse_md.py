@@ -30,6 +30,8 @@ The physics is identical to the reference engine
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.constants import MVV2E
@@ -260,6 +262,7 @@ class WseMd:
         )
         self._pool = None
         self._pool_failed = False
+        self._close_lock = threading.Lock()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -535,10 +538,17 @@ class WseMd:
         return force[self.occ][order]
 
     def close(self) -> None:
-        """Release the offset-dispatch pool (no-op when running serial)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        """Release the offset-dispatch pool (no-op when running serial).
+
+        Idempotent and thread-safe — the serve scheduler may close a
+        cancelled job from a different thread than the stepping one,
+        and then again on cleanup.
+        """
+        with self._close_lock:
+            pool, self._pool = self._pool, None
+            self._pool_failed = True  # no respawn after close
+        if pool is not None:
+            pool.close()
 
     def verify_coverage(self) -> int:
         """Check every interacting pair lies within the b-neighborhood.

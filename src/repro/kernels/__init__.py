@@ -59,6 +59,7 @@ __all__ = [
     "active_backend_name",
     "backend_status",
     "warmup_backend",
+    "reset_warnings",
 ]
 
 #: The primitives every backend module must provide (the original
@@ -97,8 +98,22 @@ _resolved: dict[str, ModuleType | SimpleNamespace] = {}
 _warmups: dict[str, float] = {}
 #: Backend names whose fallback warning has already been emitted; a
 #: long campaign calling ``set_backend`` per run warns once per name,
-#: not once per call.
+#: not once per call.  Long-lived processes (the serve scheduler) call
+#: :func:`reset_warnings` between jobs so one job's degradation does
+#: not silence the next job's — and so forked workers, which inherit
+#: this set from the parent, do not inherit its suppressions.
 _warned_fallbacks: set[str] = set()
+
+
+def reset_warnings() -> None:
+    """Re-arm the once-per-name fallback warnings.
+
+    The warn-once cache is module state: without a reset it suppresses
+    warnings for the life of the process *and* across fork, so a
+    worker or a served job never hears about degradations that predate
+    it.  The serve scheduler calls this before each job.
+    """
+    _warned_fallbacks.clear()
 
 
 def register_backend(name: str, loader) -> None:

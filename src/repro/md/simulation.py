@@ -10,6 +10,7 @@ observability hook the ``repro bench`` harness reads.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Callable
@@ -147,6 +148,7 @@ class Simulation:
         self.stats = SimStats()
         self._observers: list[tuple[int, Callable[[StepRecord], None]]] = []
         self._pipeline = None
+        self._close_lock = threading.Lock()
         # Pipeline construction (fork + arena) is deferred to the first
         # force evaluation so its cost lands in the traced
         # ``parallel.pool`` phase, not in engine construction.
@@ -156,11 +158,17 @@ class Simulation:
         )
 
     def close(self) -> None:
-        """Release the parallel pipeline, if one was spawned (idempotent)."""
+        """Release the parallel pipeline, if one was spawned.
+
+        Idempotent and thread-safe: the serve scheduler may call this
+        twice (cancellation path + worker-thread cleanup) and from a
+        different thread than the one that ran the loop.
+        """
         self._parallel_pending = False
-        if self._pipeline is not None:
-            self._pipeline.close()
-            self._pipeline = None
+        with self._close_lock:
+            pipeline, self._pipeline = self._pipeline, None
+        if pipeline is not None:
+            pipeline.close()
 
     def _init_pipeline(self) -> None:
         """First-use pipeline spawn, attributed to ``parallel.pool``."""

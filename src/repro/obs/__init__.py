@@ -63,6 +63,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    label,
     metrics,
 )
 from repro.obs.sinks import (
@@ -86,6 +87,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "label",
     "metrics",
     "JsonlSink",
     "ListSink",

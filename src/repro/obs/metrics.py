@@ -24,8 +24,29 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "label",
     "metrics",
 ]
+
+
+def label(name: str, **labels) -> str:
+    """Canonical labelled-metric name: ``name{k=v,...}``, keys sorted.
+
+    The registry is name-keyed, so labels are encoded into the name
+    (Prometheus exposition style).  Sorting makes the encoding
+    deterministic — ``label("serve.job.steps", job="a1")`` always maps
+    to the same instrument.  Label values are stringified; ``{``/``}``
+    and commas in values are replaced to keep the name parseable.
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        for ch in "{},=":
+            value = value.replace(ch, "_")
+        parts.append(f"{key}={value}")
+    return f"{name}{{{','.join(parts)}}}"
 
 
 class Counter:

@@ -69,11 +69,28 @@ __all__ = [
     "fork_available",
     "unsupported_reason",
     "warn_fallback",
+    "reset_warnings",
 ]
 
 #: Fallback reasons already warned about (once per reason per process,
-#: mirroring the kernel registry's once-per-name policy).
+#: mirroring the kernel registry's once-per-name policy).  Reset via
+#: :func:`reset_warnings` in long-lived processes — otherwise one job's
+#: fallback permanently silences every later (unrelated) job's, and
+#: forked workers inherit the suppression.
 _warned_reasons: set[str] = set()
+
+
+def reset_warnings() -> None:
+    """Re-arm the once-per-reason fallback warnings (and the domain
+    planner's once-per-shape degenerate-decomposition warnings).
+
+    Called per served job by the serve scheduler; forked workers that
+    inherited a populated cache can call it to hear warnings again.
+    """
+    from repro.parallel import domains
+
+    _warned_reasons.clear()
+    domains._warned_degenerate.clear()
 
 
 def unsupported_reason(box, potential) -> str | None:

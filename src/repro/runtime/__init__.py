@@ -33,6 +33,7 @@ from repro.runtime.checkpoint import (
     CheckpointError,
     checkpoint_paths,
     read_checkpoint,
+    sweep_orphan_tmp,
     write_checkpoint,
 )
 from repro.runtime.engines import (
@@ -73,5 +74,6 @@ __all__ = [
     "read_checkpoint",
     "seed_streams",
     "set_rng_state",
+    "sweep_orphan_tmp",
     "write_checkpoint",
 ]

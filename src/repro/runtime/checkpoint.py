@@ -18,6 +18,14 @@ A checkpoint is three sibling files sharing one prefix:
 Resume refuses a checkpoint whose ``spec_hash`` disagrees with the
 resuming spec's physics (:class:`CheckpointError`): continuing a
 trajectory under different physics is silent corruption, not a run.
+
+Durability: every file is written to a ``*.tmp`` sibling, fsynced, and
+renamed into place, so a crash mid-write never leaves a truncated file
+under the final name — at worst an orphaned ``*.tmp``, which
+:func:`sweep_orphan_tmp` removes on resume or cache load.  The step
+count is stored in *both* the sidecar and the ``.npz`` payload;
+:func:`read_checkpoint` rejects a trio whose two counts disagree (a
+torn write that replaced one file but not the other).
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ __all__ = [
     "checkpoint_paths",
     "write_checkpoint",
     "read_checkpoint",
+    "sweep_orphan_tmp",
 ]
 
 #: Sidecar schema tag; bump on any incompatible layout change.
@@ -72,6 +81,42 @@ def checkpoint_paths(prefix: str | Path) -> tuple[Path, Path, Path]:
     )
 
 
+def _replace_synced(tmp: Path, final: Path) -> None:
+    """Fsync ``tmp`` then rename it over ``final`` (durable publish).
+
+    Without the fsync, ``os.replace`` can publish a name whose blocks
+    are still in the page cache — a crash then leaves a *complete-
+    looking* but torn file under the final name, which a result cache
+    would happily index.
+    """
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, final)
+
+
+def sweep_orphan_tmp(prefix: str | Path) -> list[Path]:
+    """Remove ``*.tmp`` siblings an interrupted write left behind.
+
+    Returns the paths removed.  Call on resume or cache load: the
+    published trio is authoritative, so any surviving temporary is
+    garbage from a write that never completed.
+    """
+    removed = []
+    for path in checkpoint_paths(prefix):
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - unreadable directory
+            continue
+        removed.append(tmp)
+    return removed
+
+
 def write_checkpoint(
     prefix: str | Path,
     state: AtomsState,
@@ -85,9 +130,9 @@ def write_checkpoint(
 ) -> tuple[Path, Path, Path]:
     """Write the checkpoint trio; returns the paths written.
 
-    Each file is written to a temporary sibling and renamed into place,
-    so a crash mid-write never leaves a truncated checkpoint under the
-    final name.
+    Each file is written to a temporary sibling, fsynced, and renamed
+    into place, so a crash mid-write never leaves a truncated or torn
+    checkpoint under the final name.
     """
     npz_path, json_path, xyz_path = checkpoint_paths(prefix)
     npz_path.parent.mkdir(parents=True, exist_ok=True)
@@ -104,8 +149,11 @@ def write_checkpoint(
             box_lengths=state.box.lengths,
             box_periodic=state.box.periodic,
             box_origin=state.box.origin,
+            # duplicated from the sidecar so a torn trio (one file
+            # replaced, the other not) is detectable on read
+            step_count=np.int64(step_count),
         )
-    os.replace(tmp, npz_path)
+    _replace_synced(tmp, npz_path)
 
     sidecar = {
         "schema": CHECKPOINT_SCHEMA,
@@ -117,11 +165,11 @@ def write_checkpoint(
     }
     tmp = json_path.with_name(json_path.name + ".tmp")
     tmp.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, json_path)
+    _replace_synced(tmp, json_path)
 
     tmp = xyz_path.with_name(xyz_path.name + ".tmp")
     write_xyz(state, tmp, symbols=symbols, comment=f"step={int(step_count)}")
-    os.replace(tmp, xyz_path)
+    _replace_synced(tmp, xyz_path)
 
     return npz_path, json_path, xyz_path
 
@@ -174,6 +222,10 @@ def read_checkpoint(
                 ),
                 ids=data["ids"],
             )
+            # schema/1 checkpoints predate the duplicated count
+            payload_step = (
+                int(data["step_count"]) if "step_count" in data else None
+            )
     except OSError as exc:
         raise CheckpointError(
             f"cannot read checkpoint payload {npz_path}: {exc}"
@@ -182,6 +234,14 @@ def read_checkpoint(
         raise CheckpointError(
             f"corrupt checkpoint payload {npz_path}: {exc}"
         ) from exc
+
+    sidecar_step = int(sidecar.get("step_count", 0))
+    if payload_step is not None and payload_step != sidecar_step:
+        raise CheckpointError(
+            f"torn checkpoint {npz_path}: payload records step "
+            f"{payload_step} but sidecar {json_path} records step "
+            f"{sidecar_step}; one file was replaced without the other"
+        )
 
     return Checkpoint(
         state=state,

@@ -20,13 +20,18 @@ stream, and continues the interrupted trajectory.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 from repro.md.state import AtomsState
 from repro.obs import NULL_TRACER
-from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
+from repro.runtime.checkpoint import (
+    read_checkpoint,
+    sweep_orphan_tmp,
+    write_checkpoint,
+)
 from repro.runtime.engines import build_engine
 from repro.runtime.spec import RunSpec
 from repro.runtime.telemetry import Telemetry
@@ -72,6 +77,9 @@ class Runner:
             Path(checkpoint_prefix) if checkpoint_prefix is not None else None
         )
         self._observers: list[tuple[int, Callable[[RunEvent], None]]] = []
+        self._stop = threading.Event()
+        self._close_lock = threading.Lock()
+        self._closed = False
 
     # -- construction ------------------------------------------------------
 
@@ -107,6 +115,7 @@ class Runner:
         New checkpoints go to ``checkpoint_prefix``, defaulting to the
         prefix being resumed from.
         """
+        sweep_orphan_tmp(prefix)
         checkpoint = read_checkpoint(
             prefix, expected_spec_hash=spec.spec_hash()
         )
@@ -134,6 +143,9 @@ class Runner:
         Returns the engine's telemetry after the run.  A final
         checkpoint is written whenever a prefix is configured; periodic
         ones additionally every ``spec.checkpoint_interval`` steps.
+        A :meth:`request_stop` from any thread makes the loop break at
+        the next chunk boundary — the final checkpoint is still
+        written, so a cancelled run stays resumable.
         """
         engine = self.engine
         if n_steps is None:
@@ -145,7 +157,7 @@ class Runner:
             self.spec.checkpoint_interval if self.checkpoint_prefix else 0
         )
         tracer = getattr(engine, "tracer", NULL_TRACER)
-        while engine.step_count < target:
+        while engine.step_count < target and not self._stop.is_set():
             chunk = target - engine.step_count
             step = engine.step_count
             for interval, _ in self._observers:
@@ -165,8 +177,33 @@ class Runner:
             self.write_checkpoint()
         return engine.telemetry()
 
+    def request_stop(self) -> None:
+        """Ask a :meth:`run` in progress to break at the next chunk.
+
+        Safe from any thread — this is how the serve scheduler cancels
+        a job whose loop runs in a worker thread.  The loop still
+        writes its final checkpoint, so the partial trajectory remains
+        resumable.
+        """
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether :meth:`request_stop` has been called."""
+        return self._stop.is_set()
+
     def close(self) -> None:
-        """Release engine resources (e.g. the parallel worker pool)."""
+        """Release engine resources (e.g. the parallel worker pool).
+
+        Idempotent and thread-safe: the serve scheduler calls this both
+        from its cancellation path and from the worker thread's cleanup,
+        possibly concurrently.  Also stops any loop still running.
+        """
+        self._stop.set()
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.engine.close()
 
     # -- checkpointing -----------------------------------------------------

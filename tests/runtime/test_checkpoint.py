@@ -16,6 +16,7 @@ from repro.runtime import (
     read_checkpoint,
     seed_streams,
     set_rng_state,
+    sweep_orphan_tmp,
     write_checkpoint,
 )
 
@@ -139,3 +140,52 @@ def test_wrong_schema_raises(tmp_path, state):
     checkpoint_paths(prefix)[1].write_text(json.dumps(sidecar))
     with pytest.raises(CheckpointError, match="schema"):
         read_checkpoint(prefix)
+
+
+def test_torn_trio_step_disagreement_raises(tmp_path, state):
+    """A sidecar whose step count disagrees with the npz payload is a
+    torn checkpoint (one file from an older write survived a crash)."""
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=10, spec_hash="x", engine="reference"
+    )
+    json_path = checkpoint_paths(prefix)[1]
+    sidecar = json.loads(json_path.read_text())
+    sidecar["step_count"] = 99
+    json_path.write_text(json.dumps(sidecar))
+    with pytest.raises(CheckpointError, match="torn checkpoint"):
+        read_checkpoint(prefix)
+
+
+def test_payload_step_count_stored_in_npz(tmp_path, state):
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=12, spec_hash="x", engine="reference"
+    )
+    with np.load(checkpoint_paths(prefix)[0]) as data:
+        assert int(data["step_count"]) == 12
+
+
+def test_sweep_orphan_tmp_removes_only_tmp_siblings(tmp_path, state):
+    prefix = tmp_path / "c"
+    write_checkpoint(
+        prefix, state, step_count=3, spec_hash="x", engine="reference"
+    )
+    # simulate a crash mid-write: staged temps next to the live trio
+    orphans = [
+        p.with_name(p.name + ".tmp") for p in checkpoint_paths(prefix)
+    ]
+    for orphan in orphans:
+        orphan.write_bytes(b"partial")
+    bystander = tmp_path / "other.npz"
+    bystander.write_bytes(b"keep me")
+    removed = sweep_orphan_tmp(prefix)
+    assert sorted(removed) == sorted(orphans)
+    assert not any(p.exists() for p in orphans)
+    assert bystander.exists()
+    # the live trio is untouched and still reads back
+    assert read_checkpoint(prefix).step_count == 3
+
+
+def test_sweep_orphan_tmp_empty_dir_is_noop(tmp_path):
+    assert sweep_orphan_tmp(tmp_path / "never-written") == []

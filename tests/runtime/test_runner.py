@@ -167,3 +167,77 @@ def test_resume_continues_checkpointing_at_same_prefix(tmp_path):
     resumed = Runner.resume(spec, prefix)
     resumed.run()
     assert read_checkpoint(prefix).step_count == 4
+
+
+class TestTeardown:
+    """close()/request_stop(): idempotent, thread-safe, resumable."""
+
+    @pytest.mark.parametrize("engine", ["reference", "wse"])
+    def test_close_twice_is_harmless(self, engine):
+        runner = Runner.from_spec(RunSpec(engine=engine, steps=2, **QUICK))
+        runner.run()
+        runner.close()
+        runner.close()  # second call is a no-op, not an error
+
+    @pytest.mark.parametrize("engine", ["reference", "wse"])
+    def test_close_from_another_thread(self, engine):
+        import threading
+
+        runner = Runner.from_spec(RunSpec(engine=engine, steps=2, **QUICK))
+        runner.run()
+        errors = []
+
+        def _close():
+            try:
+                runner.close()
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        runner.close()  # and again from the original thread
+
+    def test_request_stop_breaks_at_chunk_boundary(self, tmp_path):
+        prefix = tmp_path / "c"
+        spec = RunSpec(steps=10, **QUICK)
+        runner = Runner.from_spec(spec, checkpoint_prefix=prefix)
+        runner.add_observer(
+            2, lambda ev: runner.request_stop() if ev.step >= 4 else None
+        )
+        runner.run()
+        assert runner.stop_requested
+        assert runner.engine.step_count == 4  # not the target 10
+
+        # the stopped run still wrote its final checkpoint and resumes
+        resumed = Runner.resume(spec, prefix)
+        assert resumed.engine.step_count == 4
+        resumed.run()
+        assert resumed.engine.step_count == 10
+
+    def test_stopped_run_matches_uninterrupted(self, tmp_path):
+        spec = RunSpec(steps=8, **QUICK)
+        straight = Runner.from_spec(spec)
+        straight.run()
+
+        prefix = tmp_path / "c"
+        stopped = Runner.from_spec(spec, checkpoint_prefix=prefix)
+        stopped.add_observer(3, lambda ev: stopped.request_stop())
+        stopped.run()
+        resumed = Runner.resume(spec, prefix)
+        resumed.run()
+        np.testing.assert_allclose(
+            _positions(straight), _positions(resumed), atol=1e-12
+        )
+
+    def test_resume_sweeps_orphan_tmp(self, tmp_path):
+        prefix = tmp_path / "c"
+        spec = RunSpec(steps=2, **QUICK)
+        Runner.from_spec(spec, checkpoint_prefix=prefix).run()
+        orphan = tmp_path / "c.npz.tmp"
+        orphan.write_bytes(b"partial write from a crash")
+        Runner.resume(spec, prefix)
+        assert not orphan.exists()

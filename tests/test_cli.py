@@ -20,6 +20,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode"])
 
+    def test_submit_shares_workload_flags_with_run(self):
+        """run and submit accept the same RunSpec-shaping flags."""
+        args = build_parser().parse_args(
+            ["submit", "--element", "Cu", "--reps", "4", "4", "2",
+             "--steps", "7", "--engine", "reference", "--replicas", "3"]
+        )
+        assert args.element == "Cu"
+        assert args.steps == 7
+        assert args.replicas == 3
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7421
+        assert args.slots == 2
+        assert args.cache_dir is None
+
+    def test_jobs_flags(self):
+        args = build_parser().parse_args(["jobs", "--cancel", "j0001"])
+        assert args.cancel == "j0001"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -116,14 +136,32 @@ class TestSpecRuns:
         assert rc == 0
         assert "after 3 steps" in capsys.readouterr().out  # 6 total - 3 done
 
-    def test_resume_missing_checkpoint_exit_code_1(self, tmp_path, capsys):
+    def test_resume_missing_checkpoint_exit_code_2(self, tmp_path, capsys):
+        """An unusable --resume prefix is bad input (2), not a run
+        failure (1): nothing was computed."""
         path = self._write_spec(tmp_path)
         rc = main(["run", "--spec", str(path),
                    "--resume", str(tmp_path / "nothing")])
-        assert rc == 1
-        assert "error" in capsys.readouterr().err
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert len(err.strip().splitlines()) == 1  # one-line diagnostic
 
-    def test_resume_wrong_physics_exit_code_1(self, tmp_path, capsys):
+    def test_resume_corrupt_checkpoint_exit_code_2(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, engine="reference", steps=2)
+        prefix = tmp_path / "ckpt"
+        assert main(["run", "--spec", str(path),
+                     "--checkpoint", str(prefix)]) == 0
+        capsys.readouterr()
+        (tmp_path / "ckpt.json").write_text("{torn")
+        rc = main(["run", "--spec", str(path), "--steps", "4",
+                   "--resume", str(prefix)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_resume_wrong_physics_exit_code_2(self, tmp_path, capsys):
         path = self._write_spec(tmp_path, engine="reference", steps=2)
         prefix = tmp_path / "ckpt"
         assert main(["run", "--spec", str(path),
@@ -132,7 +170,7 @@ class TestSpecRuns:
         other = self._write_spec(tmp_path, engine="reference", steps=2,
                                  seed=9)
         rc = main(["run", "--spec", str(other), "--resume", str(prefix)])
-        assert rc == 1
+        assert rc == 2
         assert "different physics" in capsys.readouterr().err
 
 

@@ -1,0 +1,91 @@
+"""The warn-once caches: reset hooks and fork inheritance.
+
+The kernel and parallel layers warn once per degradation for the life
+of the process.  That cache is plain module state, so it survives
+``fork`` — a worker (or a served job) inheriting a populated cache
+never hears about degradations that predate it.  ``reset_warnings()``
+re-arms the caches; the serve scheduler calls it before every job.
+"""
+
+import multiprocessing
+import sys
+import warnings
+
+import pytest
+
+from repro import kernels, parallel
+from repro.parallel import domains
+
+
+class TestKernelReset:
+    def test_clears_fallback_cache(self):
+        kernels._warned_fallbacks.add("probe:test")
+        kernels.reset_warnings()
+        assert kernels._warned_fallbacks == set()
+
+    def test_rearms_the_warning(self):
+        previous = kernels.active_backend_name()
+        kernels.reset_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as first:
+                warnings.simplefilter("always")
+                kernels.set_backend("no-such-backend-xyz")
+            assert len(first) == 1
+            # cached: silent the second time
+            with warnings.catch_warnings(record=True) as second:
+                warnings.simplefilter("always")
+                kernels.set_backend("no-such-backend-xyz")
+            assert len(second) == 0
+            # reset: audible again
+            kernels.reset_warnings()
+            with warnings.catch_warnings(record=True) as third:
+                warnings.simplefilter("always")
+                kernels.set_backend("no-such-backend-xyz")
+            assert len(third) == 1
+        finally:
+            kernels.reset_warnings()
+            kernels.set_backend(previous)
+
+
+class TestParallelReset:
+    def test_clears_both_caches(self):
+        parallel._warned_reasons.add("probe reason")
+        domains._warned_degenerate.add(("x", 9, 1))
+        parallel.reset_warnings()
+        assert parallel._warned_reasons == set()
+        assert domains._warned_degenerate == set()
+
+
+def _forked_child(queue) -> None:
+    """Runs in the fork: report the inherited cache, reset, re-check."""
+    inherited = set(kernels._warned_fallbacks)
+    kernels.reset_warnings()
+    parallel.reset_warnings()
+    queue.put({
+        "inherited": sorted(inherited),
+        "after_reset": sorted(kernels._warned_fallbacks),
+    })
+
+
+@pytest.mark.skipif(
+    sys.platform == "win32", reason="fork start method required"
+)
+def test_fork_inherits_cache_and_reset_clears_it():
+    """A forked worker inherits the parent's warn-once cache (the bug
+    surface) and reset_warnings() gives it a clean slate."""
+    marker = "fork-probe:backend"
+    kernels._warned_fallbacks.add(marker)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+        child = ctx.Process(target=_forked_child, args=(queue,))
+        child.start()
+        report = queue.get()
+        child.join(timeout=30)
+        assert child.exitcode == 0
+        assert marker in report["inherited"]
+        assert report["after_reset"] == []
+        # the parent's cache is untouched by the child's reset
+        assert marker in kernels._warned_fallbacks
+    finally:
+        kernels._warned_fallbacks.discard(marker)
