@@ -736,9 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. 2x2; implies px*py workers; default: "
                             "1D columns, one per worker)")
         p.add_argument("--transport", default=None,
-                       choices=["shared", "socket"],
-                       help="parallel-backend transport (default: shared "
-                            "memory, or $REPRO_PARALLEL_TRANSPORT)")
+                       choices=["shared", "socket", "inline", "auto"],
+                       help="parallel-backend transport (default: auto — "
+                            "inline on core-starved hosts, else shared "
+                            "memory; or $REPRO_PARALLEL_TRANSPORT)")
         p.add_argument("--offset-chunk", type=int, default=None,
                        help="wse streaming-sweep batch size in offsets "
                             "(default: auto-sized from the grid); a "
@@ -853,9 +854,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="2D domain grid for --check (e.g. 2x2; "
                             "timed topology cases keep their own grid)")
     bench.add_argument("--transport", default=None,
-                       choices=["shared", "socket"],
+                       choices=["shared", "socket", "inline", "auto"],
                        help="transport for parallel-backend cases and "
-                            "--check (default: shared memory)")
+                            "--check (default: auto — inline on "
+                            "core-starved hosts, else shared memory)")
     bench.add_argument("--check", action="store_true",
                        help="first verify the parallel backend matches "
                             "numpy on total energy (<= 1e-9 relative) "

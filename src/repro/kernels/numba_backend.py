@@ -194,9 +194,51 @@ def _neighbor_prefilter(positions, i, j, lengths, periodic, rmax,
     return oi, oj, orij, orr
 
 
+@njit(cache=True)
+def _neighbor_geometry(positions, i, j, lengths, periodic):
+    # the all-inside fast path: same per-pair arithmetic as
+    # _neighbor_prefilter, no predicate and no compaction
+    p = i.shape[0]
+    orij = np.empty((p, 3), dtype=np.float64)
+    orr = np.empty(p, dtype=np.float64)
+    for q in range(p):
+        s = 0.0
+        for ax in range(3):
+            dd = positions[j[q], ax] - positions[i[q], ax]
+            if periodic[ax]:
+                ld = lengths[ax]
+                dd -= ld * np.floor(dd / ld + 0.5)
+            orij[q, ax] = dd
+            s += dd * dd
+        orr[q] = np.sqrt(s)
+    return orij, orr
+
+
 def neighbor_prefilter(positions, i, j, lengths, periodic, rmax,
-                       *, inclusive, compute_r):
-    """Distance-filter candidate pairs at ``rmax`` (compiled loop)."""
+                       *, inclusive, compute_r, assume_inside=False):
+    """Distance-filter candidate pairs at ``rmax`` (compiled loop).
+
+    ``assume_inside=True`` trusts the caller's proof that every
+    candidate passes (see the numpy backend's docstring): the compiled
+    fast path computes the identical per-pair geometry and skips the
+    predicate and compaction, emitting bitwise-identical values.
+    """
+    if assume_inside:
+        i = np.ascontiguousarray(i, dtype=np.int64)
+        j = np.ascontiguousarray(j, dtype=np.int64)
+        if not compute_r:
+            return (
+                i, j,
+                np.empty((0, 3), dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+        rij, r = _neighbor_geometry(
+            np.ascontiguousarray(positions, dtype=np.float64),
+            i, j,
+            np.ascontiguousarray(lengths, dtype=np.float64),
+            np.ascontiguousarray(periodic, dtype=np.bool_),
+        )
+        return i, j, rij, r
     return _neighbor_prefilter(
         np.ascontiguousarray(positions, dtype=np.float64),
         np.ascontiguousarray(i, dtype=np.int64),

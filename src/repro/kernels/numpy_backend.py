@@ -112,6 +112,7 @@ def neighbor_prefilter(
     *,
     inclusive: bool,
     compute_r: bool,
+    assume_inside: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Distance-filter candidate pairs at ``rmax``.
 
@@ -123,6 +124,16 @@ def neighbor_prefilter(
     the compacted ``(i, j, rij, r)``.  With ``compute_r=False`` the
     kept geometry is not materialized (rebuilds only need indices) and
     the last two outputs are empty.
+
+    ``assume_inside=True`` asserts the caller has *proved* every
+    candidate passes the predicate (e.g. a build-time separation bound
+    plus a displacement bound — the shard tier's all-inside guarantee):
+    the mask would be all-True, so the comparison and the four
+    compaction copies are skipped.  Values are bitwise-identical to the
+    masked path — compacting by an all-True mask copies elementwise and
+    ``sqrt`` is elementwise — the flag only removes work, never changes
+    bits.  The caller's proof is load-bearing: a candidate that would
+    have failed the predicate is emitted anyway.
     """
     rij = positions[j] - positions[i]
     for d in range(3):
@@ -130,6 +141,15 @@ def neighbor_prefilter(
             ld = lengths[d]
             rij[:, d] -= ld * np.floor(rij[:, d] / ld + 0.5)
     r2 = np.einsum("ij,ij->i", rij, rij)
+    if assume_inside:
+        if not compute_r:
+            return (
+                i,
+                j,
+                np.empty((0, 3), dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+        return i, j, rij, np.sqrt(r2)
     if inclusive:
         keep = r2 <= rmax * rmax
     else:

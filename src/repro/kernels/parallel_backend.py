@@ -7,8 +7,12 @@ Selecting ``backend="parallel"`` means two things:
 * the reference engine's :class:`~repro.md.simulation.Simulation`
   additionally routes force evaluation through the domain-sharded
   :class:`~repro.parallel.pipeline.ShardedForcePipeline`
-  (``provides_pipeline``), with worker count taken from
-  ``RunSpec.workers``.
+  (``provides_pipeline``), with the layout taken from
+  ``RunSpec.workers``/``topology``/``transport``.  Workers own their
+  tiles across steps (sparse halo packs, cross-step candidate reuse);
+  their inner loops still run a serial backend from this registry —
+  numpy by default, or the JIT tier via
+  ``REPRO_PARALLEL_INNER_BACKEND``.
 
 Importing this module raises :class:`ImportError` when the platform
 cannot host the worker pool (no fork start method), so the registry's

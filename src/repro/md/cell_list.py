@@ -164,7 +164,9 @@ class CellList:
         nx, ny, nz = self._ncell
         return (coords[:, 0] * ny + coords[:, 1]) * nz + coords[:, 2]
 
-    def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+    def candidate_pairs(
+        self, live: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Each undirected candidate pair (i, j) exactly once (half list).
 
         This is the software analogue of the paper's Force Symmetry
@@ -178,6 +180,14 @@ class CellList:
         which may have moved since the build when a skin is in use).
         Callers that need both directions expand via
         :meth:`directed_candidate_pairs`.
+
+        ``live`` (optional, per-atom bool) prunes pair blocks where
+        *neither* side's cell holds a live atom.  Domain shards mark
+        their owned atoms live: a ghost-ghost pair can never survive an
+        owns-one-endpoint seam rule, so skipping dead-cell blocks drops
+        part of the halo-ring enumeration without touching the order of
+        the surviving stream (the result is exactly the full stream
+        filtered, never reordered).
         """
         if self._use_brute:
             n = len(self._positions)
@@ -189,10 +199,16 @@ class CellList:
         # flat cell id): neighbors-in-space become neighbors-in-stream,
         # so every gather below walks memory near-sequentially.
         atom_idx = self._order
+        live_cells = src_live = None
+        if live is not None:
+            live_cells = np.zeros(int(np.prod(self._ncell)), dtype=bool)
+            live_cells[self._cid[np.asarray(live, dtype=bool)]] = True
+            src_live = live_cells[self._cid[atom_idx]]
         out_i: list[np.ndarray] = []
         out_j: list[np.ndarray] = []
         # Same-cell pairs: both atoms share a cell, keep i < j.
-        i, j = self._pairs_at_offset(atom_idx, (0, 0, 0))
+        i, j = self._pairs_at_offset(atom_idx, (0, 0, 0), live_cells,
+                                     src_live)
         keep = i < j
         out_i.append(i[keep])
         out_j.append(j[keep])
@@ -200,13 +216,18 @@ class CellList:
         # side only (>= 3 cells along periodic dims guarantees +o and -o
         # never wrap to the same neighbor, see build()).
         for offset in _HALF_STENCIL:
-            i, j = self._pairs_at_offset(atom_idx, offset)
+            i, j = self._pairs_at_offset(atom_idx, offset, live_cells,
+                                         src_live)
             out_i.append(i)
             out_j.append(j)
         return np.concatenate(out_i), np.concatenate(out_j)
 
     def _pairs_at_offset(
-        self, atom_idx: np.ndarray, offset: tuple[int, int, int]
+        self,
+        atom_idx: np.ndarray,
+        offset: tuple[int, int, int],
+        live_cells: np.ndarray | None = None,
+        src_live: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """All (i, j) with j in the cell at ``offset`` from i's cell.
 
@@ -228,6 +249,12 @@ class CellList:
             return empty, empty
         src = atom_idx[valid]
         ncid = self._flatten(nb[valid])
+        if live_cells is not None:
+            # Dead-cell pruning: with every atom of both cells dead, no
+            # pair of this block can own a live endpoint.
+            alive = src_live[valid] | live_cells[ncid]
+            src = src[alive]
+            ncid = ncid[alive]
         counts = self._counts[ncid]
         nonempty = counts > 0
         src = src[nonempty]

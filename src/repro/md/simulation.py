@@ -104,9 +104,10 @@ class Simulation:
         (``None`` = 1D ``workers x 1`` columns).  Layout, never
         physics.  Ignored under serial backends.
     transport:
-        Sharded-pipeline transport (``"shared"``/``"socket"``;
-        ``None`` reads ``REPRO_PARALLEL_TRANSPORT``).  Ignored under
-        serial backends.
+        Sharded-pipeline transport (``"shared"``/``"socket"``/
+        ``"inline"``/``"auto"``; ``None`` reads
+        ``REPRO_PARALLEL_TRANSPORT``, defaulting to ``auto``).
+        Ignored under serial backends.
     fuse_integrate:
         Fold the leap-frog kick+drift into the active kernel backend's
         ``force_integrate`` pass instead of the Python-level

@@ -19,6 +19,11 @@ The :class:`~repro.parallel.pipeline.ShardedForcePipeline` drives the
 EAM two-pass per step over whichever transport with a deterministic
 fixed-order seam reduction, so trajectories are bitwise-reproducible
 per (topology, transport) — and bitwise-identical across transports.
+Workers own their tiles across steps: only sparse halo packs (per-tile
+position/type/derivative prefixes and result packs) ever move, with
+per-shard Verlet candidate lists persisting between steps under an
+OR-reduced skin-displacement rebuild trigger that exactly mirrors the
+serial :class:`~repro.md.neighbor_list.NeighborList` reuse policy.
 
 Selection is the kernel-backend tier: ``backend="parallel"`` (or
 ``REPRO_KERNEL_BACKEND=parallel``) turns the pipeline on;
@@ -48,8 +53,11 @@ from repro.parallel.shm import SharedArena
 from repro.parallel.transport import (
     TRANSPORTS,
     ForkTransport,
+    InlineTransport,
+    ShardWorker,
     SocketTransport,
     make_transport,
+    resolve_transport,
 )
 
 __all__ = [
@@ -63,12 +71,16 @@ __all__ = [
     "plan_columns",
     "plan_grid",
     "ForkTransport",
+    "InlineTransport",
+    "ShardWorker",
     "SocketTransport",
     "make_transport",
+    "resolve_transport",
     "TRANSPORTS",
     "fork_available",
     "unsupported_reason",
     "warn_fallback",
+    "warn_once",
     "reset_warnings",
 ]
 
@@ -116,12 +128,22 @@ def unsupported_reason(box, potential) -> str | None:
 
 def warn_fallback(reason: str) -> None:
     """Warn once per distinct reason that parallel fell back to serial."""
-    if reason in _warned_reasons:
-        return
-    _warned_reasons.add(reason)
-    warnings.warn(
+    warn_once(
+        reason,
         f"parallel pipeline unavailable ({reason}); "
         "running the serial force path",
-        RuntimeWarning,
-        stacklevel=3,
     )
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``message`` as a RuntimeWarning once per ``key`` per process.
+
+    Shares the :func:`reset_warnings`-cleared cache with the fallback
+    warnings, so served jobs (whose scheduler re-arms the caches) hear
+    degradations like the ``REPRO_PARALLEL_NO_REUSE`` rebuild-every-step
+    mode again.
+    """
+    if key in _warned_reasons:
+        return
+    _warned_reasons.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=4)

@@ -45,8 +45,12 @@ __all__ = [
     "plan_grid",
     "plan_columns",
     "ShardPairs",
+    "tile_local_ids",
+    "owned_mask_local",
+    "build_local_pairs",
     "build_tile_pairs",
     "build_shard_pairs",
+    "warn_halo_dominated",
 ]
 
 #: Shard boxes are fully open: the distance kernel never wraps, so the
@@ -207,25 +211,187 @@ class ShardPairs:
     Built at (re)build time and reused until the next coordinated
     rebuild; :meth:`pairs` distance-filters to the true cutoff at the
     *current* positions, mirroring the serial
-    :class:`~repro.md.neighbor_list.NeighborList` query.
+    :class:`~repro.md.neighbor_list.NeighborList` query.  ``r_build``
+    (candidate separations at the build positions, when the builder
+    recorded them) enables the cross-step Verlet pre-mask below.
     """
 
     gi: np.ndarray
     gj: np.ndarray
     n_local: int
     n_owned: int
+    r_build: np.ndarray | None = None
 
     @property
     def n_candidates(self) -> int:
         return len(self.gi)
 
-    def pairs(self, positions: np.ndarray, cutoff: float) -> PairTable:
-        """Half interacting pairs at the current positions (open box)."""
+    def r_build_max(self) -> float:
+        """Largest build-time candidate separation (cached; 0.0 if none).
+
+        The one scalar both cross-step bounds below pivot on, computed
+        once per rebuild window.
+        """
+        m = getattr(self, "_r_build_max", None)
+        if m is None:
+            m = float(self.r_build.max()) if len(self.r_build) else 0.0
+            self._r_build_max = m
+        return m
+
+    def premask_can_cut(self, cutoff: float) -> bool:
+        """Whether the Verlet pre-mask can ever exclude a candidate.
+
+        The pre-mask bound ``cutoff + 2 * max_disp`` is tightest at
+        zero displacement, so when no candidate sat beyond ``cutoff``
+        at build time — a packed crystal whose populated shells all
+        fall inside the cutoff — the mask provably keeps every
+        candidate for the entire reuse window.  Callers then skip both
+        the mask and the per-step displacement tracking that feeds it
+        (a pure wall-clock cut: the mask is a superset filter, so
+        skipping it emits identical bits).
+        """
+        if self.r_build is None:
+            return False
+        # mirror the pairs() mask epsilon: a candidate at
+        # cutoff + 1e-9 is kept even at zero displacement
+        return self.r_build_max() > cutoff + 1e-9
+
+    def pairs(
+        self,
+        positions: np.ndarray,
+        cutoff: float,
+        max_disp: float | None = None,
+    ) -> PairTable:
+        """Half interacting pairs at the current positions (open box).
+
+        ``max_disp`` is an upper bound on the displacement of any local
+        atom since the build (any valid bound works — the pipeline
+        passes the parent's *global* bound, already in hand from the
+        skin trigger).  When known (and ``r_build`` was recorded) it
+        powers two provably bit-neutral cross-step cuts:
+
+        * **all-inside**: when ``max(r_build) + 2 * max_disp < cutoff``
+          no candidate can have crossed the cutoff outward, so the
+          strict filter's mask is all-True and the backend skips the
+          predicate and its four compaction copies outright
+          (``assume_inside`` — identical values, no copies).  In a
+          packed crystal whose populated shells sit inside the cutoff
+          this holds for the *entire* reuse window.
+        * **pre-mask**: otherwise, candidates with
+          ``r_build > cutoff + 2 * max_disp`` provably cannot have
+          closed inside the cutoff — each endpoint moved at most
+          ``max_disp`` — so their separations are never computed.  An
+          order-preserving *superset* cut (the strict filter below
+          still decides every survivor), applied only when it removes
+          enough candidates to pay for its own index gathers.
+
+        The epsilons absorb the floating-point slack in ``r_build``
+        and ``max_disp``; either way the emitted pair list is
+        bit-for-bit the plain strict-filtered one.
+        """
+        gi, gj = self.gi, self.gj
+        all_inside = False
+        if max_disp is not None and self.r_build is not None:
+            bound = 2.0 * max_disp + 1e-9
+            if self.r_build_max() + bound < cutoff:
+                all_inside = True
+            elif self.premask_can_cut(cutoff):
+                sel = self.r_build <= cutoff + bound
+                if np.count_nonzero(sel) <= 0.9 * len(sel):
+                    gi = gi[sel]
+                    gj = gj[sel]
         i, j, rij, r = active_backend().neighbor_prefilter(
-            positions, self.gi, self.gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
+            positions, gi, gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
             cutoff, inclusive=False, compute_r=True,
+            assume_inside=all_inside,
         )
         return PairTable(i=i, j=j, rij=rij, r=r, half=True)
+
+
+def tile_local_ids(
+    positions: np.ndarray, grid: DomainGrid, tile: int, reach: float
+) -> np.ndarray:
+    """Global ids of a tile's *local* set — owned rectangle dilated by
+    the halo width ``reach`` along x and y — in ascending order.
+
+    Ascending order matters: it makes local-index comparisons order-
+    isomorphic to global-id comparisons, so the seam rule evaluated in
+    local indices (:func:`build_local_pairs`) keeps exactly the pairs
+    the global rule would.
+    """
+    xlo, xhi, ylo, yhi = grid.tile_bounds(tile)
+    x = positions[:, 0]
+    y = positions[:, 1]
+    return np.nonzero(
+        (x >= xlo - reach) & (x < xhi + reach)
+        & (y >= ylo - reach) & (y < yhi + reach)
+    )[0]
+
+
+def owned_mask_local(
+    local_positions: np.ndarray,
+    bounds: tuple[float, float, float, float],
+) -> np.ndarray:
+    """Which local atoms fall in the tile's owned rectangle.
+
+    Evaluated from the same half-open comparisons the parent's global
+    ownership test uses, so a worker holding only its halo pack makes
+    bit-identical ownership decisions.
+    """
+    xlo, xhi, ylo, yhi = bounds
+    x = local_positions[:, 0]
+    y = local_positions[:, 1]
+    return (x >= xlo) & (x < xhi) & (y >= ylo) & (y < yhi)
+
+
+def build_local_pairs(
+    local_positions: np.ndarray,
+    owned: np.ndarray,
+    *,
+    box: Box,
+    reach: float,
+    cells: CellList | None = None,
+) -> ShardPairs:
+    """One tile's candidate pairs in *local* index space.
+
+    This is the worker-side build: the worker holds only its halo pack
+    (owned + ghost atoms, globally ascending), never the full position
+    array.  Because the pack preserves global order, the cell binning,
+    the own-smaller-id seam rule and the Verlet prefilter all make the
+    same decisions as a global-index build — mapping the result through
+    the pack's id list reproduces :func:`build_tile_pairs` exactly
+    (pinned by the seam-rule property sweep in ``tests/parallel``).
+    """
+    n_local = len(local_positions)
+    n_owned = int(np.count_nonzero(owned))
+    empty = np.empty(0, dtype=np.int64)
+    empty_r = np.empty(0, dtype=np.float64)
+    if n_local == 0:
+        return ShardPairs(empty, empty, 0, n_owned, r_build=empty_r)
+    if cells is None:
+        cells = CellList(box, reach)
+    cells.build(local_positions)
+    # Dead-cell pruning: a pair both of whose endpoints sit in cells
+    # with no owned atom can never pass the seam rule below, so the
+    # halo-ring-vs-halo-ring part of the enumeration is skipped.
+    ci, cj = cells.candidate_pairs(live=owned)
+    # Seam rule: keep the pair iff this tile owns the smaller id.  The
+    # local ids are ascending in global id, so min() in local indices
+    # picks the same member the global rule would.
+    keep = owned[np.minimum(ci, cj)]
+    li = ci[keep]
+    lj = cj[keep]
+    if len(li) == 0:
+        return ShardPairs(empty, empty, n_local, n_owned, r_build=empty_r)
+    # Verlet prefilter at the build positions — identical semantics to
+    # the serial NeighborList.rebuild, so tile unions reproduce the
+    # serial candidate set exactly.  The kept separations are recorded
+    # for the cross-step pre-mask in :meth:`ShardPairs.pairs`.
+    li, lj, _, r = active_backend().neighbor_prefilter(
+        local_positions, li, lj, _OPEN_LENGTHS, _OPEN_PERIODIC,
+        reach, inclusive=True, compute_r=True,
+    )
+    return ShardPairs(li, lj, n_local, n_owned, r_build=r)
 
 
 def build_tile_pairs(
@@ -237,48 +403,69 @@ def build_tile_pairs(
     reach: float,
     cells: CellList | None = None,
 ) -> ShardPairs:
-    """One tile's Verlet-prefiltered candidate pairs.
+    """One tile's Verlet-prefiltered candidate pairs, in global ids.
 
     ``reach`` is ``cutoff + skin``: it is the Verlet prefilter radius
     *and* the halo width (a kept pair's build separation is <= reach,
     so the partner of any owned atom lies inside the halo ring).
     ``cells`` lets a persistent worker reuse its :class:`CellList`
     buffers across rebuilds.
+
+    Implemented as :func:`build_local_pairs` on the tile's halo pack
+    mapped back to global ids — the single-process twin of what a
+    worker computes from its pack, which is what lets the test suite
+    pin the distributed build against this function.
     """
-    xlo, xhi, ylo, yhi = grid.tile_bounds(tile)
-    x = positions[:, 0]
-    y = positions[:, 1]
-    local = np.nonzero(
-        (x >= xlo - reach) & (x < xhi + reach)
-        & (y >= ylo - reach) & (y < yhi + reach)
-    )[0]
-    owned = (x >= xlo) & (x < xhi) & (y >= ylo) & (y < yhi)
-    n_owned = int(np.count_nonzero(owned))
-    empty = np.empty(0, dtype=np.int64)
-    if len(local) == 0:
-        return ShardPairs(empty, empty, 0, n_owned)
-    if cells is None:
-        cells = CellList(box, reach)
-    cells.build(positions[local])
-    ci, cj = cells.candidate_pairs()
-    gi = local[ci]
-    gj = local[cj]
-    # Seam rule: keep the pair iff this tile owns the smaller global
-    # id.  Tile rectangles partition the plane, so exactly one tile
-    # keeps each undirected candidate pair.
-    keep = owned[np.minimum(gi, gj)]
-    gi = gi[keep]
-    gj = gj[keep]
-    if len(gi) == 0:
-        return ShardPairs(empty, empty, len(local), n_owned)
-    # Verlet prefilter at the build positions — identical semantics to
-    # the serial NeighborList.rebuild, so tile unions reproduce the
-    # serial candidate set exactly.
-    gi, gj, _, _ = active_backend().neighbor_prefilter(
-        positions, gi, gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
-        reach, inclusive=True, compute_r=False,
+    local = tile_local_ids(positions, grid, tile, reach)
+    sp = build_local_pairs(
+        positions[local],
+        owned_mask_local(positions[local], grid.tile_bounds(tile)),
+        box=box,
+        reach=reach,
+        cells=cells,
     )
-    return ShardPairs(gi, gj, len(local), n_owned)
+    return ShardPairs(
+        local[sp.gi], local[sp.gj], sp.n_local, sp.n_owned,
+        r_build=sp.r_build,
+    )
+
+
+def warn_halo_dominated(
+    positions: np.ndarray, px: int, py: int, reach: float
+) -> None:
+    """Warn once when tiles are so narrow the halo dominates them.
+
+    The decomposition stays *correct* for any tile width (the seam
+    rule only needs owned-rectangle-dilated-by-reach locality), but
+    when an axis's average tile width drops below ``2 x reach`` the
+    ghost ring is wider than the owned region, so the sparse halo
+    exchange degenerates toward the full broadcast it replaced.  Keyed
+    into the same once-per-shape cache as the capped-decomposition
+    warning and re-armed by ``repro.parallel.reset_warnings()``.
+    """
+    if len(positions) == 0:
+        return
+    for axis, coords, parts in (
+        ("x", positions[:, 0], px),
+        ("y", positions[:, 1], py),
+    ):
+        if parts < 2:
+            continue
+        width = (float(coords.max()) - float(coords.min())) / parts
+        if width >= 2.0 * reach:
+            continue
+        key = ("halo", axis, parts)
+        if key in _warned_degenerate:
+            continue
+        _warned_degenerate.add(key)
+        warnings.warn(
+            f"{axis}-axis tiles average {width:.2f} wide but the halo "
+            f"reaches {reach:.2f} on each side; ghost regions dominate "
+            f"owned regions, so the sparse halo exchange carries "
+            f"near-broadcast volume",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def build_shard_pairs(

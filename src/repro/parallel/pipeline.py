@@ -1,33 +1,55 @@
 """The sharded force pipeline: per-step orchestration over a transport.
 
-One timestep's force evaluation becomes three lockstep rounds, the
-host analogue of the paper's communicate/compute cadence:
+Each worker permanently owns its tile: halo-pack positions, types,
+owned mask, candidate pairs and the rebuild reference all live
+shard-side between steps, so a steady-state timestep is **three**
+lockstep rounds moving only sparse packs — the host analogue of the
+paper's neighbor-only fabric traffic:
 
-1. **neighbor** — the parent publishes positions, applies the (global)
-   skin/2 rebuild policy, and on a rebuild broadcasts a fresh balanced
-   :class:`~repro.parallel.domains.DomainGrid`; each tile rebuilds or
-   reuses its candidate pairs and distance-filters them to the true
-   cutoff.
-2. **density** — each tile accumulates its partial ``rho_bar`` into
-   its slot; the parent reduces the slots **in fixed rank order** (the
-   seam reduction), evaluates the embedding stage, and broadcasts
-   ``F'(rho_bar)``.
-3. **force** — each tile evaluates pair forces/energies into its
-   slots; the parent reduces again in fixed order.
+1. **dens** (inside the ``neighbor`` phase) — the parent evaluates the
+   Verlet skin/2 trigger itself against the rebuild reference (it owns
+   every position, so its global ``max |d|`` is arithmetically *equal*
+   to an OR-reduce of per-tile triggers over the covering tile-local
+   sets — and bit-equal to the serial NeighborList's check), then
+   scatters each tile its cached halo pack of positions
+   (``positions[ids_k]``, the index lists persisting until the next
+   rebuild).  The trigger's displacement bound rides on the command;
+   each tile distance-filters its cached candidates under it (the
+   bound either proves every candidate is still inside the cutoff —
+   the filter then skips its mask and compaction outright — or
+   pre-masks candidates provably still out of range, both
+   order-preserving and bit-neutral) and runs the density pass,
+   staging its ``rho`` pack.  When the trigger
+   trips, a ``rebuild`` round runs instead: a fresh balanced
+   :class:`~repro.parallel.domains.DomainGrid` is planned, new pack
+   ids are cut, and each tile rebuilds its candidates from its pack
+   alone (bit-identical to a global build) — no stale-pack scatter, no
+   speculative compute is ever discarded.
+2. **force** — the parent reduces the gathered ``rho`` packs by
+   scatter-adding them **in fixed rank order** into an owned-region
+   accumulator, evaluates the embedding stage, scatters each tile its
+   ``F'(rho_bar)`` pack, and reduces the gathered pair-energy/force
+   packs the same way.
 
-The fixed-order slot reduction makes a run bitwise-reproducible for a
+The fixed-order pack reduction makes a run bitwise-reproducible for a
 given (topology, transport) — and since both transports deliver the
-same float64 bits into the same slot layout, bitwise-identical across
-transports too.  Across topologies the physics agrees to floating-
-point summation tolerance (~1e-12 relative), exactly like any
-domain-decomposed MD code.
+same float64 bits in the same pack layout, bitwise-identical across
+transports too.  A single tile owns every pair, so ``workers=1`` stays
+bitwise-serial.  Across topologies the physics agrees to floating-
+point summation tolerance, like any domain-decomposed MD code.
 
-Halo accounting: each round's *exposed* communication time — publish
-cost plus the slack between the command's wall time and the slowest
-worker's compute time — is emitted as a pre-measured ``halo_exchange``
-child span inside the enclosing phase, with the transport's byte
-deltas as counters, so ``repro profile`` shows what the decomposition
-pays for its seams.
+Halo accounting: every round's *exposed* communication time — pack
+scatter/gather cost plus the slack between the command's wall time and
+the slowest worker's compute time — is emitted as a pre-measured
+``halo_exchange`` child span inside the enclosing phase, with the
+transport's byte deltas as counters.  The bytes are **actual sparse
+pack bytes** (per-tile prefix sizes, not ``nbytes x workers``
+broadcasts), and the ghost-row share — the part that scales with tile
+*boundary* area rather than system size — is tracked separately as
+``parallel.halo.bytes_ghost``.  Because the density pass runs inside
+the ``neighbor``-phase dens round, its worker seconds are
+re-attributed to the ``density`` phase via a pre-measured child span,
+keeping the reference taxonomy unchanged.
 """
 
 from __future__ import annotations
@@ -38,12 +60,22 @@ import time
 import numpy as np
 
 from repro.obs import NULL_TRACER, metrics
-from repro.parallel.domains import plan_grid
+from repro.parallel.domains import (
+    plan_grid,
+    tile_local_ids,
+    warn_halo_dominated,
+)
 from repro.parallel.transport import make_transport
 
 __all__ = ["ShardedForcePipeline"]
 
 _STAGES = ("neighbor", "density", "force")
+
+#: Per-row pack bytes by channel (float64 3-vectors and scalars).
+_ROW_BYTES = {
+    "positions": 24, "types": 8, "f_der": 8,
+    "rho": 8, "epair": 8, "forces": 24,
+}
 
 
 class ShardedForcePipeline:
@@ -56,11 +88,20 @@ class ShardedForcePipeline:
     workers; an abandoned pipeline is cleaned up by GC/daemon
     semantics.
 
-    ``topology`` is the ``(px, py)`` domain grid; ``None`` keeps the
-    historical 1D column layout (``workers x 1``).  ``transport``
-    selects how bytes reach the workers (``"shared"`` or ``"socket"``;
-    ``None`` reads ``REPRO_PARALLEL_TRANSPORT``, defaulting to shared
-    memory).
+    ``topology`` is the ``(px, py)`` domain grid; ``None`` picks the
+    most nearly square factorization of the worker count (least tile
+    boundary, hence least ghost traffic — pass an explicit
+    ``(workers, 1)`` for the historical 1D column layout).
+    ``transport``
+    selects how bytes reach the workers (``"shared"``, ``"socket"``,
+    ``"inline"`` or ``"auto"``; ``None`` reads
+    ``REPRO_PARALLEL_TRANSPORT``, defaulting to ``auto`` — inline
+    virtual workers when the host has fewer cores than workers, forked
+    shared memory otherwise).  Setting ``REPRO_PARALLEL_NO_REUSE`` to a
+    non-empty,
+    non-zero value disables cross-step candidate reuse (a rebuild every
+    step — the property-test control and a debugging fallback), warned
+    about once per process.
     """
 
     def __init__(
@@ -86,8 +127,13 @@ class ShardedForcePipeline:
                     f"{px}x{py} ({px * py} tiles)"
                 )
         else:
-            w = workers if workers else (os.cpu_count() or 1)
-            px, py = max(1, int(w)), 1
+            w = max(1, int(workers if workers else (os.cpu_count() or 1)))
+            # Most nearly square factorization: least tile perimeter,
+            # hence least ghost-row traffic per step.
+            py = int(np.sqrt(w))
+            while w % py:
+                py -= 1
+            px = w // py
         self.topology = (px, py)
         self.n_workers = px * py
         self.skin = float(skin)
@@ -96,22 +142,41 @@ class ShardedForcePipeline:
         self.n_atoms = n
         self.potential = potential
         self._types = np.asarray(state.types, dtype=np.int64)
+        self.no_reuse = os.environ.get(
+            "REPRO_PARALLEL_NO_REUSE", ""
+        ) not in ("", "0")
         # Shard inner loops call the active backend's fused passes; the
         # worker-side backend defaults to numpy and may be switched to
         # the JIT tier (sharding x compiled kernels compose) via env.
         self.inner_backend = os.environ.get(
             "REPRO_PARALLEL_INNER_BACKEND", "numpy"
         )
+        # On a host with fewer cores than workers, concurrent shards
+        # timeshare cores and evict each other's caches mid-pass, so
+        # heavy rounds run fastest dispatched one rank at a time.
+        # Results are identical either way (the reduction order is
+        # fixed by rank, not arrival); this is purely a wall-clock
+        # policy, overridable via REPRO_PARALLEL_STAGGER=0/1.
+        env_stagger = os.environ.get("REPRO_PARALLEL_STAGGER", "")
+        if env_stagger in ("", "auto"):
+            try:
+                cpus = len(os.sched_getaffinity(0))
+            except (AttributeError, OSError):  # pragma: no cover
+                cpus = os.cpu_count() or 1
+            self.stagger = cpus < self.n_workers
+        else:
+            self.stagger = env_stagger != "0"
         cfg = {
             "potential": potential,
             "box": state.box,
             "cutoff": self.cutoff,
             "reach": self.reach,
+            "skin": self.skin,
             "n_atoms": n,
             "inner_backend": self.inner_backend,
         }
         kind = transport or os.environ.get(
-            "REPRO_PARALLEL_TRANSPORT", "shared"
+            "REPRO_PARALLEL_TRANSPORT", "auto"
         )
         self.transport = make_transport(
             kind,
@@ -128,11 +193,31 @@ class ShardedForcePipeline:
             },
             cfg=cfg,
         )
-        self.transport.publish("types", self._types)
+        #: cached halo pack index lists, one per tile; valid until the
+        #: next rebuild (None = no build yet)
+        self._ids: list[np.ndarray] | None = None
+        #: the same lists concatenated in rank order — the index vector
+        #: the single-pass bincount reductions run over
+        self._ids_flat: np.ndarray | None = None
+        #: rebuild reference positions for the parent-side skin trigger
+        #: (bit-equal to the serial NeighborList's check, and to an
+        #: OR-reduce of per-tile checks over the covering local sets)
         self._ref_positions: np.ndarray | None = None
+        self._counts: list[int] = [0] * self.n_workers
+        #: owned-region accumulators reused every step (steady-state
+        #: steps allocate nothing on the reduction path)
+        self._rho = np.zeros(n)
+        self._epair = np.zeros(n)
+        self._forces = np.zeros((n, 3))
         self._closed = False
         self.n_builds = 0
         self.last_pair_count = 0
+        #: current ghost-row count, sum over tiles of (local - owned) —
+        #: the boundary-scaling share of every pack
+        self.ghost_atoms = 0
+        #: cumulative ghost-row bytes moved (the O(boundary) component
+        #: of bytes_sent + bytes_recv)
+        self.ghost_bytes = 0
         #: cumulative per-worker seconds per stage (bench telemetry)
         self.shard_seconds: dict[str, list[float]] = {
             s: [0.0] * self.n_workers for s in _STAGES
@@ -150,23 +235,17 @@ class ShardedForcePipeline:
 
     @property
     def halo_bytes(self) -> tuple[int, int]:
-        """Cumulative (sent, received) halo bytes over the transport."""
+        """Cumulative (sent, received) sparse pack bytes over the transport."""
         return self.transport.bytes_sent, self.transport.bytes_recv
 
-    # -- rebuild policy (global twin of NeighborList's) --------------------
+    # -- ghost accounting --------------------------------------------------
 
-    def _rebuild_reason(self, positions: np.ndarray) -> str | None:
-        if self._ref_positions is None:
-            return "first"
-        if self.skin == 0.0:
-            return "skin_zero"
-        if len(positions) != len(self._ref_positions):
-            return "size"
-        delta = positions - self._ref_positions
-        max_d2 = float(np.max(np.einsum("ij,ij->i", delta, delta)))
-        if max_d2 > (self.skin / 2.0) ** 2:
-            return "displacement"
-        return None
+    def _charge_ghost(self, *channels: str) -> None:
+        """Credit the ghost-row share of pack transfers just performed."""
+        amount = self.ghost_atoms * sum(_ROW_BYTES[c] for c in channels)
+        if amount:
+            self.ghost_bytes += amount
+            metrics().counter("parallel.halo.bytes_ghost").inc(float(amount))
 
     # -- the step ----------------------------------------------------------
 
@@ -179,45 +258,93 @@ class ShardedForcePipeline:
         ``pairs``, ``rebuilds``, ``t_neighbor`` and ``t_force`` for the
         caller's :class:`~repro.md.simulation.SimStats`.
         """
+        if len(positions) != self.n_atoms:
+            raise ValueError(
+                f"pipeline built for {self.n_atoms} atoms, "
+                f"got {len(positions)}"
+            )
         reg = metrics()
         tp = self.transport
         t0 = time.perf_counter()
         with tr.phase("neighbor") as ph:
-            tp.publish("positions", positions)
-            t_pub = time.perf_counter() - t0
-            reason = self._rebuild_reason(positions)
-            grid = None
+            reason = self._forced_rebuild_reason()
+            d_max = 0.0
+            if reason is None:
+                # Parent-side skin trigger: same arithmetic as the
+                # serial NeighborList (and as an OR-reduce of per-tile
+                # checks — the tile-local sets cover every atom), but
+                # resolved before any scatter or round, so a triggered
+                # step never ships a stale pack or wastes a pass.
+                delta = positions - self._ref_positions
+                max_d2 = float(np.max(np.einsum("ij,ij->i", delta, delta)))
+                if max_d2 > (self.skin / 2.0) ** 2:
+                    reason = "displacement"
+                else:
+                    d_max = float(np.sqrt(max_d2))
             if reason is not None:
-                grid = plan_grid(
-                    positions, self.topology[0], self.topology[1], self.reach
-                )
-                self._ref_positions = np.array(positions, copy=True)
-                self.n_builds += 1
+                replies = self._rebuild_round(positions, reason, tr)
                 reg.counter("neighbor.rebuilds").inc()
                 reg.counter(f"neighbor.rebuilds.{reason}").inc()
             else:
+                # Clean step: ship the sparse packs, filter + density.
+                # The trigger's displacement bound rides on the command
+                # — it upper-bounds every tile's local bound, feeding
+                # the shards' bit-neutral cross-step filter cuts
+                # without any per-tile displacement pass.
+                tpub0 = time.perf_counter()
+                tp.scatter("positions", positions, self._ids)
+                self._charge_ghost("positions")
+                t_pub = time.perf_counter() - tpub0
+                replies = self._round("neighbor", ("dens", d_max), tr, t_pub)
                 reg.counter("neighbor.reuses").inc()
-            replies = self._round("neighbor", ("neighbor", grid), tr, t_pub)
-            n_pairs = int(sum(r[0] for r in replies))
-            self._account_stage("neighbor", replies, ph)
+            n_pairs = int(sum(r[1] for r in replies))
+            den_secs = [r[3] for r in replies]
+            den_sum = sum(den_secs)
+            # The density pass ran inside the dens/rebuild round; hand
+            # its worker seconds to the density phase as a pre-measured
+            # child so the reference taxonomy stays truthful.
+            tr.record("density", den_sum)
+            self._account_stage(
+                "neighbor", [r[2] - r[3] for r in replies], ph
+            )
             ph.add(pairs=n_pairs, rebuilds=0 if reason is None else 1)
         t1 = time.perf_counter()
         with tr.phase("density", pairs=n_pairs) as ph:
-            replies = self._round("density", ("density",), tr)
-            # Seam reduction: fixed rank order makes the sum (and the
-            # whole trajectory) bitwise-reproducible per topology.
-            rho_bar = np.sum(tp.slots("rho"), axis=0)
-            self._account_stage("density", replies, ph)
+            packs = self._gather_round("density", ("rho",), tr)
+            self._charge_ghost("rho")
+            # Seam reduction: accumulate every tile's pack in fixed
+            # rank order — bitwise-reproducible per topology, and
+            # elementwise (hence bitwise-serial) for a single tile.
+            # bincount over the rank-concatenated id list performs the
+            # same additions in the same order as a per-tile
+            # scatter-add loop (equal ids sum in order of appearance),
+            # just in one pass.
+            self._reduce_1d(self._rho, packs["rho"])
+            self._account_stage("density", den_secs, ph)
         with tr.phase("embedding"):
-            f_val, f_der = self.potential.embed(rho_bar, self._types)
+            f_val, f_der = self.potential.embed(self._rho, self._types)
         with tr.phase("pair_force", pairs=n_pairs) as ph:
             tpub0 = time.perf_counter()
-            tp.publish("f_der", f_der)
+            tp.scatter("f_der", f_der, self._ids)
+            self._charge_ghost("f_der")
             t_pub = time.perf_counter() - tpub0
-            replies = self._round("force", ("force",), tr, t_pub)
-            forces = np.sum(tp.slots("forces"), axis=0)
-            e_pair = np.sum(tp.slots("epair"), axis=0)
-            self._account_stage("force", replies, ph)
+            force_replies = self._round(
+                "pair_force", ("force",), tr, t_pub
+            )
+            packs = self._gather_round(
+                "pair_force", ("epair", "forces"), tr
+            )
+            self._charge_ghost("epair", "forces")
+            self._reduce_1d(self._epair, packs["epair"])
+            pack = np.concatenate(packs["forces"])
+            for c in range(3):
+                self._forces[:, c] = np.bincount(
+                    self._ids_flat, weights=pack[:, c],
+                    minlength=self.n_atoms,
+                )
+            self._account_stage(
+                "force", [r[2] for r in force_replies], ph
+            )
         t2 = time.perf_counter()
         self.last_pair_count = n_pairs
         reg.counter("parallel.steps").inc()
@@ -225,29 +352,127 @@ class ShardedForcePipeline:
         info = {
             "pairs": n_pairs,
             "rebuilds": 0 if reason is None else 1,
-            "t_neighbor": t1 - t0,
-            "t_force": t2 - t1,
+            "t_neighbor": max(0.0, (t1 - t0) - den_sum),
+            "t_force": (t2 - t1) + den_sum,
         }
-        return e_pair + f_val, forces, info
+        return self._epair + f_val, self._forces.copy(), info
+
+    # -- rebuild policy (the forced arms; displacement is shard-side) ------
+
+    def _reduce_1d(self, out: np.ndarray, packs: list) -> None:
+        """Fixed-order seam reduction of per-tile scalar packs.
+
+        ``bincount`` over the rank-concatenated ids adds equal-index
+        contributions in order of appearance — the identical addition
+        sequence a per-tile ``out[ids] += pack`` loop performs, so the
+        result is bitwise-equal to the loop (and elementwise for a
+        single tile, preserving the ``workers=1`` bitwise-serial
+        guarantee).
+        """
+        out[:] = np.bincount(
+            self._ids_flat,
+            weights=np.concatenate(packs),
+            minlength=self.n_atoms,
+        )
+
+    def _forced_rebuild_reason(self) -> str | None:
+        if self._ids is None:
+            return "first"
+        if self.skin == 0.0:
+            return "skin_zero"
+        if self.no_reuse:
+            from repro import parallel as par
+
+            par.warn_once(
+                "no_reuse",
+                "cross-step candidate reuse disabled "
+                "(REPRO_PARALLEL_NO_REUSE); rebuilding every step",
+            )
+            return "no_reuse"
+        return None
+
+    def _rebuild_round(
+        self, positions: np.ndarray, reason: str, tr
+    ) -> list[tuple]:
+        """Plan a fresh grid, cut new halo packs, run the rebuild round."""
+        grid = plan_grid(
+            positions, self.topology[0], self.topology[1], self.reach
+        )
+        warn_halo_dominated(
+            positions, self.topology[0], self.topology[1], self.reach
+        )
+        ids = [
+            tile_local_ids(positions, grid, t, self.reach)
+            for t in range(self.n_workers)
+        ]
+        parts = [
+            (len(ids[t]), grid.tile_bounds(t))
+            for t in range(self.n_workers)
+        ]
+        self._ids = ids
+        self._ids_flat = np.concatenate(ids) if ids else np.empty(
+            0, dtype=np.int64
+        )
+        self._ref_positions = np.array(positions, copy=True)
+        self._counts = [len(i) for i in ids]
+        self.ghost_atoms = int(sum(self._counts)) - self.n_atoms
+        metrics().gauge("parallel.ghost_atoms").set(float(self.ghost_atoms))
+        self.n_builds += 1
+        tp = self.transport
+        tp.set_counts(self._counts)
+        tpub0 = time.perf_counter()
+        tp.scatter("positions", positions, ids)
+        tp.scatter("types", self._types, ids)
+        self._charge_ghost("positions", "types")
+        t_pub = time.perf_counter() - tpub0
+        return self._round("neighbor", ("rebuild",), tr, t_pub, parts=parts)
+
+    # -- rounds ------------------------------------------------------------
 
     def _round(
-        self, stage: str, msg: tuple, tr, t_pub: float = 0.0
+        self, stage: str, msg: tuple, tr, t_pub: float = 0.0, parts=None
     ) -> list[tuple]:
         """One command round, with halo-exchange accounting.
 
-        The round's exposed communication time is the publish cost plus
-        the command wall time not covered by the slowest worker's
+        Compute-heavy commands honor the stagger policy (one rank at a
+        time on CPU-starved hosts).
+
+        The round's exposed communication time is the pack scatter cost
+        plus the command wall time not covered by the slowest worker's
         compute time; it lands as a pre-measured ``halo_exchange``
         child span of the current phase, with the transport's byte
-        deltas attached as counters.
+        deltas (actual pack bytes) attached as counters.
         """
         tp = self.transport
         sent0, recv0 = tp.bytes_sent, tp.bytes_recv
         t0 = time.perf_counter()
-        replies = tp.command(msg)
+        # Only the rebuild round is long enough (tens of ms of binning
+        # and candidate generation per rank) for one-rank-at-a-time
+        # dispatch to pay for its serialized pipe round-trips; the
+        # short steady rounds measure faster letting the OS interleave.
+        stagger = self.stagger and msg[0] == "rebuild"
+        replies = tp.command(msg, parts, stagger=stagger)
         wall = time.perf_counter() - t0
-        compute = max((r[1] for r in replies), default=0.0)
+        compute = max((r[2] for r in replies), default=0.0)
         exposed = t_pub + max(0.0, wall - compute)
+        self._record_halo(stage, exposed, sent0, recv0, tr)
+        return replies
+
+    def _gather_round(self, stage: str, names: tuple, tr) -> dict:
+        """Pull result packs; account the gather as halo exchange."""
+        tp = self.transport
+        sent0, recv0 = tp.bytes_sent, tp.bytes_recv
+        t0 = time.perf_counter()
+        packs = {name: tp.gather(name) for name in names}
+        self._record_halo(
+            stage, time.perf_counter() - t0, sent0, recv0, tr
+        )
+        return packs
+
+    def _record_halo(
+        self, stage: str, exposed: float, sent0: int, recv0: int, tr
+    ) -> None:
+        tp = self.transport
         d_sent = tp.bytes_sent - sent0
         d_recv = tp.bytes_recv - recv0
         tr.record(
@@ -260,11 +485,9 @@ class ShardedForcePipeline:
         reg.counter("parallel.halo.seconds").inc(exposed)
         reg.counter("parallel.halo.bytes_sent").inc(float(d_sent))
         reg.counter("parallel.halo.bytes_recv").inc(float(d_recv))
-        return replies
 
-    def _account_stage(self, stage: str, replies, ph) -> None:
+    def _account_stage(self, stage: str, secs: list[float], ph) -> None:
         """Attach per-shard timings to the span, metrics and telemetry."""
-        secs = [r[1] for r in replies]
         total = self.shard_seconds[stage]
         for wid, s in enumerate(secs):
             total[wid] += s

@@ -75,41 +75,68 @@ class WorkerPool:
     def n_workers(self) -> int:
         return len(self._procs)
 
-    def command(self, msg: tuple) -> list[tuple]:
+    def command(
+        self,
+        msg: tuple,
+        parts: list[tuple] | None = None,
+        *,
+        stagger: bool = False,
+    ) -> list[tuple]:
         """Broadcast ``msg``; return each worker's reply payload in order.
 
-        Replies are ``(n_pairs, seconds)`` per worker.  Every reply is
-        drained before any error is raised, so the pool stays in a
-        consistent idle state even when one shard fails.  A worker
-        that died (broken pipe on send, EOF on receive) surfaces as a
-        RuntimeError instead of hanging the step.
+        ``parts`` optionally appends a per-rank payload: worker ``k``
+        receives ``msg + parts[k]`` (how the pipeline ships each tile
+        its own halo-pack length and owned bounds without broadcasting
+        every tile's).  Every reply is drained before any error is
+        raised, so the pool stays in a consistent idle state even when
+        one shard fails.  A worker that died (broken pipe on send, EOF
+        on receive) surfaces as a RuntimeError instead of hanging the
+        step.
+
+        ``stagger`` dispatches rank ``k+1`` only after rank ``k``'s
+        reply arrives, so on a CPU-starved host at most one worker
+        computes at a time instead of all of them timesharing the core
+        and evicting each other's caches mid-pass.  Replies are
+        identical (and in the same rank order) either way — staggering
+        changes wall-clock behavior only, never results.
         """
         replies: list[tuple] = []
         error: tuple | None = None
         down: set[int] = set()
         for wid, conn in enumerate(self._conns):
             try:
-                conn.send(msg)
+                conn.send(msg if parts is None else msg + tuple(parts[wid]))
             except (BrokenPipeError, OSError) as exc:
                 down.add(wid)
                 if error is None:
                     error = (wid, "RuntimeError", f"worker died: {exc}")
+            if stagger and wid not in down:
+                replies.append(self._recv_reply(wid))
         for wid, conn in enumerate(self._conns):
             if wid in down:
-                replies.append((0, 0.0))
+                replies.insert(wid, (0, 0.0))
                 continue
-            try:
-                reply = conn.recv()
-            except (EOFError, OSError) as exc:
-                reply = ("error", "RuntimeError", f"worker died: {exc}")
-            if reply[0] == "error" and error is None:
+            if stagger:
+                continue
+            replies.append(self._recv_reply(wid))
+        for wid, reply in enumerate(replies):
+            if reply and reply[0] == "error" and error is None:
                 error = (wid, reply[1], reply[2])
-            replies.append(reply[1:])
         if error is not None:
             wid, kind, text = error
             exc_type = _RERAISABLE.get(kind, RuntimeError)
             raise exc_type(f"shard worker {wid}: {text}")
         return replies
+
+    def _recv_reply(self, wid: int) -> tuple:
+        """One worker's reply payload, with death mapped to an error."""
+        try:
+            reply = self._conns[wid].recv()
+        except (EOFError, OSError) as exc:
+            reply = ("error", "RuntimeError", f"worker died: {exc}")
+        if reply[0] == "error":
+            return reply
+        return reply[1:]
 
     def close(self) -> None:
         """Stop and join every worker (idempotent, dead-worker safe).

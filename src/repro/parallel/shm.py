@@ -1,12 +1,16 @@
 """Shared-memory arena: named numpy arrays in one OS-shared block.
 
-The pipeline's per-step traffic (positions in, per-shard density /
-energy / force slots out, embedding derivative broadcast) all lives in
-a single :class:`multiprocessing.shared_memory.SharedMemory` block.
-The arena is created in the parent **before** the workers fork, so the
-children inherit the mapping directly — no attach-by-name in the
-children, which sidesteps the resource-tracker double-unlink problems
-of named attachment and means a step ships zero pickled arrays.
+The pipeline's per-step traffic lives in a single
+:class:`multiprocessing.shared_memory.SharedMemory` block: one
+``(n_workers, capacity, ...)`` array per channel (position/type/
+derivative halo packs in, density / energy / force result packs out),
+where each rank touches only its own row's prefix — the sparse pack
+the domain decomposition actually needs that step.  The arena is
+created in the parent **before** the workers fork, so the children
+inherit the mapping directly — no attach-by-name in the children,
+which sidesteps the resource-tracker double-unlink problems of named
+attachment, and steady-state steps ship zero pickled arrays and
+allocate nothing.
 """
 
 from __future__ import annotations

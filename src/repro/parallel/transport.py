@@ -1,39 +1,45 @@
 """Pluggable transports: how the pipeline reaches its shard workers.
 
-The sharded force pipeline needs exactly three collectives per
-timestep, and this module pins them down as the :class:`Transport`
-protocol so the decomposition logic never knows how bytes move:
+The sharded force pipeline moves *sparse halo packs*, never full
+arrays, and this module pins the movement down as the
+:class:`Transport` protocol so the decomposition logic never knows how
+bytes travel:
 
-* **scatter** — :meth:`Transport.publish` makes a named parent array
-  (positions, types, the embedding derivative) visible to every
-  worker before the next command.
-* **barrier + gather** — :meth:`Transport.command` broadcasts one
-  small message and blocks for every worker's reply, in rank order.
-  Replies are ``(n_pairs, seconds)`` tails; worker errors re-raise in
-  the parent by exception name, exactly like the serial path.
-* **typed buffer channels** — :meth:`Transport.slots` exposes each
-  per-worker output (partial density, pair energy, forces) as one
-  ``(n_workers, ...)`` float64 array.  The parent always reduces with
-  ``np.sum(slots, axis=0)`` — fixed rank order — so a trajectory is
-  bitwise-reproducible for a given (topology, transport), and because
-  both transports deliver the identical float64 bits into the same
-  slot layout, it is bitwise-identical *across* transports too.
+* **scatter** — :meth:`Transport.scatter` packs, per rank, only the
+  rows a tile's halo region needs (``source[ids[k]]``) into that
+  rank's slot prefix.  The id lists are the pipeline's cached halo
+  pack indices, recomputed only on a candidate rebuild.
+* **command + barrier** — :meth:`Transport.command` broadcasts one
+  small message (optionally extended with a per-rank part) and blocks
+  for every worker's reply, in rank order.  Replies are
+  ``(flag, n_pairs, seconds, density_seconds)`` tails; worker errors
+  re-raise in the parent by exception name, like the serial path.
+* **gather** — :meth:`Transport.gather` returns each rank's staged
+  output prefix (partial density, pair energy, forces over its local
+  atoms).  The parent scatter-adds the packs **in fixed rank order**
+  (the seam reduction), so a trajectory is bitwise-reproducible for a
+  given (topology, transport) — and because both transports deliver
+  identical float64 bits in identical pack layouts, bitwise-identical
+  *across* transports too.
 
 Two implementations:
 
 * :class:`ForkTransport` ("shared") — the historical single-host path:
-  forked workers inherit a :class:`~repro.parallel.shm.SharedArena`,
-  commands ride per-worker pipes, array traffic is zero-copy.
+  forked workers inherit a :class:`~repro.parallel.shm.SharedArena`
+  holding one ``(n_workers, capacity, ...)`` row-per-rank array per
+  channel; scatters are ``np.take`` straight into the rank's row,
+  gathers are prefix views — zero copies beyond the pack itself.
 * :class:`SocketTransport` ("socket") — the same worker protocol over
-  TCP (:mod:`multiprocessing.connection`): arrays are shipped as
-  pickled buffers piggybacked on commands and replies, so shards can
-  live in other processes or on other hosts (``repro.parallel.worker``
-  is the remote entry point; CI exercises loopback).
+  TCP (:mod:`multiprocessing.connection`): packs ride as pickled
+  buffers piggybacked on commands and replies, so shards can live in
+  other processes or on other hosts (``repro.parallel.worker`` is the
+  remote entry point; CI exercises loopback).
 
-Both count ``bytes_sent``/``bytes_recv`` with the same logical rule —
-a published array costs ``nbytes x n_workers`` (the broadcast fan-out),
-a gathered stage costs the slot bytes — so halo-traffic numbers are
-comparable across transports even though the fork path never copies.
+Both count ``bytes_sent``/``bytes_recv`` as the *actual pack prefix
+bytes* — charged when a pack is scattered and when a gathered pack is
+consumed — so halo-traffic numbers are real sparse volumes and are
+identical across transports by construction (a speculative result the
+parent discards is never charged, on either transport).
 """
 
 from __future__ import annotations
@@ -50,15 +56,18 @@ from repro.parallel.shm import SharedArena
 
 __all__ = [
     "Transport",
+    "ShardWorker",
     "ForkTransport",
     "SocketTransport",
+    "InlineTransport",
     "make_transport",
+    "resolve_transport",
     "worker_loop",
     "remote_worker_main",
     "TRANSPORTS",
 ]
 
-TRANSPORTS = ("shared", "socket")
+TRANSPORTS = ("shared", "socket", "inline")
 
 #: Seconds to wait for a worker to exit before terminating it.
 _REAP_TIMEOUT_S = 5.0
@@ -72,13 +81,19 @@ class Transport(Protocol):
     bytes_sent: int
     bytes_recv: int
 
-    def publish(self, name: str, data: np.ndarray) -> None: ...
+    def set_counts(self, counts: list[int]) -> None: ...
 
-    def command(self, msg: tuple) -> list[tuple]: ...
+    def scatter(
+        self, name: str, source: np.ndarray, ids: list[np.ndarray]
+    ) -> None: ...
+
+    def command(
+        self, msg: tuple, parts: list[tuple] | None = None
+    ) -> list[tuple]: ...
 
     def barrier(self) -> None: ...
 
-    def slots(self, name: str) -> np.ndarray: ...
+    def gather(self, name: str) -> list[np.ndarray]: ...
 
     def close(self) -> None: ...
 
@@ -86,88 +101,161 @@ class Transport(Protocol):
 # -- the worker protocol (transport-independent) ---------------------------
 
 
-def worker_loop(channel, wid: int, cfg: dict) -> None:
-    """Serve neighbor/density/force commands until stop.
+class ShardWorker:
+    """One tile's persistent protocol state machine.
 
-    ``channel`` abstracts the byte movement: :meth:`get` yields the
-    current value of a published input array, :meth:`put` stages one
-    output slot for the parent, ``recv``/``send`` move command/reply
-    messages.  The compute body is identical under every transport —
-    that is what makes cross-transport trajectories bitwise-equal.
+    The worker owns its tile across steps: halo-pack positions, types,
+    the owned-region mask and the local-index candidate list (with its
+    build-time separations) all persist between commands, so a
+    steady-state step moves only the pack and the results.  The Verlet
+    skin trigger itself is evaluated parent-side (the parent owns every
+    position, so its global check equals the OR over the covering tile
+    sets exactly); by the time a ``dens`` command arrives, the
+    candidates are guaranteed fresh.
+
+    * ``("dens", max_disp)`` — read the position pack and
+      distance-filter the cached candidates under the parent's global
+      displacement bound (a valid upper bound for every tile, already
+      in hand from the skin trigger — so no tile recomputes one): the
+      bound either proves every candidate is still inside the cutoff
+      (the filter skips its mask and compaction outright) or pre-masks
+      candidates provably still out of range.  Then run the density
+      pass, staging the local ``rho`` pack.
+    * ``("rebuild", n_local, bounds)`` — read a freshly planned pack
+      (positions + types), recompute the owned mask from the tile
+      bounds, rebuild the local candidate list via the seam rule, copy
+      the reference positions, then filter + density as above.
+    * ``("force",)`` — read the ``f_der`` pack, run the pair-force
+      pass over the cached filtered pairs, stage ``epair``/``forces``.
+
+    :meth:`handle` returns ``("ok", flag, n_pairs, seconds,
+    density_seconds)`` replies (or ``("error", type, text)``).  The
+    compute body is identical under every transport — forked, remote
+    *and* inline — which is what makes cross-transport trajectories
+    bitwise-equal.
+
+    ``switch_backend=False`` skips the process-global kernel-backend
+    switch: the inline transport runs workers inside the parent
+    process, whose active backend (the ``parallel`` backend re-exports
+    the numpy kernels) already evaluates the identical arithmetic.
     """
-    from repro.kernels import set_backend
-    from repro.md.cell_list import CellList
-    from repro.parallel.domains import build_tile_pairs
 
-    # The "parallel" backend name only means "drive workers from the
-    # parent"; each worker's inner loops run a serial backend — numpy
-    # by default, or numba when the pipeline was configured to stack
-    # the JIT tier on top of sharding (REPRO_PARALLEL_INNER_BACKEND).
-    set_backend(cfg.get("inner_backend", "numpy"))
-    potential = cfg["potential"]
-    cutoff = cfg["cutoff"]
-    reach = cfg["reach"]
-    n_atoms = cfg["n_atoms"]
-    cells = CellList(cfg["box"], reach)  # buffers reused across rebuilds
-    shard = None
-    table = None
-    cache: dict = {}
+    def __init__(self, channel, cfg: dict, *, switch_backend: bool = True):
+        from repro.md.cell_list import CellList
+
+        if switch_backend:
+            from repro.kernels import set_backend
+
+            # The "parallel" backend name only means "drive workers
+            # from the parent"; each worker's inner loops run a serial
+            # backend — numpy by default, or numba when the pipeline
+            # was configured to stack the JIT tier on top of sharding
+            # (REPRO_PARALLEL_INNER_BACKEND).
+            set_backend(cfg.get("inner_backend", "numpy"))
+        self.channel = channel
+        self.cfg = cfg
+        self.potential = cfg["potential"]
+        self.cutoff = cfg["cutoff"]
+        self.reach = cfg["reach"]
+        self.cells = CellList(cfg["box"], self.reach)  # reused buffers
+        self.n_local = 0
+        self.types_l = None
+        self.shard = None
+        self.table = None
+        self.cache: dict = {}
+        self.positions = None  # current pack (persists dens -> force)
+        self.d_max = 0.0  # parent's displacement bound since the rebuild
+
+    def _filter_density(self, t0: float) -> tuple:
+        self.table = self.shard.pairs(
+            self.positions, self.cutoff, max_disp=self.d_max
+        )
+        t_fil = time.perf_counter() - t0
+        rho, self.cache = self.potential.fused_density(
+            self.n_local, self.table, self.types_l
+        )
+        self.channel.put("rho", rho)
+        t_tot = time.perf_counter() - t0
+        return ("ok", 0, self.table.n_pairs, t_tot, t_tot - t_fil)
+
+    def handle(self, msg: tuple) -> tuple:
+        """Serve one command, returning its reply tuple."""
+        from repro.parallel.domains import (
+            build_local_pairs,
+            owned_mask_local,
+        )
+
+        cmd = msg[0]
+        t0 = time.perf_counter()
+        try:
+            if cmd == "dens":
+                self.positions = self.channel.get("positions", self.n_local)
+                # The parent's global displacement bound (from its skin
+                # trigger) rides on the command: it upper-bounds every
+                # tile's local displacement, so the tile pays no einsum
+                # of its own.  A looser bound only weakens the provably
+                # bit-neutral cross-step cuts, never the emitted pairs.
+                self.d_max = float(msg[1])
+                return self._filter_density(t0)
+            if cmd == "rebuild":
+                self.n_local = int(msg[1])
+                bounds = msg[2]
+                self.positions = self.channel.get(
+                    "positions", self.n_local
+                )
+                self.types_l = self.channel.get("types", self.n_local)
+                owned = owned_mask_local(self.positions, bounds)
+                self.shard = build_local_pairs(
+                    self.positions, owned,
+                    box=self.cfg["box"], reach=self.reach,
+                    cells=self.cells,
+                )
+                self.d_max = 0.0
+                return self._filter_density(t0)
+            if cmd == "force":
+                f_der = self.channel.get("f_der", self.n_local)
+                e_pair, forces = self.potential.fused_pair_force(
+                    self.n_local, self.table, f_der, self.types_l,
+                    cache=self.cache,
+                )
+                self.channel.put("epair", e_pair)
+                self.channel.put("forces", forces)
+                return (
+                    "ok", 0, self.table.n_pairs,
+                    time.perf_counter() - t0, 0.0,
+                )
+            if cmd == "ping":
+                return ("ok", 0, 0, time.perf_counter() - t0, 0.0)
+            return ("error", "ValueError", f"unknown command {cmd!r}")
+        except Exception as exc:  # report, keep serving
+            return ("error", type(exc).__name__, str(exc))
+
+
+def worker_loop(channel, wid: int, cfg: dict) -> None:
+    """Serve :class:`ShardWorker` commands over a channel until stop."""
+    worker = ShardWorker(channel, cfg)
     while True:
         try:
             msg = channel.recv()
         except (EOFError, OSError):
             break
-        cmd = msg[0]
-        if cmd == "stop":
+        if msg[0] == "stop":
             break
-        t0 = time.perf_counter()
-        try:
-            if cmd == "neighbor":
-                grid = msg[1]
-                positions = channel.get("positions")
-                if grid is not None:
-                    shard = build_tile_pairs(
-                        positions, grid, wid,
-                        box=cfg["box"], reach=reach, cells=cells,
-                    )
-                table = shard.pairs(positions, cutoff)
-                channel.send(("ok", table.n_pairs, time.perf_counter() - t0))
-            elif cmd == "density":
-                types = channel.get("types")
-                rho, cache = potential.fused_density(n_atoms, table, types)
-                channel.put("rho", rho)
-                channel.send(("ok", table.n_pairs, time.perf_counter() - t0))
-            elif cmd == "force":
-                types = channel.get("types")
-                f_der = channel.get("f_der")
-                e_pair, forces = potential.fused_pair_force(
-                    n_atoms, table, f_der, types, cache=cache
-                )
-                channel.put("epair", e_pair)
-                channel.put("forces", forces)
-                channel.send(("ok", table.n_pairs, time.perf_counter() - t0))
-            elif cmd == "ping":
-                channel.send(("ok", 0, time.perf_counter() - t0))
-            else:
-                channel.send(
-                    ("error", "ValueError", f"unknown command {cmd!r}")
-                )
-        except Exception as exc:  # report, keep serving
-            channel.send(("error", type(exc).__name__, str(exc)))
+        channel.send(worker.handle(msg))
     channel.close()
 
 
 class _ArenaChannel:
     """Worker-side channel over fork-inherited shared memory + a pipe.
 
-    Inputs are live arena views (a parent publish is instantly
-    visible); outputs are written straight into this worker's slot of
-    the ``(n_workers, ...)`` arena arrays.
+    Every arena array is ``(n_workers, capacity, ...)``; this worker
+    reads input pack prefixes from — and writes output pack prefixes
+    into — its own row.  A parent scatter is instantly visible.
     """
 
     def __init__(self, conn, wid: int, shared: dict, outputs: tuple) -> None:
         self._conn = conn
-        self._in = {k: v for k, v in shared.items() if k not in outputs}
+        self._in = {k: v[wid] for k, v in shared.items() if k not in outputs}
         self._out = {k: shared[k][wid] for k in outputs}
 
     def recv(self):
@@ -176,11 +264,11 @@ class _ArenaChannel:
     def send(self, reply: tuple) -> None:
         self._conn.send(reply)
 
-    def get(self, name: str) -> np.ndarray:
-        return self._in[name]
+    def get(self, name: str, n: int) -> np.ndarray:
+        return self._in[name][:n]
 
     def put(self, name: str, data: np.ndarray) -> None:
-        self._out[name][:] = data
+        self._out[name][: len(data)] = data
 
     def close(self) -> None:
         self._conn.close()
@@ -189,9 +277,10 @@ class _ArenaChannel:
 class _SocketChannel:
     """Worker-side channel over one ``multiprocessing.connection`` link.
 
-    Incoming messages are ``(msg, buffers)`` — the buffers refresh the
-    local input cache; outputs staged with :meth:`put` piggyback on the
-    next reply as ``(reply, outputs)``.
+    Incoming messages are ``(msg, packs)`` — the packs refresh the
+    local input cache (each already cut to this rank's prefix length);
+    outputs staged with :meth:`put` piggyback on the next reply as
+    ``(reply, outputs)``.
     """
 
     def __init__(self, conn) -> None:
@@ -208,8 +297,13 @@ class _SocketChannel:
         self._conn.send((reply, self._staged))
         self._staged = {}
 
-    def get(self, name: str) -> np.ndarray:
-        return self._in[name]
+    def get(self, name: str, n: int) -> np.ndarray:
+        pack = self._in[name]
+        if len(pack) != n:  # pragma: no cover - protocol violation
+            raise RuntimeError(
+                f"pack {name!r} has {len(pack)} rows, expected {n}"
+            )
+        return pack
 
     def put(self, name: str, data: np.ndarray) -> None:
         self._staged[name] = np.ascontiguousarray(data)
@@ -250,8 +344,9 @@ def remote_worker_main(address, authkey: bytes, rank: int) -> None:
 class ForkTransport:
     """Shared-memory transport: SharedArena + forked worker pool.
 
-    ``inputs``/``outputs`` are ``{name: (shape, dtype)}`` specs;
-    outputs get a leading ``n_workers`` slot dimension in the arena.
+    ``inputs``/``outputs`` are ``{name: (shape, dtype)}`` per-rank
+    capacity specs; every channel gets a leading ``n_workers`` row
+    dimension in the arena, and only pack prefixes ever move.
     """
 
     kind = "shared"
@@ -268,9 +363,11 @@ class ForkTransport:
         self.n_workers = n_workers
         self.bytes_sent = 0
         self.bytes_recv = 0
-        specs = dict(inputs)
-        for oname, (shape, dtype) in outputs.items():
-            specs[oname] = ((n_workers, *shape), dtype)
+        self._counts = [0] * n_workers
+        specs = {
+            cname: ((n_workers, *shape), dtype)
+            for cname, (shape, dtype) in {**inputs, **outputs}.items()
+        }
         self.arena = SharedArena(specs)
         cfg = dict(cfg, outputs=tuple(outputs))
         self.pool = WorkerPool(
@@ -278,20 +375,33 @@ class ForkTransport:
             name=name,
         )
 
-    def publish(self, name: str, data) -> None:
-        np.copyto(self.arena[name], data)
-        self.bytes_sent += self.arena[name].nbytes * self.n_workers
+    def set_counts(self, counts: list[int]) -> None:
+        self._counts = list(counts)
 
-    def command(self, msg: tuple) -> list[tuple]:
-        return self.pool.command(msg)
+    def scatter(self, name: str, source, ids: list[np.ndarray]) -> None:
+        rows = self.arena[name]
+        for k, idx in enumerate(ids):
+            pack = rows[k, : len(idx)]
+            np.take(source, idx, axis=0, out=pack)
+            self.bytes_sent += pack.nbytes
+
+    def command(
+        self,
+        msg: tuple,
+        parts: list[tuple] | None = None,
+        *,
+        stagger: bool = False,
+    ) -> list[tuple]:
+        return self.pool.command(msg, parts, stagger=stagger)
 
     def barrier(self) -> None:
         self.pool.command(("ping",))
 
-    def slots(self, name: str) -> np.ndarray:
-        arr = self.arena[name]
-        self.bytes_recv += arr.nbytes
-        return arr
+    def gather(self, name: str) -> list[np.ndarray]:
+        rows = self.arena[name]
+        packs = [rows[k, : self._counts[k]] for k in range(self.n_workers)]
+        self.bytes_recv += sum(p.nbytes for p in packs)
+        return packs
 
     def close(self) -> None:
         self.pool.close()
@@ -302,11 +412,11 @@ class SocketTransport:
     """TCP transport over :mod:`multiprocessing.connection`.
 
     The parent listens on loopback, spawns (or, via
-    ``repro.parallel.worker``, awaits) one worker per rank, and pushes
-    published arrays as pickled buffers on the next command; workers
-    return their stage outputs piggybacked on replies.  Pickling
-    preserves float64 bits, so the slot reduction matches the
-    shared-memory transport bitwise.
+    ``repro.parallel.worker``, awaits) one worker per rank, and sends
+    each rank only *its* scattered packs, pickled onto the next
+    command; workers return their staged output packs piggybacked on
+    replies.  Pickling preserves float64 bits, so the pack reduction
+    matches the shared-memory transport bitwise.
     """
 
     kind = "socket"
@@ -327,15 +437,13 @@ class SocketTransport:
         self.n_workers = n_workers
         self.bytes_sent = 0
         self.bytes_recv = 0
-        self._staged = {
-            iname: np.zeros(shape, dtype)
-            for iname, (shape, dtype) in inputs.items()
-        }
-        self._dirty: set[str] = set()
-        self._slots = {
-            oname: np.zeros((n_workers, *shape), dtype)
-            for oname, (shape, dtype) in outputs.items()
-        }
+        self._counts = [0] * n_workers
+        self._pending: list[dict[str, np.ndarray]] = [
+            {} for _ in range(n_workers)
+        ]
+        self._received: list[dict[str, np.ndarray]] = [
+            {} for _ in range(n_workers)
+        ]
         authkey = os.urandom(16)
         self._listener = Listener(address, authkey=authkey)
         self._procs = []
@@ -351,7 +459,7 @@ class SocketTransport:
                 proc.start()
                 self._procs.append(proc)
         # Accept in arrival order, then seat by handshake rank so the
-        # slot reduction order is the topology's, not the race's.
+        # pack reduction order is the topology's, not the race's.
         self._conns: list = [None] * n_workers
         for _ in range(n_workers):
             conn = self._listener.accept()
@@ -366,43 +474,73 @@ class SocketTransport:
         for conn in self._conns:
             conn.send(setup)
 
-    def publish(self, name: str, data) -> None:
-        np.copyto(self._staged[name], data)
-        self._dirty.add(name)
+    def set_counts(self, counts: list[int]) -> None:
+        self._counts = list(counts)
 
-    def command(self, msg: tuple) -> list[tuple]:
-        bufs = {iname: self._staged[iname] for iname in sorted(self._dirty)}
-        self._dirty.clear()
-        payload = (msg, bufs)
-        nbytes = sum(b.nbytes for b in bufs.values())
-        for conn in self._conns:
-            conn.send(payload)
-            self.bytes_sent += nbytes
+    def scatter(self, name: str, source, ids: list[np.ndarray]) -> None:
+        source = np.asarray(source)
+        for k, idx in enumerate(ids):
+            pack = np.take(source, idx, axis=0)
+            self._pending[k][name] = pack
+            self.bytes_sent += pack.nbytes
+
+    def command(
+        self,
+        msg: tuple,
+        parts: list[tuple] | None = None,
+        *,
+        stagger: bool = False,
+    ) -> list[tuple]:
         replies: list[tuple] = []
-        error: tuple | None = None
         for wid, conn in enumerate(self._conns):
-            try:
-                reply, out = conn.recv()
-            except (EOFError, OSError) as exc:
-                reply = ("error", "RuntimeError", f"worker {wid} died: {exc}")
-                out = {}
-            for oname, arr in out.items():
-                self._slots[oname][wid] = arr
-                self.bytes_recv += arr.nbytes
-            if reply[0] == "error" and error is None:
+            rank_msg = msg if parts is None else msg + tuple(parts[wid])
+            conn.send((rank_msg, self._pending[wid]))
+            self._pending[wid] = {}
+            if stagger:
+                # One worker at a time: on CPU-starved hosts this stops
+                # the shards evicting each other's caches mid-pass.
+                # Replies are identical either way.
+                replies.append(self._recv_reply(wid))
+        if not stagger:
+            for wid in range(len(self._conns)):
+                replies.append(self._recv_reply(wid))
+        error: tuple | None = None
+        for wid, reply in enumerate(replies):
+            if reply and reply[0] == "error" and error is None:
                 error = (wid, reply[1], reply[2])
-            replies.append(reply[1:])
         if error is not None:
             wid, kind, text = error
             exc_type = _RERAISABLE.get(kind, RuntimeError)
             raise exc_type(f"shard worker {wid}: {text}")
         return replies
 
+    def _recv_reply(self, wid: int) -> tuple:
+        """One rank's reply payload; staged packs are absorbed en route."""
+        try:
+            reply, out = self._conns[wid].recv()
+        except (EOFError, OSError) as exc:
+            reply = ("error", "RuntimeError", f"worker {wid} died: {exc}")
+            out = {}
+        self._received[wid].update(out)
+        if reply[0] == "error":
+            return reply
+        return reply[1:]
+
     def barrier(self) -> None:
         self.command(("ping",))
 
-    def slots(self, name: str) -> np.ndarray:
-        return self._slots[name]
+    def gather(self, name: str) -> list[np.ndarray]:
+        packs = []
+        for wid in range(self.n_workers):
+            pack = self._received[wid][name]
+            if len(pack) != self._counts[wid]:  # pragma: no cover
+                raise RuntimeError(
+                    f"rank {wid} staged {len(pack)} rows of {name!r}, "
+                    f"expected {self._counts[wid]}"
+                )
+            self.bytes_recv += pack.nbytes
+            packs.append(pack)
+        return packs
 
     def close(self) -> None:
         """Stop and reap the workers (idempotent, dead-worker safe)."""
@@ -429,6 +567,159 @@ class SocketTransport:
             self._listener = None
 
 
+class _InlineChannel:
+    """In-process channel: packs live in two plain dicts.
+
+    Input packs are stored by :meth:`InlineTransport.scatter` into
+    per-rank reusable buffers; outputs staged with :meth:`put` are read
+    back by :meth:`InlineTransport.gather`.  ``recv``/``send`` never
+    run — the transport invokes :meth:`ShardWorker.handle` directly.
+    """
+
+    def __init__(self) -> None:
+        self.inputs: dict[str, np.ndarray] = {}
+        self.outputs: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, n: int) -> np.ndarray:
+        return self.inputs[name]
+
+    def put(self, name: str, data: np.ndarray) -> None:
+        self.outputs[name] = data
+
+
+class InlineTransport:
+    """In-process transport: virtual shard workers, zero IPC.
+
+    Hosts ``n_workers`` :class:`ShardWorker` state machines inside the
+    parent process and runs each command synchronously in rank order.
+    The compute body, pack layouts and fixed-order reduction are
+    exactly the forked/remote ones, so trajectories are bitwise-equal
+    to the other transports by construction — this tier changes
+    *where* the protocol runs, never what it computes.
+
+    Exists because process parallelism needs spare cores: on a host
+    with fewer CPUs than workers the forked tiers timeshare one core
+    and pay IPC + context-switch tax for zero concurrency, while the
+    tile decomposition itself is still profitable (tile-sized arrays
+    cache better than the global arrays, and dead-block pruning makes
+    tile rebuilds cheaper than a global rebuild).  ``resolve_transport``
+    picks this tier automatically on such hosts.
+
+    Byte counters report the same sparse pack prefixes the wire
+    transports would carry — halo volume is a protocol property, not a
+    copper property — so accounting stays comparable across tiers.
+    Input packs reuse per-rank buffers sized from ``inputs`` capacity
+    specs: steady-state steps allocate nothing on the scatter path.
+    """
+
+    kind = "inline"
+
+    def __init__(
+        self,
+        n_workers: int,
+        inputs: dict,
+        outputs: dict,
+        cfg: dict,
+        *,
+        name: str = "repro-shard",
+    ) -> None:
+        self.n_workers = n_workers
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+        self._counts = [0] * n_workers
+        self._channels = [_InlineChannel() for _ in range(n_workers)]
+        self._buffers = [
+            {
+                cname: np.empty(shape, dtype)
+                for cname, (shape, dtype) in inputs.items()
+            }
+            for _ in range(n_workers)
+        ]
+        wcfg = dict(cfg, outputs=tuple(outputs))
+        self._workers = [
+            ShardWorker(ch, wcfg, switch_backend=False)
+            for ch in self._channels
+        ]
+
+    def set_counts(self, counts: list[int]) -> None:
+        self._counts = list(counts)
+
+    def scatter(self, name: str, source, ids: list[np.ndarray]) -> None:
+        for k, idx in enumerate(ids):
+            pack = self._buffers[k][name][: len(idx)]
+            np.take(source, idx, axis=0, out=pack)
+            self._channels[k].inputs[name] = pack
+            self.bytes_sent += pack.nbytes
+
+    def command(
+        self,
+        msg: tuple,
+        parts: list[tuple] | None = None,
+        *,
+        stagger: bool = False,
+    ) -> list[tuple]:
+        # stagger is meaningless here: rank order IS the execution
+        # order, with no competing processes to interleave.
+        replies: list[tuple] = []
+        for wid, worker in enumerate(self._workers):
+            rank_msg = msg if parts is None else msg + tuple(parts[wid])
+            replies.append(worker.handle(rank_msg))
+        error: tuple | None = None
+        for wid, reply in enumerate(replies):
+            if reply and reply[0] == "error" and error is None:
+                error = (wid, reply[1], reply[2])
+        if error is not None:
+            wid, kind, text = error
+            exc_type = _RERAISABLE.get(kind, RuntimeError)
+            raise exc_type(f"shard worker {wid}: {text}")
+        return [r[1:] for r in replies]
+
+    def barrier(self) -> None:
+        self.command(("ping",))
+
+    def gather(self, name: str) -> list[np.ndarray]:
+        packs = []
+        for wid in range(self.n_workers):
+            pack = self._channels[wid].outputs[name]
+            if len(pack) != self._counts[wid]:  # pragma: no cover
+                raise RuntimeError(
+                    f"rank {wid} staged {len(pack)} rows of {name!r}, "
+                    f"expected {self._counts[wid]}"
+                )
+            self.bytes_recv += pack.nbytes
+            packs.append(pack)
+        return packs
+
+    def close(self) -> None:
+        self._workers = []
+        self._channels = []
+        self._buffers = []
+
+
+def resolve_transport(kind: str | None, n_workers: int, cfg: dict) -> str:
+    """Resolve ``None``/``"auto"`` to a concrete transport kind.
+
+    Process-backed transports only pay off with spare cores: when the
+    host has fewer CPUs than workers (or only one worker), the forked
+    tiers add IPC and context-switch cost for zero concurrency, so
+    ``auto`` picks the inline tier instead — same bits, no processes.
+    A non-default inner kernel backend forces the forked tier (the
+    inline workers share the parent's active backend and cannot switch
+    it per-tile).
+    """
+    if kind not in (None, "auto"):
+        return kind
+    if cfg.get("inner_backend", "numpy") != "numpy":
+        return "shared"
+    if n_workers == 1:
+        return "inline"
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-linux
+        cpus = os.cpu_count() or 1
+    return "inline" if cpus < n_workers else "shared"
+
+
 def make_transport(
     kind: str | None,
     n_workers: int,
@@ -437,13 +728,15 @@ def make_transport(
     cfg: dict,
     *,
     name: str = "repro-shard",
-) -> ForkTransport | SocketTransport:
-    """Construct the named transport (``None`` = ``"shared"``)."""
-    kind = kind or "shared"
+) -> ForkTransport | SocketTransport | InlineTransport:
+    """Construct the named transport (``None``/``"auto"`` adapt to host)."""
+    kind = resolve_transport(kind, n_workers, cfg)
     if kind == "shared":
         return ForkTransport(n_workers, inputs, outputs, cfg, name=name)
     if kind == "socket":
         return SocketTransport(n_workers, inputs, outputs, cfg, name=name)
+    if kind == "inline":
+        return InlineTransport(n_workers, inputs, outputs, cfg, name=name)
     raise ValueError(
         f"unknown transport {kind!r}; expected one of {TRANSPORTS}"
     )

@@ -10,8 +10,11 @@ The parent side is a :class:`~repro.parallel.transport.SocketTransport`
 constructed with ``spawn_workers=False`` and a routable listen address;
 it blocks until every rank has dialed in, ships the worker config
 (potential, box, geometry scalars) in the setup handshake, then drives
-the normal three-round step protocol.  The process exits when the
-parent sends ``stop`` or hangs up.
+the owned-region step protocol: this process keeps its tile's halo
+pack, candidate list and rebuild reference between steps, so each
+steady-state step moves only the sparse position/derivative packs in
+and the result packs out.  The process exits when the parent sends
+``stop`` or hangs up.
 """
 
 from __future__ import annotations

@@ -194,6 +194,8 @@ class ReferenceEngine:
             sent, recv = pipeline.halo_bytes
             counters["halo_bytes_sent"] = sent
             counters["halo_bytes_recv"] = recv
+            counters["halo_bytes_ghost"] = pipeline.ghost_bytes
+            counters["ghost_atoms"] = pipeline.ghost_atoms
             counters["halo_seconds"] = round(pipeline.halo_seconds, 6)
             counters["shard_seconds"] = {
                 stage: [round(s, 4) for s in secs]

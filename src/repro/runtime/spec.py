@@ -140,10 +140,14 @@ class RunSpec:
         (topology, transport) and excluded from the spec hash.
     transport:
         How the sharded pipeline reaches its workers: ``"shared"``
-        (fork + shared memory, the default) or ``"socket"`` (the same
-        protocol over TCP, for out-of-process or remote shards).
-        Never physics — both transports produce bitwise-identical
-        trajectories — so it is excluded from the spec hash.
+        (fork + shared memory), ``"socket"`` (the same protocol over
+        TCP, for out-of-process or remote shards), ``"inline"``
+        (virtual workers inside the parent process — the zero-IPC tier
+        for hosts with fewer cores than workers), or ``"auto"`` (the
+        default: inline when the host is core-starved, shared
+        otherwise).  Never physics — every transport produces
+        bitwise-identical trajectories — so it is excluded from the
+        spec hash.
     fuse_integrate:
         Reference-engine fusion of the leap-frog kick+drift onto the
         force output (the active kernel backend's ``force_integrate``
@@ -259,10 +263,10 @@ class RunSpec:
         if self.transport is not None:
             from repro.parallel.transport import TRANSPORTS
 
-            if self.transport not in TRANSPORTS:
+            if self.transport != "auto" and self.transport not in TRANSPORTS:
                 raise SpecError(
                     f"unknown transport {self.transport!r}; "
-                    f"expected one of {TRANSPORTS}"
+                    f"expected one of {TRANSPORTS} or 'auto'"
                 )
         if self.offset_chunk < 0:
             raise SpecError(

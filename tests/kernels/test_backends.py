@@ -237,3 +237,49 @@ class TestKernelContracts:
         out = backend.accumulate_vec3(empty_i, np.zeros((0, 3)), 4)
         assert out.shape == (4, 3)
         assert np.all(out == 0.0)
+
+    def _prefilter_inputs(self, seed=5):
+        rng = np.random.default_rng(seed)
+        n = 40
+        positions = rng.uniform(0.0, 6.0, size=(n, 3))
+        i, j = np.triu_indices(n, k=1)
+        sel = rng.random(len(i)) < 0.5
+        lengths = np.ones(3)
+        periodic = np.zeros(3, dtype=bool)
+        return positions, i[sel], j[sel], lengths, periodic
+
+    def test_neighbor_prefilter_assume_inside_is_bitwise(self, backend):
+        """When the caller's all-inside proof holds, the fast path is
+        a pure work cut: identical indices, geometry and distances,
+        bit for bit, under both compute_r arms."""
+        positions, i, j, lengths, periodic = self._prefilter_inputs()
+        d = positions[j] - positions[i]
+        rmax = float(np.sqrt((d * d).sum(axis=1)).max()) * 1.001
+        for compute_r in (True, False):
+            plain = backend.neighbor_prefilter(
+                positions, i, j, lengths, periodic, rmax,
+                inclusive=False, compute_r=compute_r,
+            )
+            fast = backend.neighbor_prefilter(
+                positions, i, j, lengths, periodic, rmax,
+                inclusive=False, compute_r=compute_r, assume_inside=True,
+            )
+            for a, b in zip(plain, fast):
+                assert np.array_equal(a, b)
+
+    def test_neighbor_prefilter_assume_inside_trusts_the_caller(
+        self, backend
+    ):
+        """The proof is load-bearing: with the flag set the predicate
+        is never evaluated, so a candidate beyond rmax is emitted
+        anyway.  Pins the contract so no backend quietly re-filters."""
+        positions, i, j, lengths, periodic = self._prefilter_inputs()
+        d = positions[j] - positions[i]
+        r = np.sqrt((d * d).sum(axis=1))
+        rmax = float(np.median(r))  # half the candidates are outside
+        out = backend.neighbor_prefilter(
+            positions, i, j, lengths, periodic, rmax,
+            inclusive=False, compute_r=True, assume_inside=True,
+        )
+        assert len(out[0]) == len(i)
+        assert np.any(out[3] >= rmax)

@@ -119,3 +119,57 @@ class TestBuildShardPairs:
                     axis=1,
                 ),
             )
+
+
+class TestCrossStepCuts:
+    """The displacement-bound filter cuts are invisible in the output.
+
+    ``pairs(positions, cutoff, max_disp)`` may skip the strict mask
+    entirely (all-inside) or pre-mask provably out-of-range candidates
+    — both must emit the bit-identical PairTable of the plain strict
+    filter, for any valid bound.
+    """
+
+    def _shard(self, ta_potential, reps=(5, 5, 2)):
+        state = small_slab_state("Ta", reps, temperature=400.0)
+        reach = ta_potential.cutoff + 0.5
+        edges = plan_columns(state.positions[:, 0], 1, reach)
+        sp = build_shard_pairs(
+            state.positions, edges, 0, box=state.box, reach=reach
+        )
+        return state, sp
+
+    def _assert_tables_equal(self, a, b):
+        assert np.array_equal(a.i, b.i)
+        assert np.array_equal(a.j, b.j)
+        assert np.array_equal(a.rij, b.rij)
+        assert np.array_equal(a.r, b.r)
+
+    def test_all_inside_bound_emits_identical_bits(self, ta_potential):
+        state, sp = self._shard(ta_potential)
+        cutoff = ta_potential.cutoff
+        # a crystalline slab's populated shells all sit inside the
+        # cutoff, so a sub-threshold bound proves all-inside
+        margin = cutoff - sp.r_build_max()
+        assert margin > 0  # the workload the fast path was built for
+        bound = 0.49 * margin
+        plain = sp.pairs(state.positions, cutoff)
+        fast = sp.pairs(state.positions, cutoff, max_disp=bound)
+        assert len(fast.i) == sp.n_candidates  # the mask was skipped
+        self._assert_tables_equal(plain, fast)
+
+    def test_premask_bound_emits_identical_bits(self, ta_potential):
+        state, sp = self._shard(ta_potential)
+        # shrink the effective cutoff below the candidate shells so
+        # the pre-mask arm (not all-inside) engages and actually cuts
+        cutoff = 0.8 * float(np.median(sp.r_build))
+        assert sp.premask_can_cut(cutoff)
+        plain = sp.pairs(state.positions, cutoff)
+        masked = sp.pairs(state.positions, cutoff, max_disp=0.0)
+        self._assert_tables_equal(plain, masked)
+
+    def test_bound_none_is_the_plain_filter(self, ta_potential):
+        state, sp = self._shard(ta_potential)
+        a = sp.pairs(state.positions, ta_potential.cutoff)
+        b = sp.pairs(state.positions, ta_potential.cutoff, max_disp=None)
+        self._assert_tables_equal(a, b)

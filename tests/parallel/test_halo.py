@@ -1,0 +1,198 @@
+"""Sparse-halo byte accounting and the topology x transport matrix.
+
+The acceptance bars pinned here: a steady 2x2 step moves strictly
+fewer bytes than the full-broadcast protocol it replaced, the excess
+over the owned-row minimum is *exactly* the ghost (boundary) rows —
+so the traffic scales with boundary-atom count, and sub-linearly when
+the slab doubles — and trajectories agree with the serial path across
+every {1x2, 2x2, 4x1} x {shared, socket, inline} pairing, bitwise
+across transports for a fixed topology.  The skin-trigger property
+rides along: rebuilding every step (``REPRO_PARALLEL_NO_REUSE``)
+reproduces the lazy-reuse trajectory to seam-reduction tolerance.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.kernels import active_backend_name, set_backend
+from repro.parallel import ShardedForcePipeline
+from repro.parallel.pipeline import _ROW_BYTES
+from repro.parallel.pool import fork_available
+from repro.runtime import RunSpec, build_engine
+from tests.conftest import small_slab_state
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="parallel backend requires fork"
+)
+
+#: Bytes per atom row crossing the transport in one steady step:
+#: positions and f_der scatter in, rho / epair / forces gather out.
+_STEP_CHANNELS = ("positions", "f_der", "rho", "epair", "forces")
+_STEP_ROW_BYTES = sum(_ROW_BYTES[c] for c in _STEP_CHANNELS)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend(monkeypatch):
+    # byte accounting and the lazy trajectory arms assume reuse is on;
+    # the CI no-reuse control leg exports the env var suite-wide
+    monkeypatch.delenv("REPRO_PARALLEL_NO_REUSE", raising=False)
+    base = active_backend_name()
+    yield
+    set_backend(base)
+
+
+def _steady_step_bytes(reps, topology=(2, 2), transport="inline"):
+    """(n_atoms, ghost_atoms, sent+recv bytes of one steady step)."""
+    from repro.potentials.elements import make_element_potential
+
+    state = small_slab_state("Ta", reps, temperature=350.0)
+    pot = make_element_potential("Ta")
+    with warnings.catch_warnings():
+        # tiny slabs trip the (correct) halo-dominated advisory
+        warnings.simplefilter("ignore", RuntimeWarning)
+        pipe = ShardedForcePipeline(
+            state, pot, topology=topology, transport=transport
+        )
+        try:
+            pipe.compute(state.positions)  # rebuild step
+            sent0, recv0 = pipe.halo_bytes
+            pipe.compute(state.positions)  # steady step: reuse round
+            sent1, recv1 = pipe.halo_bytes
+            return (
+                state.n_atoms,
+                pipe.ghost_atoms,
+                (sent1 - sent0) + (recv1 - recv0),
+            )
+        finally:
+            pipe.close()
+
+
+class TestHaloBytes:
+    @pytest.mark.parametrize("transport", ("inline", "socket"))
+    def test_steady_2x2_step_below_full_broadcast(self, transport):
+        """Sparse packs beat the PR-7 full-broadcast volume strictly.
+
+        The broadcast protocol shipped every per-step channel whole to
+        every worker: ``n_atoms x row_bytes x n_workers`` per channel.
+        Sparse packs carry one row per *local* (owned + ghost) atom
+        instead, and ghosts never replicate the whole system.  The
+        socket arm is the CI distributed leg's byte gate — a volume
+        assertion, deliberately not a wall-clock one.
+        """
+        n, ghost, sparse = _steady_step_bytes((8, 8, 2), transport=transport)
+        broadcast = n * 4 * _STEP_ROW_BYTES
+        assert sparse < broadcast
+        # comfortably below, not within rounding of it
+        assert sparse <= 0.6 * broadcast
+
+    def test_steady_step_excess_is_exactly_ghost_rows(self):
+        """Per-step bytes = (owned + ghost) rows: boundary-scaled.
+
+        Pins the accounting to *actual* sparse pack sizes — the excess
+        over the ``n_atoms`` minimum is precisely the ghost-row count
+        the decomposition reports, so halo traffic provably scales
+        with boundary atoms, not system size.
+        """
+        n, ghost, sparse = _steady_step_bytes((8, 8, 2))
+        assert ghost > 0
+        assert sparse == (n + ghost) * _STEP_ROW_BYTES
+
+    def test_ghost_rows_grow_sublinearly_with_doubled_slab(self):
+        """Doubling the slab grows ghosts by strictly less than 2x.
+
+        Ghost rows live on tile boundary *area*; doubling one in-plane
+        axis doubles the atom count but only the seams parallel to
+        that axis, so the ghost count must grow — and grow sub-linearly.
+        """
+        n_a, ghost_a, _ = _steady_step_bytes((4, 4, 2))
+        n_b, ghost_b, _ = _steady_step_bytes((8, 4, 2))
+        assert n_b == 2 * n_a
+        assert ghost_a < ghost_b < 2 * ghost_a
+
+
+def _run_trajectory(steps=5, seed=3, **spec_kwargs):
+    spec = RunSpec(
+        element="Ta", reps=(4, 4, 2), steps=steps, seed=seed,
+        **spec_kwargs,
+    )
+    engine = build_engine(spec)
+    try:
+        engine.step(steps)
+        n_builds = None
+        if engine.sim._pipeline is not None:
+            n_builds = engine.sim._pipeline.n_builds
+        return (
+            engine.state.positions.copy(),
+            engine.total_energy(),
+            n_builds,
+        )
+    finally:
+        engine.close()
+
+
+TOPOLOGIES = ((1, 2), (2, 2), (4, 1))
+MATRIX_TRANSPORTS = ("shared", "socket", "inline")
+
+
+class TestTrajectoryMatrix:
+    @pytest.mark.parametrize(
+        "topology", TOPOLOGIES, ids=lambda t: f"{t[0]}x{t[1]}"
+    )
+    def test_every_transport_matches_serial_bitwise_across(self, topology):
+        """{topology} x {shared, socket, inline} vs the serial path.
+
+        Physics agrees with serial to seam-reduction tolerance for
+        every pairing, and for a fixed topology the three transports
+        produce the bitwise-identical trajectory (same pack layout,
+        same fixed-order reduction — the carrier cannot matter).
+        """
+        pos_ref, e_ref, _ = _run_trajectory()
+        first = None
+        for transport in MATRIX_TRANSPORTS:
+            pos, e, _ = _run_trajectory(
+                backend="parallel", topology=topology, transport=transport
+            )
+            assert abs(e - e_ref) / abs(e_ref) <= 1e-9, transport
+            assert np.max(np.abs(pos - pos_ref)) < 1e-10, transport
+            if first is None:
+                first = (pos, e)
+            else:
+                assert np.array_equal(pos, first[0]), transport
+                assert e == first[1], transport
+
+
+class TestSkinTriggerProperty:
+    def test_forced_rebuild_reproduces_lazy_reuse(self, monkeypatch):
+        """Rebuild-every-step vs skin-triggered reuse: same physics.
+
+        Candidate reuse is a pure work-avoidance: the strict filter
+        emits the identical pair set either way, so disabling reuse
+        (the ``REPRO_PARALLEL_NO_REUSE`` control) must reproduce the
+        lazy trajectory.  Each forced step replans the grid, which
+        reorders the seam reduction — so the bar is the cross-topology
+        tolerance, not bitwise.  n_builds pins that the control and
+        the trigger actually took different paths.
+        """
+        import repro.parallel as par
+
+        steps = 8
+        # the lazy arm must actually reuse, even when the suite runs
+        # under REPRO_PARALLEL_NO_REUSE=1 (the CI control leg)
+        monkeypatch.delenv("REPRO_PARALLEL_NO_REUSE", raising=False)
+        pos_lazy, e_lazy, nb_lazy = _run_trajectory(
+            steps=steps, backend="parallel", topology=(2, 2),
+            transport="inline",
+        )
+        assert nb_lazy < steps  # the skin trigger actually reused
+        monkeypatch.setenv("REPRO_PARALLEL_NO_REUSE", "1")
+        par._warned_reasons.discard("no_reuse")
+        with pytest.warns(RuntimeWarning, match="no_reuse|rebuilding"):
+            pos_forced, e_forced, nb_forced = _run_trajectory(
+                steps=steps, backend="parallel", topology=(2, 2),
+                transport="inline",
+            )
+        assert nb_forced == steps  # a rebuild every step, as commanded
+        assert abs(e_forced - e_lazy) / abs(e_lazy) <= 1e-9
+        assert np.max(np.abs(pos_forced - pos_lazy)) < 1e-10

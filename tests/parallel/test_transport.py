@@ -88,7 +88,7 @@ class TestSocketParity:
     def test_unknown_transport_rejected(self):
         with pytest.raises(ValueError, match="carrier-pigeon"):
             make_transport("carrier-pigeon", 1, {}, {}, {})
-        assert TRANSPORTS == ("shared", "socket")
+        assert TRANSPORTS == ("shared", "socket", "inline")
 
 
 class Test2DTopology:

@@ -61,20 +61,21 @@ class TestCaseTable:
     def test_parallel_worker_sweep_present(self):
         sweep = {c.name: c for c in CASES if c.backend == "parallel"}
         assert set(sweep) == {"par-Ta-w1", "par-Ta-w2", "par-Ta-w4",
-                              "par-Ta-2x2"}
+                              "par-Ta-4x1"}
         assert [sweep[f"par-Ta-w{w}"].workers for w in (1, 2, 4)] == [1, 2, 4]
         # the acceptance workload: same slab as ref-Ta
         assert all(c.reps == (20, 20, 20) for c in sweep.values())
 
-    def test_2d_topology_case_present(self):
-        # the Table VI hook: a 2x2 grid on the acceptance workload,
-        # with the same-worker-count 1D sibling available for the
-        # measured single-wafer stand-in
-        case = next(c for c in CASES if c.name == "par-Ta-2x2")
-        assert case.topology == (2, 2)
+    def test_1d_column_sibling_case_present(self):
+        # the Table VI hook: par-Ta-w4 defaults to the near-square 2x2
+        # grid, and this explicit 4x1 column case is the same-worker-
+        # count 1D sibling used as the measured single-wafer stand-in
+        case = next(c for c in CASES if c.name == "par-Ta-4x1")
+        assert case.topology == (4, 1)
         assert not case.workers  # sized by the topology, not a pool count
         assert case.seed_key == "ref-Ta"
-        assert any(c.name == "par-Ta-w4" for c in CASES)
+        w4 = next(c for c in CASES if c.name == "par-Ta-w4")
+        assert w4.workers == 4 and w4.topology is None
 
     def test_acceptance_workload_present(self):
         # the 2x-vs-seed criterion is defined on the full Ta slab
@@ -238,7 +239,7 @@ class TestCrossBackendNotes:
 
 def fake_2d_result(steps_per_s=20.0):
     return BenchResult(
-        name="par-Ta-2x2", engine="reference", element="Ta",
+        name="par-Ta-w4", engine="reference", element="Ta",
         n_atoms=512, steps=10, wall_s=10 / steps_per_s,
         steps_per_s=steps_per_s,
         extra={"topology": [2, 2], "transport": "shared",
@@ -248,22 +249,22 @@ def fake_2d_result(steps_per_s=20.0):
 
 class TestMultiwafer:
     def test_comparison_shape(self):
-        comp = multiwafer_comparison(fake_2d_result(), 22.0, "par-Ta-w4")
+        comp = multiwafer_comparison(fake_2d_result(), 22.0, "par-Ta-4x1")
         assert comp["model"]["k_steps"] >= 1
         assert comp["model"]["n_ghost"] > 0
         assert 0 < comp["model"]["fraction_of_single_wafer"] <= 1.0
         measured = comp["measured"]
-        assert measured["single_wafer_case"] == "par-Ta-w4"
+        assert measured["single_wafer_case"] == "par-Ta-4x1"
         assert measured["fraction_of_single_wafer"] == pytest.approx(
             20.0 / 22.0, rel=1e-3
         )
 
     def test_attach_uses_sibling_from_same_run(self):
         r2d = fake_2d_result()
-        sibling = fake_result(name="par-Ta-w4", steps_per_s=25.0)
+        sibling = fake_result(name="par-Ta-4x1", steps_per_s=25.0)
         notes = attach_multiwafer([sibling, r2d])
         assert len(notes) == 1
-        assert "par-Ta-2x2" in notes[0] and "Table-VI" in notes[0]
+        assert "par-Ta-w4" in notes[0] and "Table-VI" in notes[0]
         assert "multiwafer" in r2d.extra
         assert "multiwafer" not in sibling.extra
 
@@ -273,7 +274,7 @@ class TestMultiwafer:
             "schema": "repro-bench/2",
             "history": [
                 {"mode": "quick", "results": [
-                    fake_result(name="par-Ta-w4", steps_per_s=40.0)
+                    fake_result(name="par-Ta-4x1", steps_per_s=40.0)
                     .to_json()
                 ]},
             ],
@@ -352,7 +353,7 @@ class TestExecution:
         skipped = {ln.split(":")[0].strip() for ln in lines
                    if "unavailable" in ln}
         assert skipped == {"par-Ta-w1", "par-Ta-w2", "par-Ta-w4",
-                           "par-Ta-2x2", "numba-Ta"}
+                           "par-Ta-4x1", "numba-Ta"}
 
     def test_write_report_round_trip(self, tmp_path):
         path = tmp_path / "bench.json"
