@@ -45,6 +45,7 @@ __all__ = [
     "compare_to_baseline",
     "write_report",
     "latest_results",
+    "normalize_result_row",
     "peak_rss_bytes",
     "reset_peak_rss",
 ]
@@ -77,6 +78,14 @@ class BenchCase:
     seed_key: str | None = None
     topology: tuple[int, int] | None = None
     transport: str | None = None
+    #: timed windows per run; the recorded rate is the best window.
+    #: Wall-clock noise on shared hosts is one-sided (throttling and
+    #: interference only ever *add* time), so max-of-N windows is the
+    #: consistent estimator of the steady rate.  Cases whose rates feed
+    #: cross-case ratios (the Ta backend-comparison block) and the
+    #: sub-second cases the regression gate watches use 3; the
+    #: heavyweight lockstep cases keep a single window.
+    windows: int = 1
 
 
 #: Standard workloads.  Reference slabs are bulk-like (the acceptance
@@ -90,23 +99,22 @@ class BenchCase:
 #: 300 K) — a window shorter than one period measures a reuse-only
 #: rate no long run can sustain and hides the rebuild economics.
 CASES: tuple[BenchCase, ...] = (
-    BenchCase("ref-Ta", "reference", "Ta", (20, 20, 20), (40, 40), (2, 5)),
-    BenchCase("ref-Cu", "reference", "Cu", (16, 16, 16), (6, 40), (2, 5)),
-    BenchCase("ref-W", "reference", "W", (20, 20, 20), (6, 40), (2, 5)),
-    BenchCase("wse-Ta", "wse", "Ta", (8, 8, 3), (20, 30), (2, 5)),
-    # Lockstep scaling cases: the streaming sweeps keep peak memory at
-    # O(chunk x grid), so the machine now runs the paper's actual
-    # experiment sizes.  100k is the everyday scaling case; 800k is the
-    # paper's 801,792-atom Ta slab (256 x 261 x 6 BCC cells), full mode
-    # only — quick mode skips cases without a QUICK_REPS entry.
-    BenchCase("wse-Ta-100k", "wse", "Ta", (128, 131, 3), (5, 10), (1, 1)),
-    BenchCase("wse-Ta-800k", "wse", "Ta", (256, 261, 6), (3, 3), (1, 1)),
+    BenchCase("ref-Ta", "reference", "Ta", (20, 20, 20), (40, 40), (2, 5),
+              windows=3),
+    # The par-Ta-* siblings are compared against ref-Ta's rate, so they
+    # run immediately after it: comparison pairs timed back-to-back see
+    # the same host state, while a sweep that interleaves the multi-GB
+    # lockstep cases hands the later side cold caches and a throttled
+    # clock (a ~15% ratio bias measured on 1-core containers).
     BenchCase("par-Ta-w1", "reference", "Ta", (20, 20, 20), (40, 40),
-              (2, 5), backend="parallel", workers=1, seed_key="ref-Ta"),
+              (2, 5), backend="parallel", workers=1, seed_key="ref-Ta",
+              windows=3),
     BenchCase("par-Ta-w2", "reference", "Ta", (20, 20, 20), (40, 40),
-              (2, 5), backend="parallel", workers=2, seed_key="ref-Ta"),
+              (2, 5), backend="parallel", workers=2, seed_key="ref-Ta",
+              windows=3),
     BenchCase("par-Ta-w4", "reference", "Ta", (20, 20, 20), (40, 40),
-              (2, 5), backend="parallel", workers=4, seed_key="ref-Ta"),
+              (2, 5), backend="parallel", workers=4, seed_key="ref-Ta",
+              windows=3),
     # par-Ta-w4 defaults to the near-square 2x2 grid (least ghost
     # surface); this explicit 4x1 sibling keeps the historical 1D
     # column layout measured on the same slab and worker count, so the
@@ -114,12 +122,25 @@ CASES: tuple[BenchCase, ...] = (
     # one wafer-node; the halo ring plays the ghost shell).
     BenchCase("par-Ta-4x1", "reference", "Ta", (20, 20, 20), (40, 40),
               (2, 5), backend="parallel", seed_key="ref-Ta",
-              topology=(4, 1)),
+              topology=(4, 1), windows=3),
     # JIT tier on the acceptance workload: same slab as ref-Ta, whole
     # run under the numba backend.  Skipped (with a progress note) on
     # hosts without numba; gates against ref-Ta's seed rate.
     BenchCase("numba-Ta", "reference", "Ta", (20, 20, 20), (40, 40),
-              (2, 5), backend="numba", seed_key="ref-Ta"),
+              (2, 5), backend="numba", seed_key="ref-Ta", windows=3),
+    BenchCase("ref-Cu", "reference", "Cu", (16, 16, 16), (6, 40), (2, 5),
+              windows=3),
+    BenchCase("ref-W", "reference", "W", (20, 20, 20), (6, 40), (2, 5),
+              windows=3),
+    BenchCase("wse-Ta", "wse", "Ta", (8, 8, 3), (20, 30), (2, 5),
+              windows=3),
+    # Lockstep scaling cases: the streaming sweeps keep peak memory at
+    # O(chunk x grid), so the machine now runs the paper's actual
+    # experiment sizes.  100k is the everyday scaling case; 800k is the
+    # paper's 801,792-atom Ta slab (256 x 261 x 6 BCC cells), full mode
+    # only — quick mode skips cases without a QUICK_REPS entry.
+    BenchCase("wse-Ta-100k", "wse", "Ta", (128, 131, 3), (5, 10), (1, 1)),
+    BenchCase("wse-Ta-800k", "wse", "Ta", (256, 261, 6), (3, 3), (1, 1)),
 )
 
 #: Quick-mode replications (small slabs so CI finishes in seconds).
@@ -215,6 +236,10 @@ def _case_extra(case: BenchCase, telemetry) -> dict:
             out["halo_bytes_sent"] = c["halo_bytes_sent"]
             out["halo_bytes_recv"] = c["halo_bytes_recv"]
             out["halo_seconds"] = c["halo_seconds"]
+            # fraction of halo publication time hidden behind the
+            # interior kernel pass (0.0 when REPRO_PARALLEL_NO_OVERLAP
+            # forced the blocking protocol)
+            out["overlap_efficiency"] = c["overlap_efficiency"]
             out["shard_seconds"] = c["shard_seconds"]
         return out
     return {
@@ -293,14 +318,27 @@ def _execute(
         engine = build_engine(spec, tracer=Tracer())
     else:
         engine = build_engine(spec)
+    window_rates: list[float] = []
     try:
         engine.step(warmup)
-        engine.reset_telemetry()  # report steady state, not warmup
-        engine.step(steps)
-        telemetry = engine.telemetry()
+        telemetry = None
+        # Best-of-N windows: noise on shared hosts only ever slows a
+        # window down, so the fastest of N repeats is the consistent
+        # estimator of the steady rate (every window re-times the same
+        # steady-state workload; the engine keeps running, so later
+        # windows span the same rebuild cadence as the first).
+        for _ in range(max(1, case.windows)):
+            engine.reset_telemetry()  # report steady state, not warmup
+            engine.step(steps)
+            window = engine.telemetry()
+            window_rates.append(window.steps_per_s)
+            if telemetry is None or window.steps_per_s > telemetry.steps_per_s:
+                telemetry = window
     finally:
         engine.close()
     extra = _case_extra(case, telemetry)
+    if len(window_rates) > 1:
+        extra["window_steps_per_s"] = [round(r, 3) for r in window_rates]
     extra["kernel_backend"] = active_backend_name()
     extra["jit_warmup_s"] = round(jit_warmup_s, 4)
     if case.topology is not None or case.backend == "parallel":
@@ -637,17 +675,38 @@ def _git_sha() -> str | None:
     return out.stdout.strip() or None
 
 
+def normalize_result_row(row: dict) -> dict:
+    """A copy of a history result row with schema gaps filled.
+
+    History entries written before the backend-pinning run recorded
+    neither ``kernel_backend`` nor ``workers`` on their cases (every
+    case then ran the process-default numpy backend, serially).  The
+    read path fills those defaults so baseline walks and trajectory
+    tooling can key on them without per-row existence checks.
+    """
+    if "kernel_backend" in row and "workers" in row:
+        return row
+    out = dict(row)
+    out.setdefault("kernel_backend", "numpy")
+    out.setdefault("workers", None)
+    return out
+
+
 def latest_results(report: dict) -> list[dict]:
     """The newest run's result list from a v1 or v2 bench report.
 
     v1 reports (``repro-bench/1``) store one run at the top level; v2
     reports (``repro-bench/2``) keep an append-only ``history`` whose
-    last entry is the newest run.
+    last entry is the newest run.  Rows are normalized on read
+    (:func:`normalize_result_row`), so legacy entries look
+    schema-complete to callers.
     """
     history = report.get("history")
     if history:
-        return history[-1].get("results", [])
-    return report.get("results", [])
+        rows = history[-1].get("results", [])
+    else:
+        rows = report.get("results", [])
+    return [normalize_result_row(r) for r in rows]
 
 
 def write_report(path: str, results: list[BenchResult], *,
@@ -704,7 +763,11 @@ def write_report(path: str, results: list[BenchResult], *,
 
 
 def baseline_for_case(
-    baseline: dict, name: str, *, mode: str | None = None
+    baseline: dict,
+    name: str,
+    *,
+    mode: str | None = None,
+    match: dict | None = None,
 ) -> dict | None:
     """Newest baseline record for ``name``, walking the history backwards.
 
@@ -713,7 +776,16 @@ def baseline_for_case(
     sweep): the gate compares each case against the most recent entry
     that actually timed it.  ``mode`` restricts the walk to entries of
     one bench mode — quick and full numbers are never comparable.
-    Returns ``None`` when no prior timing exists anywhere.
+    ``match`` restricts it further to rows agreeing on the given keys
+    (an unrecorded key reads as ``None`` — the serial/default layer —
+    on both sides): a ``--transport socket`` sweep must not gate
+    against rates the inline tier recorded under the same case name,
+    nor vice versa.  Returns ``None`` when no prior timing exists
+    anywhere — the committed baseline is refreshed whenever a new
+    layer combination starts being benched, so the gap is one run
+    wide.  Hits are normalized (:func:`normalize_result_row`) so a
+    pre-backend-pinning row never KeyErrors a caller keying on
+    ``kernel_backend`` or ``workers``.
     """
     history = baseline.get("history")
     if not history:
@@ -723,8 +795,13 @@ def baseline_for_case(
         if mode is not None and entry.get("mode") not in (mode, None):
             continue
         for r in entry.get("results", []):
-            if r.get("name") == name and r.get("steps_per_s"):
-                return r
+            if r.get("name") != name or not r.get("steps_per_s"):
+                continue
+            if match and any(
+                r.get(k) != v for k, v in match.items()
+            ):
+                continue
+            return normalize_result_row(r)
     return None
 
 
@@ -748,7 +825,18 @@ def compare_to_baseline(
     failures: list[str] = []
     notes: list[str] = []
     for r in results:
-        ref = baseline_for_case(baseline, r.name, mode=mode)
+        # backend/transport/topology-forced sweeps only gate against
+        # rows recorded under the same layer stack — an inline or
+        # numpy-backend rate is not a floor for a loopback-TCP or
+        # parallel-backend run of the same case name
+        ref = baseline_for_case(
+            baseline, r.name, mode=mode,
+            match={
+                "kernel_backend": r.extra.get("kernel_backend"),
+                "transport": r.extra.get("transport"),
+                "topology": r.extra.get("topology"),
+            },
+        )
         if ref is None:
             notes.append(
                 f"{r.name}: no baseline entry (new case; recorded at "

@@ -424,6 +424,18 @@ def _cmd_bench(args) -> int:
         write_report,
     )
 
+    if args.backend:
+        from repro.kernels import available_backends, backend_status
+
+        if args.backend not in available_backends():
+            reason = backend_status().get(args.backend, "unknown backend")
+            print(
+                f"error: --backend {args.backend} is unavailable "
+                f"({reason}); a pinned backend never benches the numpy "
+                f"fallback",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_SPEC
     backend = _set_backend(args.backend)
     mode = "quick" if args.quick else "full"
     print(f"repro bench: {mode} mode, {backend} kernels")

@@ -50,6 +50,7 @@ __all__ = [
     "build_local_pairs",
     "build_tile_pairs",
     "build_shard_pairs",
+    "split_interior_boundary",
     "warn_halo_dominated",
 ]
 
@@ -296,10 +297,21 @@ class ShardPairs:
             if self.r_build_max() + bound < cutoff:
                 all_inside = True
             elif self.premask_can_cut(cutoff):
-                sel = self.r_build <= cutoff + bound
-                if np.count_nonzero(sel) <= 0.9 * len(sel):
-                    gi = gi[sel]
-                    gj = gj[sel]
+                # The cut weakens monotonically as the displacement
+                # bound grows (a bigger bound keeps more candidates),
+                # and the bound itself only grows within a reuse
+                # window — so once the cut fails to pay at some bound,
+                # it fails at every later one and the probe is skipped
+                # for the rest of the window (bit-neutral: an unapplied
+                # probe never touched the emitted pairs).
+                dead = getattr(self, "_premask_dead_bound", np.inf)
+                if bound < dead:
+                    sel = self.r_build <= cutoff + bound
+                    if np.count_nonzero(sel) <= 0.9 * len(sel):
+                        gi = gi[sel]
+                        gj = gj[sel]
+                    else:
+                        self._premask_dead_bound = bound
         i, j, rij, r = active_backend().neighbor_prefilter(
             positions, gi, gj, _OPEN_LENGTHS, _OPEN_PERIODIC,
             cutoff, inclusive=False, compute_r=True,
@@ -428,6 +440,41 @@ def build_tile_pairs(
         local[sp.gi], local[sp.gj], sp.n_local, sp.n_owned,
         r_build=sp.r_build,
     )
+
+
+def split_interior_boundary(
+    sp: ShardPairs, owned: np.ndarray
+) -> tuple[ShardPairs, ShardPairs]:
+    """Partition candidates into an interior and a boundary shard.
+
+    A candidate is *interior* when both endpoints are owned — its
+    separation never reads a ghost row, so the interior filter and the
+    interior density/force passes can run before any halo data arrives.
+    Everything else (at least one ghost endpoint) is *boundary* and must
+    wait for the step's ghost rows.
+
+    The partition is a stable mask split: candidate order within each
+    class is the build order, and ``interior ∪ boundary`` in that fixed
+    (interior-then-boundary) order is a permutation of the original
+    list.  Per-atom accumulation stays bitwise-equal to the unsplit pass
+    because the merge adds whole per-atom partial sums in a pinned
+    order (interior + boundary) — see ``ShardWorker`` — rather than
+    re-interleaving per-pair contributions.  ``r_build`` subsets ride
+    along, so the all-inside / pre-mask cuts stay available per class
+    (with per-class ``r_build_max``, which can only tighten the bound).
+    """
+    interior = owned[sp.gi] & owned[sp.gj]
+    r_build = sp.r_build
+    inside = ShardPairs(
+        sp.gi[interior], sp.gj[interior], sp.n_local, sp.n_owned,
+        r_build=None if r_build is None else r_build[interior],
+    )
+    outside = ~interior
+    seam = ShardPairs(
+        sp.gi[outside], sp.gj[outside], sp.n_local, sp.n_owned,
+        r_build=None if r_build is None else r_build[outside],
+    )
+    return inside, seam
 
 
 def warn_halo_dominated(

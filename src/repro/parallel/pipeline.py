@@ -11,25 +11,38 @@ paper's neighbor-only fabric traffic:
    every position, so its global ``max |d|`` is arithmetically *equal*
    to an OR-reduce of per-tile triggers over the covering tile-local
    sets — and bit-equal to the serial NeighborList's check), then
-   scatters each tile its cached halo pack of positions
-   (``positions[ids_k]``, the index lists persisting until the next
-   rebuild).  The trigger's displacement bound rides on the command;
-   each tile distance-filters its cached candidates under it (the
-   bound either proves every candidate is still inside the cutoff —
-   the filter then skips its mask and compaction outright — or
-   pre-masks candidates provably still out of range, both
-   order-preserving and bit-neutral) and runs the density pass,
-   staging its ``rho`` pack.  When the trigger
+   ships each tile the *owned* rows of its cached halo pack
+   (``positions[own_ids_k]``, the index lists persisting until the
+   next rebuild), posts the ``dens`` command, and **publishes the
+   ghost rows asynchronously while the workers already run**: each
+   tile distance-filters and densities its *interior* candidates
+   (owned-owned pairs — no ghost row ever read) under the trigger's
+   displacement bound riding on the command, blocks on ``halo_wait``
+   only right before its *boundary* pass, then merges the two partial
+   sums in pinned interior-then-boundary order.  When the trigger
    trips, a ``rebuild`` round runs instead: a fresh balanced
    :class:`~repro.parallel.domains.DomainGrid` is planned, new pack
-   ids are cut, and each tile rebuilds its candidates from its pack
-   alone (bit-identical to a global build) — no stale-pack scatter, no
-   speculative compute is ever discarded.
+   ids are cut (with their owned/ghost row splits), and each tile
+   rebuilds its candidates from its pack alone (bit-identical to a
+   global build) — no stale-pack scatter, no speculative compute is
+   ever discarded, and rebuild packs travel whole and blocking (their
+   ids just changed; there is nothing safe to overlap).
 2. **force** — the parent reduces the gathered ``rho`` packs by
    scatter-adding them **in fixed rank order** into an owned-region
-   accumulator, evaluates the embedding stage, scatters each tile its
-   ``F'(rho_bar)`` pack, and reduces the gathered pair-energy/force
-   packs the same way.
+   accumulator, evaluates the embedding stage, ships each tile its
+   owned ``F'(rho_bar)`` rows, posts ``force``, publishes the ghost
+   rows mid-flight (interior force pass first, boundary after the
+   wait, same pinned merge), and reduces the gathered
+   pair-energy/force packs the same way.
+
+``REPRO_PARALLEL_NO_OVERLAP=1`` restores the blocking protocol —
+ghosts published *before* the command — for A/B testing and bisection.
+The worker arithmetic is identical in both modes (the split and merge
+happen either way; only the publish scheduling moves), so overlap-on
+trajectories are bitwise-identical to overlap-off.  The hidden
+publish time and the workers' residual stalls are accounted as
+``parallel.overlap`` / ``parallel.halo_wait`` spans, summarized by
+:attr:`ShardedForcePipeline.overlap_efficiency`.
 
 The fixed-order pack reduction makes a run bitwise-reproducible for a
 given (topology, transport) — and since both transports deliver the
@@ -61,6 +74,7 @@ import numpy as np
 
 from repro.obs import NULL_TRACER, metrics
 from repro.parallel.domains import (
+    owned_mask_local,
     plan_grid,
     tile_local_ids,
     warn_halo_dominated,
@@ -145,6 +159,13 @@ class ShardedForcePipeline:
         self.no_reuse = os.environ.get(
             "REPRO_PARALLEL_NO_REUSE", ""
         ) not in ("", "0")
+        # Overlapped halo exchange: ghosts publish while the round's
+        # command is already in flight.  The escape hatch restores the
+        # blocking publish-then-command order (bitwise-identical
+        # results either way; scheduling only).
+        self.overlap = os.environ.get(
+            "REPRO_PARALLEL_NO_OVERLAP", ""
+        ) in ("", "0")
         # Shard inner loops call the active backend's fused passes; the
         # worker-side backend defaults to numpy and may be switched to
         # the JIT tier (sharding x compiled kernels compose) via env.
@@ -166,6 +187,17 @@ class ShardedForcePipeline:
             self.stagger = cpus < self.n_workers
         else:
             self.stagger = env_stagger != "0"
+        # Tile builds bin at half the reach (radius-2 stencil): the
+        # finer grid hugs the reach sphere tighter, cutting the raw
+        # candidate stream the build prefilter consumes by ~40%.  Only
+        # the enumeration *order* changes — the prefiltered candidate
+        # set is identical — so the w=1 bitwise-serial contract pins
+        # single-tile runs to the serial radius-1 enumeration.
+        env_sub = os.environ.get("REPRO_PARALLEL_BUILD_SUBDIVIDE", "")
+        if self.n_workers == 1:
+            self.build_subdivide = 1
+        else:
+            self.build_subdivide = int(env_sub) if env_sub else 2
         cfg = {
             "potential": potential,
             "box": state.box,
@@ -174,6 +206,7 @@ class ShardedForcePipeline:
             "skin": self.skin,
             "n_atoms": n,
             "inner_backend": self.inner_backend,
+            "build_subdivide": self.build_subdivide,
         }
         kind = transport or os.environ.get(
             "REPRO_PARALLEL_TRANSPORT", "auto"
@@ -192,10 +225,21 @@ class ShardedForcePipeline:
                 "forces": ((n, 3), np.float64),
             },
             cfg=cfg,
+            halo=("positions", "f_der"),
         )
         #: cached halo pack index lists, one per tile; valid until the
         #: next rebuild (None = no build yet)
         self._ids: list[np.ndarray] | None = None
+        #: per-tile owned/ghost splits of ``_ids`` — global ids and the
+        #: pack-row positions they land in — recomputed at rebuild;
+        #: steady rounds ship owned rows synchronously and publish the
+        #: ghost rows asynchronously
+        self._own_ids: list[np.ndarray] = []
+        self._own_rows: list[np.ndarray] = []
+        self._ghost_ids: list[np.ndarray] = []
+        self._ghost_rows: list[np.ndarray] = []
+        #: monotone step-publication sequence (the double-buffer clock)
+        self._seq = 0
         #: the same lists concatenated in rank order — the index vector
         #: the single-pass bincount reductions run over
         self._ids_flat: np.ndarray | None = None
@@ -205,10 +249,10 @@ class ShardedForcePipeline:
         self._ref_positions: np.ndarray | None = None
         self._counts: list[int] = [0] * self.n_workers
         #: owned-region accumulators reused every step (steady-state
-        #: steps allocate nothing on the reduction path)
+        #: steps allocate nothing on the reduction path beyond the
+        #: returned force array itself, which the caller keeps)
         self._rho = np.zeros(n)
         self._epair = np.zeros(n)
-        self._forces = np.zeros((n, 3))
         self._closed = False
         self.n_builds = 0
         self.last_pair_count = 0
@@ -224,6 +268,14 @@ class ShardedForcePipeline:
         }
         #: cumulative exposed halo-exchange seconds (bench telemetry)
         self.halo_seconds = 0.0
+        #: cumulative ghost-publish seconds spent while a round's
+        #: command was already in flight (the hidden halo share)
+        self.overlap_seconds = 0.0
+        #: cumulative slowest-rank ``halo_wait`` stall per round (the
+        #: halo share that stayed exposed inside worker compute)
+        self.halo_wait_seconds = 0.0
+        #: grow-only reduction scratch (rank-concatenated pack rows)
+        self._concat: dict[str, np.ndarray] = {}
         reg = metrics()
         reg.gauge("parallel.workers").set(float(self.n_workers))
         reg.gauge("parallel.topology.px").set(float(px))
@@ -237,6 +289,22 @@ class ShardedForcePipeline:
     def halo_bytes(self) -> tuple[int, int]:
         """Cumulative (sent, received) sparse pack bytes over the transport."""
         return self.transport.bytes_sent, self.transport.bytes_recv
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of halo publication time hidden behind compute.
+
+        ``overlap / (overlap + wait)``: publish seconds spent while a
+        command was in flight, over that plus the slowest rank's
+        residual ``halo_wait`` stalls.  1.0 means every published byte
+        was fully absorbed by interior compute; with overlap disabled
+        nothing is ever hidden, so the field reads 0.0.
+        """
+        hidden = self.overlap_seconds
+        wait = self.halo_wait_seconds
+        if hidden + wait <= 0.0:
+            return 1.0 if self.overlap else 0.0
+        return hidden / (hidden + wait)
 
     # -- ghost accounting --------------------------------------------------
 
@@ -264,7 +332,6 @@ class ShardedForcePipeline:
                 f"got {len(positions)}"
             )
         reg = metrics()
-        tp = self.transport
         t0 = time.perf_counter()
         with tr.phase("neighbor") as ph:
             reason = self._forced_rebuild_reason()
@@ -286,16 +353,17 @@ class ShardedForcePipeline:
                 reg.counter("neighbor.rebuilds").inc()
                 reg.counter(f"neighbor.rebuilds.{reason}").inc()
             else:
-                # Clean step: ship the sparse packs, filter + density.
+                # Clean step: ship the owned rows, post the command,
+                # publish the ghost rows while the interior pass runs.
                 # The trigger's displacement bound rides on the command
                 # — it upper-bounds every tile's local bound, feeding
                 # the shards' bit-neutral cross-step filter cuts
                 # without any per-tile displacement pass.
-                tpub0 = time.perf_counter()
-                tp.scatter("positions", positions, self._ids)
-                self._charge_ghost("positions")
-                t_pub = time.perf_counter() - tpub0
-                replies = self._round("neighbor", ("dens", d_max), tr, t_pub)
+                self._seq += 1
+                replies = self._steady_round(
+                    "neighbor", ("dens", d_max, self._seq),
+                    "positions", positions, tr,
+                )
                 reg.counter("neighbor.reuses").inc()
             n_pairs = int(sum(r[1] for r in replies))
             den_secs = [r[3] for r in replies]
@@ -305,7 +373,7 @@ class ShardedForcePipeline:
             # child so the reference taxonomy stays truthful.
             tr.record("density", den_sum)
             self._account_stage(
-                "neighbor", [r[2] - r[3] for r in replies], ph
+                "neighbor", [r[2] - r[3] - r[4] for r in replies], ph
             )
             ph.add(pairs=n_pairs, rebuilds=0 if reason is None else 1)
         t1 = time.perf_counter()
@@ -324,26 +392,24 @@ class ShardedForcePipeline:
         with tr.phase("embedding"):
             f_val, f_der = self.potential.embed(self._rho, self._types)
         with tr.phase("pair_force", pairs=n_pairs) as ph:
-            tpub0 = time.perf_counter()
-            tp.scatter("f_der", f_der, self._ids)
-            self._charge_ghost("f_der")
-            t_pub = time.perf_counter() - tpub0
-            force_replies = self._round(
-                "pair_force", ("force",), tr, t_pub
+            self._seq += 1
+            force_replies = self._steady_round(
+                "pair_force", ("force", self._seq), "f_der", f_der, tr,
             )
             packs = self._gather_round(
                 "pair_force", ("epair", "forces"), tr
             )
             self._charge_ghost("epair", "forces")
             self._reduce_1d(self._epair, packs["epair"])
-            pack = np.concatenate(packs["forces"])
+            pack = self._concat_packs("forces", packs["forces"])
+            forces = np.empty((self.n_atoms, 3))
             for c in range(3):
-                self._forces[:, c] = np.bincount(
+                forces[:, c] = np.bincount(
                     self._ids_flat, weights=pack[:, c],
                     minlength=self.n_atoms,
                 )
             self._account_stage(
-                "force", [r[2] for r in force_replies], ph
+                "force", [r[2] - r[4] for r in force_replies], ph
             )
         t2 = time.perf_counter()
         self.last_pair_count = n_pairs
@@ -355,7 +421,7 @@ class ShardedForcePipeline:
             "t_neighbor": max(0.0, (t1 - t0) - den_sum),
             "t_force": (t2 - t1) + den_sum,
         }
-        return self._epair + f_val, self._forces.copy(), info
+        return self._epair + f_val, forces, info
 
     # -- rebuild policy (the forced arms; displacement is shard-side) ------
 
@@ -371,9 +437,24 @@ class ShardedForcePipeline:
         """
         out[:] = np.bincount(
             self._ids_flat,
-            weights=np.concatenate(packs),
+            weights=self._concat_packs("scalar", packs),
             minlength=self.n_atoms,
         )
+
+    def _concat_packs(self, key: str, packs: list) -> np.ndarray:
+        """Rank-order concatenation into grow-only scratch.
+
+        Bit-identical to ``np.concatenate`` (same rows, same order);
+        the reuse just keeps steady steps off the allocator — pack
+        sizes only change on a rebuild.
+        """
+        total = sum(len(p) for p in packs)
+        buf = self._concat.get(key)
+        if buf is None or buf.shape[0] < total:
+            tail = packs[0].shape[1:] if packs else ()
+            buf = np.empty((total, *tail), dtype=np.float64)
+            self._concat[key] = buf
+        return np.concatenate(packs, axis=0, out=buf[:total])
 
     def _forced_rebuild_reason(self) -> str | None:
         if self._ids is None:
@@ -413,6 +494,21 @@ class ShardedForcePipeline:
         self._ids_flat = np.concatenate(ids) if ids else np.empty(
             0, dtype=np.int64
         )
+        # Owned/ghost split per tile, from the same half-open ownership
+        # comparisons the worker applies to its pack — bit-identical
+        # decisions, so parent row splits and worker row splits agree.
+        self._own_ids, self._own_rows = [], []
+        self._ghost_ids, self._ghost_rows = [], []
+        for t in range(self.n_workers):
+            owned = owned_mask_local(
+                positions[ids[t]], grid.tile_bounds(t)
+            )
+            own_rows = np.nonzero(owned)[0]
+            ghost_rows = np.nonzero(~owned)[0]
+            self._own_rows.append(own_rows)
+            self._ghost_rows.append(ghost_rows)
+            self._own_ids.append(ids[t][own_rows])
+            self._ghost_ids.append(ids[t][ghost_rows])
         self._ref_positions = np.array(positions, copy=True)
         self._counts = [len(i) for i in ids]
         self.ghost_atoms = int(sum(self._counts)) - self.n_atoms
@@ -428,6 +524,61 @@ class ShardedForcePipeline:
         return self._round("neighbor", ("rebuild",), tr, t_pub, parts=parts)
 
     # -- rounds ------------------------------------------------------------
+
+    def _steady_round(
+        self, stage: str, msg: tuple, channel: str, source, tr
+    ) -> list[tuple]:
+        """One overlapped steady round: owned scatter, post, publish, collect.
+
+        With overlap on, the ghost publish runs *after* the command is
+        posted — the workers' interior passes absorb its latency, and
+        its wall time lands in the ``parallel.overlap`` span instead of
+        the exposed halo total.  The slowest rank's residual
+        ``halo_wait`` stall (reply tail) is recorded alongside; the two
+        together feed :attr:`overlap_efficiency`.  With overlap off the
+        publish happens before the post (the historical blocking order)
+        and is charged as exposed halo time.
+        """
+        tp = self.transport
+        sent0, recv0 = tp.bytes_sent, tp.bytes_recv
+        t0 = time.perf_counter()
+        tp.scatter_rows(channel, source, self._own_ids, self._own_rows)
+        t_own = time.perf_counter() - t0
+        t_ghost = 0.0
+        if self.overlap:
+            tp.post(msg)
+            tg0 = time.perf_counter()
+            tp.publish(
+                channel, source, self._ghost_ids, self._ghost_rows,
+                self._seq,
+            )
+            t_ghost = time.perf_counter() - tg0
+        else:
+            tg0 = time.perf_counter()
+            tp.publish(
+                channel, source, self._ghost_ids, self._ghost_rows,
+                self._seq,
+            )
+            t_ghost = time.perf_counter() - tg0
+            tp.post(msg)
+        self._charge_ghost(channel)
+        tc0 = time.perf_counter()
+        replies = tp.collect()
+        wall = time.perf_counter() - tc0
+        compute = max((r[2] for r in replies if len(r) > 2), default=0.0)
+        wait_max = max((r[4] for r in replies if len(r) > 4), default=0.0)
+        exposed = t_own + max(0.0, wall - compute)
+        if self.overlap:
+            # the publish ran while the command was in flight: its cost
+            # is hidden (up to the workers' measured residual stalls)
+            self.overlap_seconds += t_ghost
+            self.halo_wait_seconds += wait_max
+            tr.record("parallel.overlap", t_ghost, {"stage": stage})
+            tr.record("parallel.halo_wait", wait_max, {"stage": stage})
+        else:
+            exposed += t_ghost
+        self._record_halo(stage, exposed, sent0, recv0, tr)
+        return replies
 
     def _round(
         self, stage: str, msg: tuple, tr, t_pub: float = 0.0, parts=None
@@ -499,6 +650,8 @@ class ShardedForcePipeline:
         for stage in self.shard_seconds:
             self.shard_seconds[stage] = [0.0] * self.n_workers
         self.halo_seconds = 0.0
+        self.overlap_seconds = 0.0
+        self.halo_wait_seconds = 0.0
 
     def close(self) -> None:
         """Reap the workers and release the transport (idempotent)."""

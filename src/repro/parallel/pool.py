@@ -100,6 +100,9 @@ class WorkerPool:
         identical (and in the same rank order) either way — staggering
         changes wall-clock behavior only, never results.
         """
+        if not stagger:
+            self.post(msg, parts)
+            return self.collect()
         replies: list[tuple] = []
         error: tuple | None = None
         down: set[int] = set()
@@ -110,15 +113,49 @@ class WorkerPool:
                 down.add(wid)
                 if error is None:
                     error = (wid, "RuntimeError", f"worker died: {exc}")
-            if stagger and wid not in down:
+            if wid not in down:
                 replies.append(self._recv_reply(wid))
+        for wid in down:
+            replies.insert(wid, (0, 0.0))
+        return self._finish(replies, error)
+
+    def post(self, msg: tuple, parts: list[tuple] | None = None) -> None:
+        """Broadcast ``msg`` without waiting for replies.
+
+        The non-blocking half of :meth:`command`: the parent can do
+        work of its own — publish the step's ghost packs — while every
+        worker computes, then drain the round with :meth:`collect`.
+        Send failures are remembered, not raised, so the reply slots
+        stay rank-consistent; :meth:`collect` surfaces them.
+        """
+        self._post_down: set[int] = set()
+        self._post_error: tuple | None = None
         for wid, conn in enumerate(self._conns):
+            try:
+                conn.send(msg if parts is None else msg + tuple(parts[wid]))
+            except (BrokenPipeError, OSError) as exc:
+                self._post_down.add(wid)
+                if self._post_error is None:
+                    self._post_error = (
+                        wid, "RuntimeError", f"worker died: {exc}"
+                    )
+
+    def collect(self) -> list[tuple]:
+        """Drain one reply per worker for the last :meth:`post`."""
+        down = getattr(self, "_post_down", set())
+        error = getattr(self, "_post_error", None)
+        replies: list[tuple] = []
+        for wid in range(len(self._conns)):
             if wid in down:
-                replies.insert(wid, (0, 0.0))
-                continue
-            if stagger:
-                continue
-            replies.append(self._recv_reply(wid))
+                replies.append((0, 0.0))
+            else:
+                replies.append(self._recv_reply(wid))
+        return self._finish(replies, error)
+
+    def _finish(
+        self, replies: list[tuple], error: tuple | None
+    ) -> list[tuple]:
+        """Scan for worker-reported errors and raise the first one."""
         for wid, reply in enumerate(replies):
             if reply and reply[0] == "error" and error is None:
                 error = (wid, reply[1], reply[2])

@@ -13,8 +13,12 @@ it blocks until every rank has dialed in, ships the worker config
 the owned-region step protocol: this process keeps its tile's halo
 pack, candidate list and rebuild reference between steps, so each
 steady-state step moves only the sparse position/derivative packs in
-and the result packs out.  The process exits when the parent sends
-``stop`` or hangs up.
+and the result packs out.  Under the overlapped protocol the owned
+rows arrive with the command and the ghost rows ride a separate eager
+``__halo__`` frame, so this process runs its interior (owned-owned)
+kernel pass while the ghost pack is still in flight and blocks in
+``halo_wait`` only before the boundary pass.  The process exits when
+the parent sends ``stop`` or hangs up.
 """
 
 from __future__ import annotations

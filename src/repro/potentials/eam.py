@@ -145,6 +145,10 @@ class EAMPotential(Potential):
     def __init__(self, tables: EAMTables, cap: PairDistanceCap | None = None) -> None:
         self.tables = tables
         self.cap = cap or PairDistanceCap()
+        #: validated types arrays (by identity) — callers pass the same
+        #: persistent arrays every step (one per shard), so the range
+        #: checks run once per array, not once per kernel call
+        self._types_seen: dict[int, np.ndarray] = {}
 
     @property
     def cutoff(self) -> float:
@@ -421,6 +425,11 @@ class EAMPotential(Potential):
         if types is None:
             return np.zeros(n_atoms, dtype=np.int64)
         types = np.asarray(types)
+        if (
+            self._types_seen.get(id(types)) is types
+            and len(types) == n_atoms
+        ):
+            return types
         if len(types) != n_atoms:
             raise ValueError(f"types length {len(types)} != n_atoms {n_atoms}")
         if np.any(types < 0) or np.any(types >= self.tables.n_types):
@@ -428,4 +437,7 @@ class EAMPotential(Potential):
                 f"type out of range [0, {self.tables.n_types}): "
                 f"{np.unique(types)}"
             )
+        if len(self._types_seen) > 16:
+            self._types_seen.clear()
+        self._types_seen[id(types)] = types
         return types

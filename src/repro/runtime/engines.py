@@ -197,6 +197,14 @@ class ReferenceEngine:
             counters["halo_bytes_ghost"] = pipeline.ghost_bytes
             counters["ghost_atoms"] = pipeline.ghost_atoms
             counters["halo_seconds"] = round(pipeline.halo_seconds, 6)
+            counters["overlap_on"] = pipeline.overlap
+            counters["overlap_seconds"] = round(pipeline.overlap_seconds, 6)
+            counters["halo_wait_seconds"] = round(
+                pipeline.halo_wait_seconds, 6
+            )
+            counters["overlap_efficiency"] = round(
+                pipeline.overlap_efficiency, 4
+            )
             counters["shard_seconds"] = {
                 stage: [round(s, 4) for s in secs]
                 for stage, secs in pipeline.shard_seconds.items()

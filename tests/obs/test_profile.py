@@ -23,6 +23,27 @@ def tiny_spec():
     )
 
 
+class TestRequiredPhases:
+    def test_overlapped_adds_the_overlap_spans(self):
+        base = required_phases("reference", sharded=True)
+        over = required_phases("reference", sharded=True, overlapped=True)
+        assert "halo_exchange" in base
+        assert "parallel.halo_wait" not in base
+        assert set(over) == set(base) | {
+            "parallel.halo_wait", "parallel.overlap",
+        }
+
+    def test_overlapped_requires_sharded(self):
+        # a serial (or wse) run never owes the overlap spans, whatever
+        # the caller passes for overlapped
+        assert "parallel.overlap" not in required_phases(
+            "reference", overlapped=True
+        )
+        assert "parallel.overlap" not in required_phases(
+            "wse", overlapped=True
+        )
+
+
 class TestProfileSpec:
     def test_both_engines_emit_required_phases(self, tiny_spec, tmp_path):
         metrics().reset()

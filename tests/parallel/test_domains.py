@@ -9,7 +9,12 @@ import numpy as np
 import pytest
 
 from repro.md.neighbor_list import NeighborList
-from repro.parallel.domains import build_shard_pairs, plan_columns
+from repro.parallel.domains import (
+    ShardPairs,
+    build_shard_pairs,
+    plan_columns,
+    split_interior_boundary,
+)
 from tests.conftest import small_slab_state
 
 
@@ -173,3 +178,69 @@ class TestCrossStepCuts:
         a = sp.pairs(state.positions, ta_potential.cutoff)
         b = sp.pairs(state.positions, ta_potential.cutoff, max_disp=None)
         self._assert_tables_equal(a, b)
+
+
+class TestInteriorBoundarySplit:
+    """The interior/boundary pair partition behind the overlap protocol.
+
+    Interior pairs touch only owned atoms (computable before any halo
+    data arrives); boundary pairs touch at least one ghost.  The split
+    must be exact and lossless — every candidate lands in exactly one
+    class, with its ``r_build`` record riding along — because the
+    worker sums the two passes back together and the result must match
+    the unsplit pass bit for bit.
+    """
+
+    def _shard_with_ghosts(self, ta_potential, reps=(5, 5, 2)):
+        state = small_slab_state("Ta", reps, temperature=400.0)
+        reach = ta_potential.cutoff + 0.5
+        edges = plan_columns(state.positions[:, 0], 2, reach)
+        sp = build_shard_pairs(
+            state.positions, edges, 0, box=state.box, reach=reach
+        )
+        owned = np.zeros(state.n_atoms, dtype=bool)
+        x = state.positions[:, 0]
+        owned[(x >= edges[0]) & (x < edges[1])] = True
+        return sp, owned
+
+    def test_split_is_an_exact_partition(self, ta_potential):
+        sp, owned = self._shard_with_ghosts(ta_potential)
+        inside, seam = split_interior_boundary(sp, owned)
+        assert inside.n_candidates + seam.n_candidates == sp.n_candidates
+        assert seam.n_candidates > 0  # a 2-column shard has a seam
+        assert inside.n_candidates > 0
+        split = _pair_set(
+            np.concatenate([inside.gi, seam.gi]),
+            np.concatenate([inside.gj, seam.gj]),
+        )
+        assert split == _pair_set(sp.gi, sp.gj)
+
+    def test_classes_honor_the_ownership_rule(self, ta_potential):
+        sp, owned = self._shard_with_ghosts(ta_potential)
+        inside, seam = split_interior_boundary(sp, owned)
+        assert np.all(owned[inside.gi] & owned[inside.gj])
+        assert not np.any(owned[seam.gi] & owned[seam.gj])
+
+    def test_r_build_rides_the_split(self, ta_potential):
+        sp, owned = self._shard_with_ghosts(ta_potential)
+        assert sp.r_build is not None
+        inside, seam = split_interior_boundary(sp, owned)
+        mask = owned[sp.gi] & owned[sp.gj]
+        assert np.array_equal(inside.r_build, sp.r_build[mask])
+        assert np.array_equal(seam.r_build, sp.r_build[~mask])
+
+    def test_all_owned_yields_empty_boundary(self, ta_potential):
+        sp, owned = self._shard_with_ghosts(ta_potential)
+        everything = np.ones_like(owned)
+        inside, seam = split_interior_boundary(sp, everything)
+        assert inside.n_candidates == sp.n_candidates
+        assert seam.n_candidates == 0
+        assert np.array_equal(inside.gi, sp.gi)
+        assert np.array_equal(inside.gj, sp.gj)
+
+    def test_split_without_r_build(self, ta_potential):
+        sp, owned = self._shard_with_ghosts(ta_potential)
+        bare = ShardPairs(sp.gi, sp.gj, sp.n_local, sp.n_owned)
+        inside, seam = split_interior_boundary(bare, owned)
+        assert inside.r_build is None and seam.r_build is None
+        assert inside.n_candidates + seam.n_candidates == bare.n_candidates

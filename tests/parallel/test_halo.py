@@ -6,9 +6,14 @@ over the owned-row minimum is *exactly* the ghost (boundary) rows —
 so the traffic scales with boundary-atom count, and sub-linearly when
 the slab doubles — and trajectories agree with the serial path across
 every {1x2, 2x2, 4x1} x {shared, socket, inline} pairing, bitwise
-across transports for a fixed topology.  The skin-trigger property
-rides along: rebuilding every step (``REPRO_PARALLEL_NO_REUSE``)
-reproduces the lazy-reuse trajectory to seam-reduction tolerance.
+across transports for a fixed topology.  The overlapped halo protocol
+adds two bars of its own: overlap-on trajectories are *bitwise* equal
+to the blocking ``REPRO_PARALLEL_NO_OVERLAP=1`` control across the
+full matrix (publication scheduling may never change arithmetic), and
+steady steps reuse their grow-only staging buffers instead of
+allocating fresh packs.  The skin-trigger property rides along:
+rebuilding every step (``REPRO_PARALLEL_NO_REUSE``) reproduces the
+lazy-reuse trajectory to seam-reduction tolerance.
 """
 
 import warnings
@@ -99,6 +104,49 @@ class TestHaloBytes:
         assert ghost > 0
         assert sparse == (n + ghost) * _STEP_ROW_BYTES
 
+    @pytest.mark.parametrize("transport", ("inline", "shared"))
+    def test_steady_steps_reuse_staging_buffers(self, transport):
+        """Steady rounds allocate no new pack staging (grow-only scratch).
+
+        After the first steady step has sized every staging buffer, the
+        transport's ``_PackStage`` and the pipeline's reduction scratch
+        must be the *same arrays* for every later step — id lists only
+        change on a rebuild, so per-step allocation would be pure churn.
+        """
+        from repro.potentials.elements import make_element_potential
+
+        state = small_slab_state("Ta", (8, 8, 2), temperature=350.0)
+        pot = make_element_potential("Ta")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            pipe = ShardedForcePipeline(
+                state, pot, topology=(2, 2), transport=transport
+            )
+        def staging():
+            tr = pipe.transport
+            if hasattr(tr, "_stage"):  # shared/socket: _PackStage scratch
+                return tr._stage._bufs
+            # inline: pre-sized per-rank input buffers are the staging
+            return {
+                (k, name): buf
+                for k, bufs in enumerate(tr._buffers)
+                for name, buf in bufs.items()
+            }
+
+        try:
+            pipe.compute(state.positions)  # rebuild: sizes everything
+            pipe.compute(state.positions)  # first steady round
+            scratch = pipe._concat
+            snap_stage = {k: id(v) for k, v in staging().items()}
+            snap_scratch = {k: id(v) for k, v in scratch.items()}
+            assert snap_stage  # the staging path actually engaged
+            for _ in range(3):
+                pipe.compute(state.positions)
+            assert {k: id(v) for k, v in staging().items()} == snap_stage
+            assert {k: id(v) for k, v in scratch.items()} == snap_scratch
+        finally:
+            pipe.close()
+
     def test_ghost_rows_grow_sublinearly_with_doubled_slab(self):
         """Doubling the slab grows ghosts by strictly less than 2x.
 
@@ -161,6 +209,34 @@ class TestTrajectoryMatrix:
             else:
                 assert np.array_equal(pos, first[0]), transport
                 assert e == first[1], transport
+
+
+class TestOverlapEquivalence:
+    @pytest.mark.parametrize(
+        "topology", TOPOLOGIES, ids=lambda t: f"{t[0]}x{t[1]}"
+    )
+    @pytest.mark.parametrize("transport", MATRIX_TRANSPORTS)
+    def test_overlap_on_matches_blocking_control_bitwise(
+        self, topology, transport, monkeypatch
+    ):
+        """Overlap-on == REPRO_PARALLEL_NO_OVERLAP=1, bit for bit.
+
+        The overlapped protocol changes only *when* ghost packs travel
+        relative to the interior kernel pass — never which rows a
+        worker reads before each pass, nor the fixed interior+boundary
+        merge order.  So the escape hatch must reproduce the default
+        trajectory exactly, making it a safe bisection control.
+        """
+        monkeypatch.delenv("REPRO_PARALLEL_NO_OVERLAP", raising=False)
+        pos_on, e_on, _ = _run_trajectory(
+            backend="parallel", topology=topology, transport=transport
+        )
+        monkeypatch.setenv("REPRO_PARALLEL_NO_OVERLAP", "1")
+        pos_off, e_off, _ = _run_trajectory(
+            backend="parallel", topology=topology, transport=transport
+        )
+        assert np.array_equal(pos_on, pos_off)
+        assert e_on == e_off
 
 
 class TestSkinTriggerProperty:

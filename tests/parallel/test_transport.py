@@ -10,6 +10,7 @@ closes, and post-mortem commands all surface cleanly.
 import os
 import signal
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -336,3 +337,86 @@ class TestEnvDefault:
             assert pipe.transport_kind == "shared"
         finally:
             pipe.close()
+
+
+class TestAutoSelection:
+    """``transport="auto"`` resolution against the host's core budget.
+
+    The policy under test: the forked tier only pays off with spare
+    cores, so auto picks inline when cpus < workers (warning once per
+    shape) or when there is a single worker (silently); otherwise it
+    picks shared.  ``os.cpu_count() -> None`` — a real possibility the
+    docs allow — must resolve like a 1-CPU host, never crash.
+    """
+
+    @staticmethod
+    def _resolve(monkeypatch, cpus, workers):
+        import repro.parallel as par
+        from repro.parallel.transport import resolve_transport
+
+        # force the os.cpu_count() fallback path (including None) by
+        # removing the affinity API resolve_transport prefers
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: cpus)
+        par.reset_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kind = resolve_transport("auto", workers, {})
+        return kind, [str(w.message) for w in caught]
+
+    @pytest.mark.parametrize(
+        "cpus,workers,expected",
+        [
+            (None, 2, "inline"),  # unknown core count == 1-CPU host
+            (1, 2, "inline"),
+            (1, 4, "inline"),
+            (2, 4, "inline"),
+            (4, 4, "shared"),
+            (8, 2, "shared"),
+        ],
+    )
+    def test_core_budget_picks_tier(
+        self, monkeypatch, cpus, workers, expected
+    ):
+        kind, messages = self._resolve(monkeypatch, cpus, workers)
+        assert kind == expected
+        if expected == "inline":
+            assert len(messages) == 1
+            assert "picked the inline tier" in messages[0]
+            assert f"{workers} workers" in messages[0]
+        else:
+            assert messages == []
+
+    @pytest.mark.parametrize("cpus", [None, 1, 8])
+    def test_single_worker_is_silently_inline(self, monkeypatch, cpus):
+        kind, messages = self._resolve(monkeypatch, cpus, 1)
+        assert kind == "inline"
+        assert messages == []
+
+    def test_starved_pick_warns_once_per_shape(self, monkeypatch):
+        import repro.parallel as par
+        from repro.parallel.transport import resolve_transport
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        par.reset_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_transport("auto", 2, {})
+            resolve_transport("auto", 2, {})  # same shape: no re-warn
+            resolve_transport("auto", 4, {})  # new shape: warns again
+        assert len(caught) == 2
+
+    def test_inner_backend_forces_shared(self, monkeypatch):
+        from repro.parallel.transport import resolve_transport
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        kind = resolve_transport("auto", 2, {"inner_backend": "numba"})
+        assert kind == "shared"
+
+    def test_explicit_kind_passes_through(self, monkeypatch):
+        from repro.parallel.transport import resolve_transport
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_transport("socket", 8, {}) == "socket"
